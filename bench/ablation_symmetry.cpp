@@ -1,0 +1,111 @@
+/// \file ablation_symmetry.cpp
+/// Ablation of the enhanced-MFVS symmetry transformation (§4.2.1, Fig. 9) on
+/// s-graphs extracted from *actual phase-assigned domino realizations* of
+/// sequential stand-in circuits — the duplication-heavy regime the paper
+/// argues motivates the transformation — plus synthetic clone sweeps.
+
+#include <iostream>
+
+#include "benchgen/benchgen.hpp"
+#include "flow/report.hpp"
+#include "phase/assignment.hpp"
+#include "sgraph/mfvs.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace dominosyn;
+
+struct Row {
+  std::size_t vertices, edges, fvs_sym, fvs_nosym, merges, reductions_sym,
+      reductions_nosym;
+  double ms_sym, ms_nosym;
+};
+
+Row run(const SGraph& graph) {
+  Row row{};
+  row.vertices = graph.num_vertices();
+  row.edges = graph.num_edges();
+  Stopwatch w1;
+  const auto sym = mfvs_heuristic(graph, {.use_symmetry = true});
+  row.ms_sym = w1.milliseconds();
+  Stopwatch w2;
+  const auto nosym = mfvs_heuristic(graph, {.use_symmetry = false});
+  row.ms_nosym = w2.milliseconds();
+  row.fvs_sym = sym.fvs.size();
+  row.fvs_nosym = nosym.fvs.size();
+  row.merges = sym.symmetry_merges;
+  row.reductions_sym = sym.reductions;
+  row.reductions_nosym = nosym.reductions;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dominosyn;
+  std::cout << "=== Ablation: MFVS symmetry transformation on domino "
+               "s-graphs ===\n\n";
+
+  TextTable table;
+  table.header({"source", "V", "E", "FVS sym", "FVS no-sym", "merges",
+                "red. sym", "red. no-sym", "ms sym", "ms no-sym"});
+
+  // Real s-graphs: sequential stand-ins, phase-assigned (the duplication the
+  // paper says makes symmetric latch pairs common).
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    BenchSpec spec;
+    spec.name = "seq" + std::to_string(seed);
+    spec.num_pis = 12;
+    spec.num_pos = 8;
+    spec.num_latches = 14;
+    spec.gate_target = 220;
+    spec.seed = seed * 97;
+    const Network net = generate_benchmark(spec);
+
+    Rng rng(seed);
+    PhaseAssignment phases(net.num_pos());
+    for (auto& p : phases)
+      p = rng.bernoulli(0.5) ? Phase::kNegative : Phase::kPositive;
+    const auto domino = synthesize_domino(net, phases);
+    const SGraph graph = SGraph::from_network(domino.net);
+    const Row row = run(graph);
+    table.row({spec.name, std::to_string(row.vertices),
+               std::to_string(row.edges), std::to_string(row.fvs_sym),
+               std::to_string(row.fvs_nosym), std::to_string(row.merges),
+               std::to_string(row.reductions_sym),
+               std::to_string(row.reductions_nosym), fmt(row.ms_sym, 2),
+               fmt(row.ms_nosym, 2)});
+  }
+
+  // Synthetic clone sweep: scaling behaviour as duplication grows.
+  for (const std::size_t clones : {20u, 60u, 120u}) {
+    Rng rng(clones);
+    SGraph graph(8 + clones);
+    for (std::uint32_t v = 0; v < 8; ++v) graph.add_edge(v, (v + 1) % 8);
+    graph.add_edge(3, 0);
+    graph.add_edge(6, 2);
+    for (std::uint32_t v = 8; v < 8 + clones; ++v) {
+      const auto base = static_cast<std::uint32_t>(rng.below(8));
+      for (const auto s : graph.successors(base))
+        if (s != v) graph.add_edge(v, s);
+      for (const auto p : graph.predecessors(base))
+        if (p != v) graph.add_edge(p, v);
+    }
+    const Row row = run(graph);
+    table.row({"clones" + std::to_string(clones), std::to_string(row.vertices),
+               std::to_string(row.edges), std::to_string(row.fvs_sym),
+               std::to_string(row.fvs_nosym), std::to_string(row.merges),
+               std::to_string(row.reductions_sym),
+               std::to_string(row.reductions_nosym), fmt(row.ms_sym, 2),
+               fmt(row.ms_nosym, 2)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nShape check: symmetrization absorbs the cloned vertices "
+               "into supervertices\n(merge counts track the duplication), "
+               "keeping FVS quality at least as good\nwhile the reduction "
+               "engine does the work rule-based instead of greedily.\n";
+  return 0;
+}

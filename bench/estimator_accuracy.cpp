@@ -1,0 +1,72 @@
+/// \file estimator_accuracy.cpp
+/// Validates the §4.2 analytic power estimator against the statistical
+/// simulator (PowerMill stand-in) across the suite and across phase
+/// assignments: per-component relative error and, critically, *rank
+/// agreement* — the estimator only has to order candidate assignments
+/// correctly for the §4.1 loop to make the right commits.
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "benchgen/benchgen.hpp"
+#include "bdd/netbdd.hpp"
+#include "flow/report.hpp"
+#include "phase/assignment.hpp"
+#include "sim/sim.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace dominosyn;
+  std::cout << "=== Estimator vs simulator accuracy (§4.2 vs PowerMill "
+               "stand-in) ===\n\n";
+
+  TextTable table;
+  table.header({"Ckt", "assignments", "avg |err| %", "max |err| %",
+                "rank agreement %"});
+
+  for (const BenchSpec& base : paper_suite()) {
+    BenchSpec spec = base;
+    spec.gate_target = std::min<std::size_t>(spec.gate_target, 400);
+    const Network net = generate_benchmark(spec);
+    const std::vector<double> pi_probs(net.num_pis(), 0.5);
+    const AssignmentEvaluator evaluator(net, signal_probabilities(net, pi_probs));
+
+    Rng rng(base.seed * 5 + 3);
+    constexpr int kAssignments = 6;
+    std::vector<double> est(kAssignments), sim(kAssignments);
+    double sum_err = 0.0, max_err = 0.0;
+    for (int k = 0; k < kAssignments; ++k) {
+      PhaseAssignment phases(net.num_pos());
+      for (auto& p : phases)
+        p = rng.bernoulli(0.5) ? Phase::kNegative : Phase::kPositive;
+      est[k] = evaluator.evaluate(phases).power.total();
+      const auto domino = synthesize_domino(net, phases);
+      SimPowerOptions options;
+      options.steps = 700;
+      options.warmup = 8;
+      sim[k] = simulate_domino_power(domino.net, pi_probs, options)
+                   .per_cycle.total();
+      const double err = std::abs(est[k] - sim[k]) / std::max(sim[k], 1e-9);
+      sum_err += err;
+      max_err = std::max(max_err, err);
+    }
+    // Rank agreement over all pairs.
+    int agree = 0, pairs = 0;
+    for (int i = 0; i < kAssignments; ++i)
+      for (int j = i + 1; j < kAssignments; ++j) {
+        ++pairs;
+        if ((est[i] < est[j]) == (sim[i] < sim[j])) ++agree;
+      }
+    table.row({spec.name, std::to_string(kAssignments),
+               fmt_pct(sum_err / kAssignments, 2), fmt_pct(max_err, 2),
+               fmt_pct(static_cast<double>(agree) / pairs, 1)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nShape check: errors should sit in the few-percent band "
+               "(Monte-Carlo noise +\nlatch-prior approximation) and rank "
+               "agreement near 100% — the property the\niterative §4.1 "
+               "loop actually relies on.\n";
+  return 0;
+}

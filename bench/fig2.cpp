@@ -1,0 +1,93 @@
+/// \file fig2.cpp
+/// Regenerates Figure 2: switching probability vs signal probability for
+/// domino gates (S = p, a line through the origin) and static CMOS gates
+/// (S = 2p(1-p), a parabola peaking at 0.5).  The analytic curves are
+/// cross-checked with the clocked domino simulator and the event-driven
+/// static simulator on a single-gate circuit.
+
+#include <cmath>
+#include <iostream>
+
+#include "flow/report.hpp"
+#include "network/network.hpp"
+#include "power/power.hpp"
+#include "sim/sim.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dominosyn;
+
+/// Measured toggle rate of a static buffer-like node at signal prob p.
+double measured_static(double p) {
+  // Single inverter driven by a PI with probability p; zero-delay static
+  // transitions per cycle = value-change rate of the input.
+  Network net;
+  const NodeId a = net.add_pi("a");
+  const NodeId inv = net.add_not(a);
+  net.add_po("f", inv);
+  EventSim sim(net, std::vector<std::uint32_t>(net.num_nodes(), 0));
+  Rng rng(17);
+  bool vec[1];
+  constexpr int kCycles = 60000;
+  for (int cycle = 0; cycle <= kCycles; ++cycle) {
+    vec[0] = rng.bernoulli(p);
+    sim.apply({vec, 1});
+  }
+  return static_cast<double>(sim.transition_counts()[inv]) / kCycles;
+}
+
+/// Measured discharge rate of a domino AND gate with output probability p:
+/// AND(a, b) with p(a) = p and p(b) = 1.
+double measured_domino(double p) {
+  Network net;
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId g = net.add_and(a, b);
+  net.add_po("f", g);
+  SimPowerOptions options;
+  options.steps = 1500;
+  const auto sim = simulate_domino_power(net, {{p, 1.0}}, options);
+  return sim.activity[g];
+}
+
+}  // namespace
+
+int main() {
+  using namespace dominosyn;
+  std::cout << "=== Figure 2: switching probability vs signal probability ===\n\n";
+
+  TextTable table;
+  table.header({"p", "domino S=p", "domino (sim)", "static S=2p(1-p)",
+                "static (sim)"});
+  for (int i = 0; i <= 10; ++i) {
+    const double p = i / 10.0;
+    table.row({fmt(p, 1), fmt(domino_switching(p), 4), fmt(measured_domino(p), 4),
+               fmt(static_switching(p), 4), fmt(measured_static(p), 4)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nShape checks (paper Fig. 2): the domino curve is the "
+               "identity line,\nthe static curve is symmetric about p = 0.5 "
+               "with peak 0.5; above p = 0.5\ndomino gates switch strictly "
+               "more than static gates — the asymmetry the\nphase assignment "
+               "exploits.\n";
+
+  // Simple ASCII rendering of both curves.
+  std::cout << "\n  S\n";
+  for (int row = 10; row >= 0; --row) {
+    const double s = row / 10.0;
+    std::cout << (row % 5 == 0 ? fmt(s, 1) : "   ") << " |";
+    for (int col = 0; col <= 40; ++col) {
+      const double p = col / 40.0;
+      const bool dom = std::abs(domino_switching(p) - s) < 0.05;
+      const bool sta = std::abs(static_switching(p) - s) < 0.05;
+      std::cout << (dom && sta ? '*' : dom ? 'd' : sta ? 's' : ' ');
+    }
+    std::cout << "\n";
+  }
+  std::cout << "    +" << std::string(41, '-') << "\n"
+            << "     0                  p                 1\n"
+            << "     (d = domino, s = static, * = both)\n";
+  return 0;
+}

@@ -1,0 +1,104 @@
+/// \file fig9.cpp
+/// Regenerates Figure 9: the symmetry-based s-graph transformation.  The
+/// exact 5-vertex graph of the figure (A,B,E with identical fan-in/fan-out
+/// {C,D}; C,D symmetric over {A,B,E}) is strongly connected and none of the
+/// classic Fig. 8 reductions applies — but symmetrization groups ABE (w=3)
+/// and CD (w=2), the heavier supervertex is bypassed, and the self-loop rule
+/// cuts {C, D}.  A randomized sweep over clone-heavy graphs then compares
+/// the heuristic with and without the transformation.
+
+#include <iostream>
+
+#include "flow/report.hpp"
+#include "sgraph/mfvs.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace dominosyn;
+
+SGraph figure9_graph() {
+  SGraph graph(5);  // 0=A, 1=B, 2=C, 3=D, 4=E
+  for (const std::uint32_t abe : {0u, 1u, 4u})
+    for (const std::uint32_t cd : {2u, 3u}) {
+      graph.add_edge(abe, cd);
+      graph.add_edge(cd, abe);
+    }
+  return graph;
+}
+
+/// Clone-heavy random graph: a core cycle plus vertices cloned from core
+/// vertices (identical fan-in/fan-out) — the structure phase-assignment
+/// duplication produces in real domino s-graphs.
+SGraph clone_graph(std::size_t core, std::size_t clones, std::uint64_t seed) {
+  Rng rng(seed);
+  SGraph graph(core + clones);
+  for (std::uint32_t v = 0; v < core; ++v)
+    graph.add_edge(v, (v + 1) % static_cast<std::uint32_t>(core));
+  for (std::uint32_t v = 0; v < core; ++v)
+    if (rng.bernoulli(0.4))
+      graph.add_edge(v, static_cast<std::uint32_t>(rng.below(core)));
+  for (std::uint32_t v = static_cast<std::uint32_t>(core);
+       v < core + clones; ++v) {
+    const auto base = static_cast<std::uint32_t>(rng.below(core));
+    for (const auto s : graph.successors(base))
+      if (s != v) graph.add_edge(v, s);
+    for (const auto p : graph.predecessors(base))
+      if (p != v) graph.add_edge(p, v);
+  }
+  return graph;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dominosyn;
+  std::cout << "=== Figure 9: symmetry supervertex transformation ===\n\n";
+
+  const SGraph fig9 = figure9_graph();
+  const auto with = mfvs_heuristic(fig9, {.use_symmetry = true});
+  const auto without = mfvs_heuristic(fig9, {.use_symmetry = false});
+  const auto exact = mfvs_exact(fig9);
+
+  std::cout << "Exact figure graph (A,B,E | C,D):\n"
+            << "  with symmetry    : FVS = {";
+  const char* names = "ABCDE";
+  for (const auto v : with.fvs) std::cout << names[v];
+  std::cout << "} size " << with.fvs.size() << ", merges "
+            << with.symmetry_merges << " (paper: supervertices ABE w3, CD w2; "
+            << "cut CD)\n  without symmetry : FVS size " << without.fvs.size()
+            << ", merges " << without.symmetry_merges
+            << "\n  exact minimum    : " << exact.size() << "\n\n";
+
+  std::cout << "Randomized clone-heavy s-graphs (duplication regime):\n";
+  TextTable table;
+  table.header({"core", "clones", "seed", "FVS sym", "FVS no-sym", "exact",
+                "merges", "sym ms", "no-sym ms"});
+  for (const std::size_t core : {6u, 10u}) {
+    for (const std::size_t clones : {8u, 16u}) {
+      for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        const SGraph graph = clone_graph(core, clones, seed);
+        Stopwatch w1;
+        const auto sym = mfvs_heuristic(graph, {.use_symmetry = true});
+        const double t1 = w1.milliseconds();
+        Stopwatch w2;
+        const auto nosym = mfvs_heuristic(graph, {.use_symmetry = false});
+        const double t2 = w2.milliseconds();
+        const auto opt = mfvs_exact(graph);
+        table.row({std::to_string(core), std::to_string(clones),
+                   std::to_string(seed), std::to_string(sym.fvs.size()),
+                   std::to_string(nosym.fvs.size()), std::to_string(opt.size()),
+                   std::to_string(sym.symmetry_merges), fmt(t1, 2), fmt(t2, 2)});
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: with the symmetry transformation the heuristic "
+               "matches the exact\nminimum on almost all of these graphs.  "
+               "(The conservative self-loop rule on a\nmerged supervertex — "
+               "cut *all* members — can occasionally cost one extra vertex;\n"
+               "the transformation's payoff is the rule-based reduction of "
+               "duplication-heavy\ns-graphs without greedy guessing.)\n";
+  return 0;
+}

@@ -1,0 +1,91 @@
+/// \file phase_explorer.cpp
+/// The paper's frg1 insight, §5: with only 3 primary outputs there are just
+/// 2^3 = 8 phase assignments, yet the minimum-area and minimum-power choices
+/// differ sharply (34% power saving at 48% area penalty in the paper).
+/// This example enumerates the whole space of the frg1 stand-in and prints
+/// the area/power landscape plus the Pareto frontier.
+
+#include <algorithm>
+#include <iostream>
+
+#include "benchgen/benchgen.hpp"
+#include "bdd/netbdd.hpp"
+#include "flow/flow.hpp"
+#include "flow/report.hpp"
+#include "phase/search.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dominosyn;
+  BenchSpec spec = paper_spec(argc > 1 ? argv[1] : "frg1");
+  if (spec.num_pos > 12) {
+    std::cerr << "phase_explorer: too many outputs to enumerate ("
+              << spec.num_pos << ")\n";
+    return 1;
+  }
+  const Network net = generate_benchmark(spec);
+  std::cout << "Circuit '" << spec.name << "': " << net.num_pis() << " PIs, "
+            << net.num_pos() << " POs, " << net.num_gates()
+            << " gates -> " << (1u << net.num_pos())
+            << " possible phase assignments\n\n";
+
+  const std::vector<double> pi_probs(net.num_pis(), 0.5);
+  PowerModelConfig model;
+  model.load_aware = true;
+  const AssignmentEvaluator evaluator(net, signal_probabilities(net, pi_probs),
+                                      model);
+
+  struct Point {
+    PhaseAssignment phases;
+    AssignmentCost cost;
+  };
+  std::vector<Point> points;
+  for (std::uint64_t code = 0; code < (1ULL << net.num_pos()); ++code) {
+    PhaseAssignment phases(net.num_pos());
+    for (std::size_t i = 0; i < net.num_pos(); ++i)
+      phases[i] = ((code >> i) & 1ULL) ? Phase::kNegative : Phase::kPositive;
+    points.push_back({phases, evaluator.evaluate(phases)});
+  }
+
+  TextTable table;
+  table.header({"assignment", "cells", "est power", "pareto"});
+  const auto dominated = [&points](const Point& p) {
+    return std::any_of(points.begin(), points.end(), [&p](const Point& q) {
+      return (q.cost.area_cells() <= p.cost.area_cells() &&
+              q.cost.power.total() < p.cost.power.total() - 1e-12) ||
+             (q.cost.area_cells() < p.cost.area_cells() &&
+              q.cost.power.total() <= p.cost.power.total() + 1e-12);
+    });
+  };
+  const Point* min_area = &points[0];
+  const Point* min_power = &points[0];
+  for (const Point& p : points) {
+    if (p.cost.area_cells() < min_area->cost.area_cells()) min_area = &p;
+    if (p.cost.power.total() < min_power->cost.power.total()) min_power = &p;
+  }
+  for (const Point& p : points) {
+    std::string name;
+    for (const Phase ph : p.phases) name += ph == Phase::kPositive ? '+' : '-';
+    table.row({name, std::to_string(p.cost.area_cells()),
+               fmt(p.cost.power.total(), 2), dominated(p) ? "" : "  *"});
+  }
+  table.print(std::cout);
+
+  const double saving = (min_area->cost.power.total() -
+                         min_power->cost.power.total()) /
+                        min_area->cost.power.total();
+  const double penalty =
+      (static_cast<double>(min_power->cost.area_cells()) -
+       static_cast<double>(min_area->cost.area_cells())) /
+      static_cast<double>(min_area->cost.area_cells());
+  std::cout << "\nmin-area assignment:  " << min_area->cost.area_cells()
+            << " cells, est power " << fmt(min_area->cost.power.total(), 2)
+            << "\nmin-power assignment: " << min_power->cost.area_cells()
+            << " cells, est power " << fmt(min_power->cost.power.total(), 2)
+            << "\n=> estimated power saving " << fmt_pct(saving, 1)
+            << "% at area penalty " << fmt_pct(penalty, 1)
+            << "% (paper frg1: 34.1% at 48%)\n"
+            << "\nThe two optima are different corners of the Pareto "
+               "frontier — the paper's\ncentral claim that minimum area and "
+               "minimum power phase assignments diverge.\n";
+  return 0;
+}

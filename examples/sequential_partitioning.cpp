@@ -1,0 +1,97 @@
+/// \file sequential_partitioning.cpp
+/// Demonstrates §4.2.1 on a small sequential controller: s-graph extraction,
+/// the classic and symmetry-enhanced MFVS reductions, the resulting
+/// combinational partitioning, and latch-probability estimation with
+/// fixpoint refinement — cross-checked against the clocked simulator.
+
+#include <algorithm>
+#include <iostream>
+
+#include "flow/report.hpp"
+#include "network/network.hpp"
+#include "sgraph/partition.hpp"
+#include "sim/sim.hpp"
+
+int main() {
+  using namespace dominosyn;
+
+  // A small one-hot-ish controller: three cloned pipeline registers (the
+  // duplication pattern phase assignment produces), a cross-coupled pair,
+  // and a free-running mode bit.
+  Network net;
+  const NodeId go = net.add_pi("go");
+  const NodeId halt = net.add_pi("halt");
+  std::vector<NodeId> stage;
+  for (int i = 0; i < 3; ++i) stage.push_back(net.add_latch("stage" + std::to_string(i)));
+  const NodeId req = net.add_latch("req");
+  const NodeId ack = net.add_latch("ack");
+  const NodeId mode = net.add_latch("mode", LatchInit::kOne);
+
+  // stage latches: identical fan-in/fan-out structure (clones).
+  const NodeId handshake = net.add_and(req, ack);
+  for (const NodeId s : stage)
+    net.set_latch_input(s, net.add_and(net.add_or(handshake, go), mode));
+  const NodeId any_stage =
+      net.add_or(net.add_or(stage[0], stage[1]), stage[2]);
+  net.set_latch_input(req, net.add_or(any_stage, go));
+  net.set_latch_input(ack, net.add_and(any_stage, net.add_not(halt)));
+  net.set_latch_input(mode, net.add_or(net.add_and(mode, net.add_not(halt)), go));
+  net.add_po("busy", net.add_or(any_stage, handshake));
+
+  std::cout << "Controller: " << net.num_latches() << " latches, "
+            << net.num_gates() << " gates\n\n";
+
+  const SGraph sgraph = SGraph::from_network(net);
+  std::cout << "s-graph: " << sgraph.num_vertices() << " vertices, "
+            << sgraph.num_edges() << " structural dependency edges\n";
+  for (std::uint32_t v = 0; v < sgraph.num_vertices(); ++v) {
+    std::cout << "  " << net.latches()[v].name << " -> {";
+    bool first = true;
+    for (const auto w : sgraph.successors(v)) {
+      std::cout << (first ? "" : ", ") << net.latches()[w].name;
+      first = false;
+    }
+    std::cout << "}\n";
+  }
+
+  for (const bool symmetry : {false, true}) {
+    const auto result = mfvs_heuristic(sgraph, {.use_symmetry = symmetry});
+    std::cout << "\nMFVS " << (symmetry ? "with" : "without")
+              << " the symmetry transformation: cut {";
+    bool first = true;
+    for (const auto v : result.fvs) {
+      std::cout << (first ? "" : ", ") << net.latches()[v].name;
+      first = false;
+    }
+    std::cout << "} (" << result.fvs.size() << " latches, "
+              << result.symmetry_merges << " merges, " << result.reductions
+              << " reduction steps)\n";
+  }
+
+  const std::vector<double> pi_probs(net.num_pis(), 0.5);
+  SeqProbOptions options;
+  options.fixpoint_sweeps = 6;
+  const auto probs = sequential_signal_probabilities(net, pi_probs, options);
+
+  SimPowerOptions sim;
+  sim.steps = 4000;
+  sim.warmup = 64;
+  const auto measured = simulate_domino_power(net, pi_probs, sim);
+
+  std::cout << "\nSteady-state latch probabilities (analytic vs simulated):\n";
+  TextTable table;
+  table.header({"latch", "cut?", "analytic", "simulated"});
+  for (std::size_t k = 0; k < net.num_latches(); ++k) {
+    const bool cut =
+        std::find(probs.cut_latches.begin(), probs.cut_latches.end(),
+                  static_cast<std::uint32_t>(k)) != probs.cut_latches.end();
+    table.row({net.latches()[k].name, cut ? "yes" : "",
+               fmt(probs.latch_probs[k], 3),
+               fmt(measured.one_rate[net.latches()[k].output], 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nThe cut latches become pseudo primary inputs (Fig. 7); the "
+               "rest follow\ncombinationally, refined here by "
+            << options.fixpoint_sweeps << " fixpoint sweeps.\n";
+  return 0;
+}

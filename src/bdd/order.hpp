@@ -1,0 +1,59 @@
+/// \file order.hpp
+/// BDD variable-ordering heuristics (paper §4.2.2, Figure 10).
+///
+/// The paper orders variables by two principles: (1) variables appear in the
+/// *reverse* of the order in which circuit inputs are first visited during a
+/// topological traversal of the gates, and (2) gates on the same topological
+/// level are traversed in decreasing order of the cardinality of their
+/// fan-out cones.  A variable thus lands near the *bottom* of the BDD when it
+/// is close to the primary inputs or drives a large cone.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "network/network.hpp"
+
+namespace dominosyn {
+
+enum class OrderingKind : std::uint8_t {
+  kNatural,             ///< source declaration order (PIs then latches)
+  kTopological,         ///< first-visit order, *not* reversed (Fig. 10 middle row)
+  kReverseTopological,  ///< the paper's heuristic (Fig. 10 top row)
+  kRandom,              ///< seeded shuffle (ablation baseline)
+};
+
+/// Maps network sources (PIs and latch outputs) to BDD levels.
+struct VariableOrder {
+  /// sources_in_order[level] = NodeId of the source at that level (level 0 is
+  /// tested at the top of the BDD).
+  std::vector<NodeId> sources_in_order;
+  /// level_of[NodeId] = level, or kNoLevel for non-source nodes.
+  std::vector<std::uint32_t> level_of;
+
+  static constexpr std::uint32_t kNoLevel = 0xffffffffu;
+
+  [[nodiscard]] std::uint32_t num_vars() const noexcept {
+    return static_cast<std::uint32_t>(sources_in_order.size());
+  }
+};
+
+/// Computes an ordering over all sources of `net`.
+[[nodiscard]] VariableOrder compute_order(const Network& net, OrderingKind kind,
+                                          std::uint64_t seed = 0);
+
+/// Builds a VariableOrder from an explicit source sequence (level 0 first).
+/// Every source of the network must appear exactly once.
+[[nodiscard]] VariableOrder order_from_sources(const Network& net,
+                                               std::span<const NodeId> sources);
+
+/// |TFO| per node: number of nodes in each node's transitive fan-out,
+/// exact via block bitsets up to `exact_limit` nodes, after which the direct
+/// fan-out count is used as a proxy (documented approximation for very large
+/// networks).
+[[nodiscard]] std::vector<std::uint32_t> fanout_cone_sizes(
+    const Network& net, std::size_t exact_limit = 20000);
+
+}  // namespace dominosyn

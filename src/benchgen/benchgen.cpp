@@ -1,0 +1,247 @@
+#include "benchgen/benchgen.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "network/synth.hpp"
+#include "util/rng.hpp"
+
+namespace dominosyn {
+
+Network generate_benchmark(const BenchSpec& spec) {
+  if (spec.num_pis < 2)
+    throw std::runtime_error("generate_benchmark: need at least 2 PIs");
+  Rng rng(spec.seed);
+  Network net;
+  net.set_name(spec.name);
+
+  std::vector<NodeId> inputs;  // PIs + latch outputs
+  inputs.reserve(spec.num_pis + spec.num_latches);
+  for (std::size_t i = 0; i < spec.num_pis; ++i)
+    inputs.push_back(net.add_pi("x" + std::to_string(i)));
+  for (std::size_t i = 0; i < spec.num_latches; ++i)
+    inputs.push_back(net.add_latch("s" + std::to_string(i),
+                                   rng.bernoulli(0.5) ? LatchInit::kOne
+                                                      : LatchInit::kZero));
+
+  const auto literal = [&](NodeId sig) -> NodeId {
+    return rng.bernoulli(spec.not_prob) ? net.add_not(sig) : sig;
+  };
+
+  // Control-logic clusters, the shape of the MCNC circuits the paper uses
+  // (collapsed PLA decode logic): each cluster is a small two-level block
+  // over a bounded input window.  `and_bias` picks the cluster flavour —
+  // DNF (OR of AND terms: signal probabilities skew *low*) vs CNF (AND of
+  // OR groups: probabilities skew *high*).  Bounded supports keep the BDDs
+  // small (as for real control logic) and the hot/cold mix is exactly the
+  // structure output phase assignment exploits.
+  std::vector<NodeId> clusters;
+  std::size_t gates = 0;
+  while (gates < spec.gate_target) {
+    const bool fresh = clusters.size() < 4 || rng.bernoulli(0.6);
+    if (fresh) {
+      // Fresh two-level cluster.  Supports mix a bounded window of raw
+      // inputs with intermediate cluster outputs, keeping PI fanout
+      // realistic for multilevel logic (raw two-level decode would make
+      // every PI drive dozens of term gates).
+      const std::size_t k =
+          std::min<std::size_t>(inputs.size(), spec.support_lo + rng.below(7));
+      const bool use_window = rng.bernoulli(spec.locality) && inputs.size() > k;
+      const std::size_t start =
+          use_window ? rng.below(inputs.size() - k + 1) : 0;
+      std::vector<NodeId> support;
+      for (std::size_t i = 0; i < k; ++i) {
+        NodeId candidate = kNullNode;
+        // A few retries keep support entries distinct: wide gates over
+        // duplicated signals degenerate (x appears twice, or x and !x make
+        // the gate constant and the cluster collapses).
+        for (int attempt = 0; attempt < 4; ++attempt) {
+          if (!clusters.empty() && rng.bernoulli(0.35)) {
+            candidate = clusters[rng.below(clusters.size())];
+          } else if (use_window) {
+            candidate = inputs[start + i];
+          } else {
+            candidate = inputs[rng.below(inputs.size())];
+          }
+          if (std::find(support.begin(), support.end(), candidate) ==
+              support.end())
+            break;
+        }
+        support.push_back(candidate);
+      }
+
+      const bool dnf = rng.bernoulli(spec.and_bias);
+      // DNF: several narrow AND terms, output probability skews low (cold).
+      // CNF: a couple of wide OR factors, probability skews high (hot).
+      // Wide first-level gates give the extreme internal probabilities real
+      // decoded control logic exhibits at p(PI) = 0.5.
+      const std::size_t groups = dnf ? 4 + rng.below(4) : 2 + rng.below(2);
+      std::vector<NodeId> parts;
+      for (std::size_t t = 0; t < groups; ++t) {
+        const std::size_t width =
+            dnf ? spec.dnf_width + rng.below(std::min<std::size_t>(k, 3))
+                : spec.cnf_width + rng.below(std::min<std::size_t>(k, 4));
+        // Pick `width` *distinct* support positions (partial Fisher-Yates).
+        std::vector<std::size_t> positions(k);
+        for (std::size_t p = 0; p < k; ++p) positions[p] = p;
+        const std::size_t take = std::min(width, k);
+        for (std::size_t p = 0; p < take; ++p)
+          std::swap(positions[p], positions[p + rng.below(k - p)]);
+        std::vector<NodeId> lits;
+        lits.reserve(take);
+        for (std::size_t l = 0; l < take; ++l)
+          lits.push_back(literal(support[positions[l]]));
+        parts.push_back(dnf ? net.add_and_n(lits) : net.add_or_n(lits));
+        gates += take;  // take-1 gates plus possible literal inverters
+      }
+      const NodeId out = dnf ? net.add_or_n(parts) : net.add_and_n(parts);
+      gates += parts.size();
+      clusters.push_back(out);
+    } else {
+      // Combiner: mixes previous clusters (and the odd raw input) into a new
+      // signal.  Combinations are structurally diverse, so strash cannot
+      // collapse them — this is what lets large circuits actually grow — and
+      // they create the reconvergent, overlapping cones of Fig. 4.
+      const std::size_t width = 2 + rng.below(2);
+      std::vector<NodeId> mix;
+      for (std::size_t m = 0; m < width; ++m) {
+        const bool from_input = rng.bernoulli(0.2);
+        const NodeId base = from_input ? inputs[rng.below(inputs.size())]
+                                       : clusters[rng.below(clusters.size())];
+        mix.push_back(literal(base));
+      }
+      const NodeId out = rng.bernoulli(spec.and_bias) ? net.add_and_n(mix)
+                                                      : net.add_or_n(mix);
+      gates += width;
+      clusters.push_back(out);
+    }
+  }
+
+  // Primary outputs: shallow mixing trees over a few clusters, creating the
+  // overlapping-cone structure of Fig. 4 (shared clusters reached by many
+  // outputs).  The mix operator follows and_bias as well.
+  const auto pick_cluster = [&]() -> NodeId {
+    return clusters[rng.below(clusters.size())];
+  };
+  for (std::size_t i = 0; i < spec.num_pos; ++i) {
+    const std::size_t width = 2 + rng.below(2);  // 2..3 clusters per output
+    std::vector<NodeId> mix;
+    for (std::size_t m = 0; m < width; ++m) mix.push_back(literal(pick_cluster()));
+    NodeId driver = rng.bernoulli(spec.and_bias) ? net.add_and_n(mix)
+                                                 : net.add_or_n(mix);
+    if (rng.bernoulli(spec.not_prob)) driver = net.add_not(driver);
+    net.add_po("z" + std::to_string(i), driver);
+  }
+  for (std::size_t i = 0; i < spec.num_latches; ++i) {
+    const NodeId latch_out = net.latches()[i].output;
+    // Next state mixes a cluster with the present state (self edges and
+    // cross edges in the s-graph).
+    const NodeId mixed = rng.bernoulli(0.5)
+                             ? net.add_or(pick_cluster(), literal(inputs[spec.num_pis + i]))
+                             : net.add_and(pick_cluster(), literal(pick_cluster()));
+    net.set_latch_input(latch_out, mixed);
+  }
+
+  standard_synthesis(net);
+  net.validate();
+  return net;
+}
+
+const std::vector<BenchSpec>& paper_suite() {
+  static const std::vector<BenchSpec> suite = [] {
+    std::vector<BenchSpec> specs;
+    const auto add = [&specs](std::string name, std::string desc, std::size_t pis,
+                              std::size_t pos, std::size_t latches,
+                              std::size_t gates, std::uint64_t seed,
+                              double not_prob, double and_bias) {
+      BenchSpec spec;
+      spec.name = std::move(name);
+      spec.description = std::move(desc);
+      spec.num_pis = pis;
+      spec.num_pos = pos;
+      spec.num_latches = latches;
+      spec.gate_target = gates;
+      spec.seed = seed;
+      spec.not_prob = not_prob;
+      spec.and_bias = and_bias;
+      specs.push_back(std::move(spec));
+    };
+    // PI/PO counts as printed in Table 1; gate budgets sized so the mapped
+    // min-area realizations land near the paper's cell counts.  `and_bias`
+    // here is the DNF-cluster fraction: low values give OR/CNF-heavy (hot,
+    // high signal probability) logic where negative phases pay off — the
+    // spread the paper's per-circuit savings show (Industry 2 even loses
+    // power; frg1 gains 34%).
+    add("Industry 1", "Control Logic", 127, 122, 24, 5100, 17, 0.12, 0.10);
+    add("Industry 2", "Control Logic", 97, 86, 16, 5900, 12, 0.12, 0.90);
+    add("Industry 3", "Control Logic", 117, 199, 32, 3100, 13, 0.15, 0.15);
+    add("apex7", "Public Domain", 79, 36, 0, 770, 21, 0.15, 0.20);
+    add("frg1", "Public Domain", 31, 3, 0, 360, 22, 0.10, 0.02);
+    add("x1", "Public Domain", 87, 28, 0, 1300, 23, 0.12, 0.12);
+    add("x3", "Public Domain", 235, 99, 0, 3100, 24, 0.15, 0.25);
+    // frg1: very hot, wide-OR logic over a big shared cone — the regime in
+    // which the paper reports 34% saving at 48% area penalty.
+    specs[4].cnf_width = 5;
+    specs[4].support_lo = 6;
+    return specs;
+  }();
+  return suite;
+}
+
+const BenchSpec& paper_spec(const std::string& name) {
+  for (const auto& spec : paper_suite())
+    if (spec.name == name) return spec;
+  throw std::runtime_error("paper_spec: unknown circuit '" + name + "'");
+}
+
+Network make_figure3_circuit() {
+  Network net;
+  net.set_name("fig3");
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId c = net.add_pi("c");
+  const NodeId d = net.add_pi("d");
+  const NodeId a_or_b = net.add_or(a, b);
+  const NodeId c_and_nd = net.add_and(c, net.add_not(d));
+  const NodeId c_and_d = net.add_and(c, d);
+  net.add_po("f", net.add_not(net.add_or(a_or_b, c_and_d)));
+  net.add_po("g", net.add_or(a_or_b, c_and_nd));
+  net.validate();
+  return net;
+}
+
+Network make_figure5_circuit() {
+  Network net;
+  net.set_name("fig5");
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId c = net.add_pi("c");
+  const NodeId d = net.add_pi("d");
+  const NodeId a_or_b = net.add_or(a, b);    // p = .99   at p(PI) = .9
+  const NodeId c_and_d = net.add_and(c, d);  // p = .81
+  net.add_po("f", net.add_or(a_or_b, c_and_d));   // p = .9981
+  net.add_po("g", net.add_and(a_or_b, c_and_d));  // p = .8019
+  net.validate();
+  return net;
+}
+
+Network make_figure10_circuit() {
+  Network net;
+  net.set_name("fig10");
+  const NodeId x1 = net.add_pi("x1");
+  const NodeId x2 = net.add_pi("x2");
+  const NodeId x3 = net.add_pi("x3");
+  const NodeId x4 = net.add_pi("x4");
+  const NodeId x5 = net.add_pi("x5");
+  const NodeId p = net.add_gate(NodeKind::kAnd, {x1, x2, x3});
+  const NodeId q = net.add_and(x3, x4);
+  const NodeId r = net.add_and(net.add_or(p, q), x5);
+  net.set_node_name(p, "P");
+  net.set_node_name(q, "Q");
+  net.set_node_name(r, "R");
+  net.add_po("R", r);
+  net.validate();
+  return net;
+}
+
+}  // namespace dominosyn

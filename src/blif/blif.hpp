@@ -1,0 +1,39 @@
+/// \file blif.hpp
+/// Reader and writer for the Berkeley Logic Interchange Format (BLIF), the
+/// format of the MCNC benchmarks the paper evaluates on (apex7, frg1, x1, x3).
+///
+/// Supported constructs: .model, .inputs, .outputs, .names (on-set and
+/// off-set covers), .latch (with optional type/control and init value),
+/// .end, '\' line continuations and '#' comments.  That covers the whole
+/// combinational + sequential subset the MCNC'91 suite uses.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "network/network.hpp"
+
+namespace dominosyn::blif {
+
+/// Parses a BLIF model from a stream.  `.names` blocks are elaborated through
+/// `synthesize_sop`, so the result is a plain AND/OR/NOT(/XOR-free) network.
+/// Throws std::runtime_error with a line number on malformed input.
+[[nodiscard]] Network read(std::istream& in);
+
+/// Parses a BLIF model from a string (convenience for tests and examples).
+[[nodiscard]] Network read_string(const std::string& text);
+
+/// Loads a BLIF file from disk.
+[[nodiscard]] Network read_file(const std::string& path);
+
+/// Serializes a network as BLIF.  Gates are written as single-output `.names`
+/// covers (AND = one cube, OR = one cube per literal, NOT = "0 1", XOR =
+/// odd-parity cover).  Round-trips through read() preserve functionality.
+void write(const Network& net, std::ostream& out);
+
+[[nodiscard]] std::string write_string(const Network& net);
+
+void write_file(const Network& net, const std::string& path);
+
+}  // namespace dominosyn::blif

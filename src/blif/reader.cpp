@@ -1,0 +1,262 @@
+/// \file reader.cpp
+/// BLIF parser.  Parsing happens in two passes: the lexical pass collects
+/// declarations and `.names` blocks (BLIF allows forward references), the
+/// elaboration pass resolves signals to network nodes in dependency order.
+
+#include <fstream>
+#include <functional>
+#include <istream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "blif/blif.hpp"
+#include "network/synth.hpp"
+
+namespace dominosyn::blif {
+
+namespace {
+
+struct NamesBlock {
+  std::vector<std::string> inputs;
+  std::string output;
+  SopCover cover;
+  std::size_t line = 0;
+};
+
+struct LatchDecl {
+  std::string input;
+  std::string output;
+  LatchInit init = LatchInit::kDontCare;
+  std::size_t line = 0;
+};
+
+struct ParsedModel {
+  std::string name;
+  std::vector<std::string> inputs;
+  std::vector<std::string> outputs;
+  std::vector<LatchDecl> latches;
+  std::vector<NamesBlock> names;
+};
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  throw std::runtime_error("blif:" + std::to_string(line) + ": " + message);
+}
+
+std::vector<std::string> tokenize(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::istringstream stream(text);
+  std::string token;
+  while (stream >> token) tokens.push_back(token);
+  return tokens;
+}
+
+/// Reads logical lines: strips comments, joins '\' continuations.
+class LineReader {
+ public:
+  explicit LineReader(std::istream& in) : in_(in) {}
+
+  /// Returns false at end of input.  `line_number` reports the first physical
+  /// line of the logical line.
+  bool next(std::string& logical, std::size_t& line_number) {
+    logical.clear();
+    std::string physical;
+    bool have_any = false;
+    while (std::getline(in_, physical)) {
+      ++current_;
+      if (const auto hash = physical.find('#'); hash != std::string::npos)
+        physical.erase(hash);
+      // Trim trailing whitespace/CR.
+      while (!physical.empty() &&
+             (physical.back() == '\r' || physical.back() == ' ' || physical.back() == '\t'))
+        physical.pop_back();
+      if (!have_any) {
+        if (physical.empty()) continue;
+        line_number = current_;
+        have_any = true;
+      }
+      if (!physical.empty() && physical.back() == '\\') {
+        physical.pop_back();
+        logical += physical;
+        logical += ' ';
+        continue;
+      }
+      logical += physical;
+      return true;
+    }
+    return have_any;
+  }
+
+ private:
+  std::istream& in_;
+  std::size_t current_ = 0;
+};
+
+ParsedModel parse(std::istream& in) {
+  ParsedModel model;
+  LineReader reader(in);
+  std::string line;
+  std::size_t line_no = 0;
+  NamesBlock* open_names = nullptr;
+
+  while (reader.next(line, line_no)) {
+    auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string& head = tokens.front();
+
+    if (head[0] != '.') {
+      // Cube line of the open .names block: "<pattern> <output-value>" or a
+      // bare output value for a constant function.
+      if (open_names == nullptr) fail(line_no, "cube outside .names block");
+      auto& cover = open_names->cover;
+      if (tokens.size() == 1) {
+        // Zero-input .names: the single column is the output value itself.
+        if (cover.num_inputs != 0) fail(line_no, "missing input pattern");
+        if (tokens[0] != "0" && tokens[0] != "1")
+          fail(line_no, "constant cover must be 0 or 1");
+        // Represent constant 1 as an empty off-set cover, constant 0 as an
+        // empty on-set cover (see SopCover::constant_value).
+        cover.cubes.clear();
+        cover.output_value = tokens[0] != "1";
+        continue;
+      }
+      if (tokens.size() != 2) fail(line_no, "malformed cube line");
+      Cube cube;
+      try {
+        cube = Cube::parse(tokens[0]);
+      } catch (const std::exception& e) {
+        fail(line_no, e.what());
+      }
+      if (cube.lits.size() != cover.num_inputs) fail(line_no, "cube width mismatch");
+      const bool value = tokens[1] == "1";
+      if (!value && tokens[1] != "0") fail(line_no, "cube output must be 0 or 1");
+      if (!cover.cubes.empty() && value != cover.output_value)
+        fail(line_no, "mixed on-set/off-set cover");
+      cover.output_value = value;
+      cover.cubes.push_back(std::move(cube));
+      continue;
+    }
+
+    open_names = nullptr;
+    if (head == ".model") {
+      if (tokens.size() >= 2) model.name = tokens[1];
+    } else if (head == ".inputs") {
+      model.inputs.insert(model.inputs.end(), tokens.begin() + 1, tokens.end());
+    } else if (head == ".outputs") {
+      model.outputs.insert(model.outputs.end(), tokens.begin() + 1, tokens.end());
+    } else if (head == ".names") {
+      if (tokens.size() < 2) fail(line_no, ".names needs at least an output");
+      NamesBlock block;
+      block.inputs.assign(tokens.begin() + 1, tokens.end() - 1);
+      block.output = tokens.back();
+      block.cover.num_inputs = block.inputs.size();
+      block.cover.output_value = true;  // empty cover defaults to constant 0
+      block.line = line_no;
+      model.names.push_back(std::move(block));
+      open_names = &model.names.back();
+    } else if (head == ".latch") {
+      if (tokens.size() < 3) fail(line_no, ".latch needs input and output");
+      LatchDecl latch;
+      latch.input = tokens[1];
+      latch.output = tokens[2];
+      latch.line = line_no;
+      // Optional trailing init value (after optional type + control tokens).
+      const std::string& last = tokens.back();
+      if (tokens.size() > 3 && (last == "0" || last == "1" || last == "2" || last == "3")) {
+        if (last == "0") latch.init = LatchInit::kZero;
+        else if (last == "1") latch.init = LatchInit::kOne;
+        else latch.init = LatchInit::kDontCare;
+      }
+      model.latches.push_back(std::move(latch));
+    } else if (head == ".end") {
+      break;
+    } else if (head == ".exdc" || head == ".wire_load_slope" || head == ".gate" ||
+               head == ".clock" || head == ".area" || head == ".delay") {
+      // Recognized-but-ignored extensions; skip (and their cube lines, if any,
+      // will trip the "cube outside names" check — so only token-only forms
+      // are tolerated here, which matches MCNC usage).
+    } else {
+      fail(line_no, "unsupported directive '" + head + "'");
+    }
+  }
+  return model;
+}
+
+/// Elaborates the parsed model into a Network, resolving forward references
+/// recursively with cycle detection (MCNC nets are shallow enough for the
+/// call stack; cycles through .names blocks are reported as errors).
+Network elaborate(const ParsedModel& model) {
+  Network net;
+  net.set_name(model.name.empty() ? "blif_model" : model.name);
+
+  std::unordered_map<std::string, NodeId> signal;
+  std::unordered_map<std::string, const NamesBlock*> producer;
+  for (const auto& block : model.names) {
+    if (producer.count(block.output) != 0)
+      fail(block.line, "signal '" + block.output + "' defined twice");
+    producer[block.output] = &block;
+  }
+
+  for (const auto& name : model.inputs) {
+    if (signal.count(name) != 0) fail(0, "duplicate input '" + name + "'");
+    signal[name] = net.add_pi(name);
+  }
+  for (const auto& latch : model.latches) {
+    if (signal.count(latch.output) != 0)
+      fail(latch.line, "latch output '" + latch.output + "' already defined");
+    signal[latch.output] = net.add_latch(latch.output, latch.init);
+  }
+
+  // Resolve a signal name to a node, elaborating .names blocks on demand.
+  enum class State : std::uint8_t { kOpen, kInProgress, kDone };
+  std::unordered_map<std::string, State> state;
+
+  const std::function<NodeId(const std::string&)> resolve =
+      [&](const std::string& name) -> NodeId {
+    if (const auto it = signal.find(name); it != signal.end()) return it->second;
+    const auto pit = producer.find(name);
+    if (pit == producer.end()) {
+      // MCNC files occasionally reference undeclared nets; treat as PI so the
+      // benchmark still loads (this matches SIS's lenient behaviour).
+      const NodeId pi = net.add_pi(name);
+      signal[name] = pi;
+      return pi;
+    }
+    const NamesBlock& block = *pit->second;
+    if (state[name] == State::kInProgress)
+      fail(block.line, "combinational cycle through '" + name + "'");
+    state[name] = State::kInProgress;
+    std::vector<NodeId> inputs;
+    inputs.reserve(block.inputs.size());
+    for (const auto& in_name : block.inputs) inputs.push_back(resolve(in_name));
+    const NodeId node = synthesize_sop(net, block.cover, inputs);
+    state[name] = State::kDone;
+    signal[name] = node;
+    if (is_gate_kind(net.kind(node))) net.set_node_name(node, name);
+    return node;
+  };
+
+  for (const auto& latch : model.latches)
+    net.set_latch_input(signal.at(latch.output), resolve(latch.input));
+  for (const auto& name : model.outputs) net.add_po(name, resolve(name));
+
+  net.validate();
+  return net;
+}
+
+}  // namespace
+
+Network read(std::istream& in) { return elaborate(parse(in)); }
+
+Network read_string(const std::string& text) {
+  std::istringstream stream(text);
+  return read(stream);
+}
+
+Network read_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("blif: cannot open '" + path + "'");
+  return read(file);
+}
+
+}  // namespace dominosyn::blif

@@ -1,0 +1,33 @@
+/// \file report.hpp
+/// Plain-text table rendering for the bench binaries that regenerate the
+/// paper's tables.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dominosyn {
+
+/// Column-aligned text table.  Rows of cells; first row is the header.
+class TextTable {
+ public:
+  void header(std::vector<std::string> cells) { header_ = std::move(cells); }
+  void row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting ("%.2f"-style) without iostream fuss.
+[[nodiscard]] std::string fmt(double value, int precision = 2);
+/// Percentage with sign, e.g. "-2.8" or "22.6".
+[[nodiscard]] std::string fmt_pct(double fraction, int precision = 1);
+
+}  // namespace dominosyn

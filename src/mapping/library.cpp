@@ -1,0 +1,98 @@
+#include "mapping/library.hpp"
+
+#include <stdexcept>
+
+namespace dominosyn {
+
+std::string_view to_string(CellFunction function) noexcept {
+  switch (function) {
+    case CellFunction::kDominoAnd: return "DAND";
+    case CellFunction::kDominoOr: return "DOR";
+    case CellFunction::kStaticInv: return "INV";
+    case CellFunction::kLatch: return "LATCH";
+  }
+  return "?";
+}
+
+CellLibrary CellLibrary::generic() {
+  CellLibrary lib;
+  // Size scaling: X1 / X2 / X4 — area and pin load grow, drive resistance
+  // shrinks; intrinsic delay is size independent to first order.
+  constexpr double kAreaScale[3] = {1.0, 1.5, 2.2};
+  constexpr double kCapScale[3] = {1.0, 1.8, 3.2};
+  constexpr double kDriveScale[3] = {1.0, 0.55, 0.30};
+
+  const auto add_family = [&](CellFunction fn, unsigned arity, double area,
+                                 double input_cap, double clock_cap,
+                                 double intrinsic, double drive) {
+    for (unsigned s = 0; s < 3; ++s) {
+      Cell cell;
+      cell.name = std::string(to_string(fn)) +
+                  (arity > 1 ? std::to_string(arity) : "") + "_X" +
+                  std::to_string(1u << s);
+      cell.function = fn;
+      cell.arity = arity;
+      cell.size_index = s;
+      cell.area = area * kAreaScale[s];
+      cell.input_cap = input_cap * kCapScale[s];
+      cell.clock_cap = clock_cap * kCapScale[s];
+      cell.intrinsic_delay = intrinsic;
+      cell.drive_res = drive * kDriveScale[s];
+      lib.add(std::move(cell));
+    }
+  };
+
+  // Domino AND: series NMOS stack — intrinsic delay grows quickly with
+  // arity (the §4.2 performance penalty for AND-heavy realizations).
+  add_family(CellFunction::kDominoAnd, 2, 4.0, 1.0, 0.30, 0.30, 1.00);
+  add_family(CellFunction::kDominoAnd, 3, 5.0, 1.0, 0.34, 0.42, 1.15);
+  add_family(CellFunction::kDominoAnd, 4, 6.0, 1.0, 0.38, 0.58, 1.35);
+  // Domino OR: parallel pull-down — mild arity penalty, wide gates cheap.
+  add_family(CellFunction::kDominoOr, 2, 4.0, 1.0, 0.30, 0.22, 0.95);
+  add_family(CellFunction::kDominoOr, 3, 4.6, 1.0, 0.34, 0.25, 0.95);
+  add_family(CellFunction::kDominoOr, 4, 5.2, 1.0, 0.38, 0.28, 1.00);
+  add_family(CellFunction::kDominoOr, 8, 8.0, 1.0, 0.50, 0.36, 1.10);
+  // Static boundary inverter and latch.
+  add_family(CellFunction::kStaticInv, 1, 1.0, 0.8, 0.0, 0.08, 0.70);
+  add_family(CellFunction::kLatch, 1, 4.5, 1.2, 0.60, 0.35, 0.90);
+  return lib;
+}
+
+unsigned CellLibrary::max_arity(CellFunction function) const {
+  unsigned best = 0;
+  for (const auto& cell : cells_)
+    if (cell.function == function && cell.arity > best) best = cell.arity;
+  return best;
+}
+
+const Cell& CellLibrary::pick(CellFunction function, unsigned arity,
+                              unsigned size_index) const {
+  for (const auto& cell : cells_)
+    if (cell.function == function && cell.arity == arity &&
+        cell.size_index == size_index)
+      return cell;
+  throw std::runtime_error("CellLibrary::pick: no cell " +
+                           std::string(to_string(function)) + "/" +
+                           std::to_string(arity) + " X" +
+                           std::to_string(1u << size_index));
+}
+
+const Cell* CellLibrary::pick_at_least(CellFunction function, unsigned arity,
+                                       unsigned size_index) const {
+  const Cell* best = nullptr;
+  for (const auto& cell : cells_) {
+    if (cell.function != function || cell.size_index != size_index) continue;
+    if (cell.arity < arity) continue;
+    if (best == nullptr || cell.arity < best->arity) best = &cell;
+  }
+  return best;
+}
+
+unsigned CellLibrary::num_sizes(CellFunction function, unsigned arity) const {
+  unsigned count = 0;
+  for (const auto& cell : cells_)
+    if (cell.function == function && cell.arity == arity) ++count;
+  return count;
+}
+
+}  // namespace dominosyn

@@ -1,0 +1,71 @@
+/// \file node.hpp
+/// Node representation for the multi-level Boolean logic network.
+///
+/// The network is the substrate of the whole reproduction: technology
+/// independent synthesis produces it, phase assignment rewrites it, the BDD
+/// engine reads it, and the mapper covers it.
+
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace dominosyn {
+
+/// Index of a node inside its Network.  Ids 0 and 1 are always the constants.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kNullNode = 0xffffffffu;
+
+enum class NodeKind : std::uint8_t {
+  kConst0,  ///< constant false (always node 0)
+  kConst1,  ///< constant true  (always node 1)
+  kPi,      ///< primary input
+  kLatch,   ///< latch *output* (present-state variable); input lives in LatchInfo
+  kAnd,     ///< n-ary AND (n >= 1)
+  kOr,      ///< n-ary OR  (n >= 1)
+  kNot,     ///< inverter (1 fanin)
+  kXor,     ///< n-ary XOR; decomposed before domino synthesis
+};
+
+/// True for node kinds that terminate combinational traversal (no gate fanins).
+[[nodiscard]] constexpr bool is_source_kind(NodeKind kind) noexcept {
+  return kind == NodeKind::kConst0 || kind == NodeKind::kConst1 ||
+         kind == NodeKind::kPi || kind == NodeKind::kLatch;
+}
+
+/// True for logic gates (the nodes that cost area/power inside a block).
+[[nodiscard]] constexpr bool is_gate_kind(NodeKind kind) noexcept {
+  return kind == NodeKind::kAnd || kind == NodeKind::kOr ||
+         kind == NodeKind::kNot || kind == NodeKind::kXor;
+}
+
+/// Human-readable kind name, for dumps and error messages.
+[[nodiscard]] std::string_view to_string(NodeKind kind) noexcept;
+
+struct Node {
+  NodeKind kind = NodeKind::kConst0;
+  std::vector<NodeId> fanins;
+};
+
+/// Primary output: a named reference to a driver node.
+struct Po {
+  std::string name;
+  NodeId driver = kNullNode;
+};
+
+/// Latch initial-state values supported by BLIF.
+enum class LatchInit : std::uint8_t { kZero = 0, kOne = 1, kDontCare = 2 };
+
+/// A latch couples a source node (kLatch, the present-state output) with a
+/// next-state driver evaluated at the end of each clock cycle.
+struct LatchInfo {
+  std::string name;              ///< state variable name
+  NodeId output = kNullNode;     ///< the kLatch node
+  NodeId input = kNullNode;      ///< next-state driver (combinational node)
+  LatchInit init = LatchInit::kZero;
+};
+
+}  // namespace dominosyn

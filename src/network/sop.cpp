@@ -1,0 +1,64 @@
+#include "network/sop.hpp"
+
+#include <stdexcept>
+
+namespace dominosyn {
+
+bool Cube::matches(std::span<const bool> assignment) const {
+  if (assignment.size() < lits.size())
+    throw std::runtime_error("Cube::matches: assignment too short");
+  for (std::size_t i = 0; i < lits.size(); ++i) {
+    if (lits[i] == Lit::kDontCare) continue;
+    const bool want = lits[i] == Lit::kPos;
+    if (assignment[i] != want) return false;
+  }
+  return true;
+}
+
+Cube Cube::parse(const std::string& pattern) {
+  Cube cube;
+  cube.lits.reserve(pattern.size());
+  for (const char c : pattern) {
+    switch (c) {
+      case '0': cube.lits.push_back(Lit::kNeg); break;
+      case '1': cube.lits.push_back(Lit::kPos); break;
+      case '-': cube.lits.push_back(Lit::kDontCare); break;
+      default:
+        throw std::runtime_error(std::string("Cube::parse: bad character '") + c + "'");
+    }
+  }
+  return cube;
+}
+
+std::string Cube::to_string() const {
+  std::string out;
+  out.reserve(lits.size());
+  for (const Lit lit : lits) {
+    switch (lit) {
+      case Lit::kNeg: out.push_back('0'); break;
+      case Lit::kPos: out.push_back('1'); break;
+      case Lit::kDontCare: out.push_back('-'); break;
+    }
+  }
+  return out;
+}
+
+bool SopCover::evaluate(std::span<const bool> assignment) const {
+  bool any = false;
+  for (const auto& cube : cubes)
+    if (cube.matches(assignment)) {
+      any = true;
+      break;
+    }
+  return output_value ? any : !any;
+}
+
+std::size_t SopCover::literal_count() const noexcept {
+  std::size_t count = 0;
+  for (const auto& cube : cubes)
+    for (const Lit lit : cube.lits)
+      if (lit != Lit::kDontCare) ++count;
+  return count;
+}
+
+}  // namespace dominosyn

@@ -1,0 +1,58 @@
+/// \file sop.hpp
+/// Sum-of-products covers (cube lists), the node-function representation of
+/// BLIF `.names` blocks and of the synthetic benchmark generator.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dominosyn {
+
+/// Literal polarity inside a cube.
+enum class Lit : std::int8_t {
+  kNeg = 0,       ///< input must be 0
+  kPos = 1,       ///< input must be 1
+  kDontCare = 2,  ///< input unconstrained ('-')
+};
+
+/// One product term over `num_inputs` variables.
+struct Cube {
+  std::vector<Lit> lits;
+
+  /// True iff the cube evaluates to 1 under `assignment`.
+  [[nodiscard]] bool matches(std::span<const bool> assignment) const;
+
+  /// Parses a BLIF cube pattern like "10-1".  Throws on bad characters.
+  [[nodiscard]] static Cube parse(const std::string& pattern);
+
+  /// BLIF-style text form.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// A cover: OR of cubes, with BLIF output-phase semantics.  When
+/// `output_value` is true the cubes describe the on-set (f = OR of cubes);
+/// when false they describe the off-set (f = NOT(OR of cubes)).
+struct SopCover {
+  std::size_t num_inputs = 0;
+  std::vector<Cube> cubes;
+  bool output_value = true;
+
+  /// Evaluates the cover on a full input assignment.
+  [[nodiscard]] bool evaluate(std::span<const bool> assignment) const;
+
+  /// Constant-function helpers (empty cube list).
+  [[nodiscard]] bool is_constant() const noexcept { return cubes.empty(); }
+  /// Value of the constant function when is_constant().  BLIF: a `.names`
+  /// with no cubes is constant 0 if output_value is 1 (empty on-set), and
+  /// constant 1 if output_value is 0 (empty off-set).
+  [[nodiscard]] bool constant_value() const noexcept { return !output_value; }
+
+  /// Number of literal occurrences (non-don't-care positions), a standard
+  /// SOP complexity measure.
+  [[nodiscard]] std::size_t literal_count() const noexcept;
+};
+
+}  // namespace dominosyn

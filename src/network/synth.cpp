@@ -1,0 +1,43 @@
+#include "network/synth.hpp"
+
+#include <stdexcept>
+
+namespace dominosyn {
+
+NodeId synthesize_sop(Network& net, const SopCover& cover,
+                      std::span<const NodeId> inputs) {
+  if (cover.num_inputs != inputs.size())
+    throw std::runtime_error("synthesize_sop: input count mismatch");
+  if (cover.is_constant())
+    return cover.constant_value() ? Network::const1() : Network::const0();
+
+  std::vector<NodeId> terms;
+  terms.reserve(cover.cubes.size());
+  for (const auto& cube : cover.cubes) {
+    if (cube.lits.size() != cover.num_inputs)
+      throw std::runtime_error("synthesize_sop: cube width mismatch");
+    std::vector<NodeId> literals;
+    literals.reserve(cube.lits.size());
+    for (std::size_t i = 0; i < cube.lits.size(); ++i) {
+      switch (cube.lits[i]) {
+        case Lit::kPos: literals.push_back(inputs[i]); break;
+        case Lit::kNeg: literals.push_back(net.add_not(inputs[i])); break;
+        case Lit::kDontCare: break;
+      }
+    }
+    // An all-don't-care cube is the constant-1 product.
+    terms.push_back(literals.empty() ? Network::const1() : net.add_and_n(literals));
+  }
+  NodeId root = net.add_or_n(terms);
+  if (!cover.output_value) root = net.add_not(root);
+  return root;
+}
+
+void standard_synthesis(Network& net) {
+  simplify(net);
+  strash(net);
+  decompose_binary(net);
+  strash(net);
+}
+
+}  // namespace dominosyn

@@ -1,0 +1,27 @@
+/// \file synth.hpp
+/// Technology-independent synthesis: lowers SOP covers into AND/OR/NOT logic
+/// ("Step 1" of the paper's flow, §3).  The resulting network is then
+/// structurally hashed and simplified, which mirrors what a SIS-style script
+/// would leave behind before phase assignment.
+
+#pragma once
+
+#include <span>
+
+#include "network/network.hpp"
+#include "network/sop.hpp"
+
+namespace dominosyn {
+
+/// Builds the gate structure for one SOP cover over the given input nodes and
+/// returns the root node.  Cubes become AND trees of (possibly inverted)
+/// literals, the cover becomes an OR tree, and off-set covers get a final NOT.
+NodeId synthesize_sop(Network& net, const SopCover& cover,
+                      std::span<const NodeId> inputs);
+
+/// Runs the standard post-elaboration cleanup used everywhere in this repo:
+/// simplify → strash → decompose to 2-input gates → strash.  After this the
+/// network is in the canonical form phase assignment expects.
+void standard_synthesis(Network& net);
+
+}  // namespace dominosyn

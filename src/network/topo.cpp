@@ -1,0 +1,149 @@
+/// \file topo.cpp
+/// Topological traversal, logic levels, transitive fan-in cones and the
+/// paper's cone-overlap measure O(i,j).
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "network/network.hpp"
+
+namespace dominosyn {
+
+namespace {
+
+enum class Mark : std::uint8_t { kWhite, kGray, kBlack };
+
+/// Iterative DFS post-order from `root`, appending newly blackened nodes to
+/// `order`.  Throws on a gray-gray edge (combinational cycle).
+void dfs_post_order(const Network& net, NodeId root, std::vector<Mark>& marks,
+                    std::vector<NodeId>& order) {
+  if (marks[root] == Mark::kBlack) return;
+  // Explicit stack of (node, next fanin index) to avoid recursion depth limits
+  // on deep networks.
+  std::vector<std::pair<NodeId, std::size_t>> stack;
+  stack.emplace_back(root, 0);
+  marks[root] = Mark::kGray;
+  while (!stack.empty()) {
+    auto& [id, next] = stack.back();
+    const auto& fanins = net.fanins(id);
+    if (next < fanins.size()) {
+      const NodeId child = fanins[next++];
+      if (marks[child] == Mark::kGray)
+        throw std::runtime_error("topo_order: combinational cycle detected");
+      if (marks[child] == Mark::kWhite) {
+        marks[child] = Mark::kGray;
+        stack.emplace_back(child, 0);
+      }
+    } else {
+      marks[id] = Mark::kBlack;
+      order.push_back(id);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<NodeId> Network::roots() const {
+  std::vector<NodeId> result;
+  result.reserve(pos_.size() + latches_.size());
+  for (const auto& po : pos_)
+    if (po.driver != kNullNode) result.push_back(po.driver);
+  for (const auto& latch : latches_)
+    if (latch.input != kNullNode) result.push_back(latch.input);
+  return result;
+}
+
+std::vector<NodeId> Network::topo_order() const {
+  std::vector<Mark> marks(nodes_.size(), Mark::kWhite);
+  std::vector<NodeId> order;
+  order.reserve(nodes_.size());
+  // Constants and sources first so they always appear even if unreferenced.
+  for (NodeId id = 0; id < nodes_.size(); ++id)
+    if (is_source_kind(nodes_[id].kind)) {
+      marks[id] = Mark::kBlack;
+      order.push_back(id);
+    }
+  for (const NodeId root : roots()) dfs_post_order(*this, root, marks, order);
+  // Include gates that are currently dead so callers can index by NodeId.
+  for (NodeId id = 0; id < nodes_.size(); ++id)
+    if (marks[id] == Mark::kWhite) dfs_post_order(*this, id, marks, order);
+  return order;
+}
+
+std::vector<std::uint32_t> Network::levels() const {
+  std::vector<std::uint32_t> level(nodes_.size(), 0);
+  for (const NodeId id : topo_order()) {
+    const auto& node = nodes_[id];
+    std::uint32_t lvl = 0;
+    for (const NodeId f : node.fanins) lvl = std::max(lvl, level[f] + 1);
+    level[id] = node.fanins.empty() ? 0 : lvl;
+  }
+  return level;
+}
+
+std::vector<NodeId> Network::tfi_gates(NodeId root) const {
+  std::vector<NodeId> result;
+  if (root == kNullNode) return result;
+  std::vector<bool> visited(nodes_.size(), false);
+  std::vector<NodeId> stack{root};
+  visited[root] = true;
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    if (is_gate_kind(nodes_[id].kind)) result.push_back(id);
+    for (const NodeId f : nodes_[id].fanins)
+      if (!visited[f]) {
+        visited[f] = true;
+        stack.push_back(f);
+      }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<std::uint32_t> Network::fanout_counts() const {
+  std::vector<std::uint32_t> counts(nodes_.size(), 0);
+  for (const auto& node : nodes_)
+    for (const NodeId f : node.fanins) ++counts[f];
+  for (const auto& po : pos_)
+    if (po.driver != kNullNode) ++counts[po.driver];
+  for (const auto& latch : latches_)
+    if (latch.input != kNullNode) ++counts[latch.input];
+  return counts;
+}
+
+ConeOverlap::ConeOverlap(const Network& net) {
+  cones_.reserve(net.num_pos());
+  for (const auto& po : net.pos()) cones_.push_back(net.tfi_gates(po.driver));
+  cone_size_.reserve(cones_.size());
+  for (const auto& cone : cones_) cone_size_.push_back(cone.size());
+}
+
+std::size_t ConeOverlap::intersection(std::size_t i, std::size_t j) const {
+  const auto& a = cones_.at(i);
+  const auto& b = cones_.at(j);
+  std::size_t count = 0;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      ++count;
+      ++ia;
+      ++ib;
+    }
+  }
+  return count;
+}
+
+double ConeOverlap::overlap(std::size_t i, std::size_t j) const {
+  const std::size_t denom = cone_size_.at(i) + cone_size_.at(j);
+  if (denom == 0) return 0.0;
+  return static_cast<double>(intersection(i, j)) / static_cast<double>(denom);
+}
+
+}  // namespace dominosyn

@@ -1,0 +1,272 @@
+/// \file transform.cpp
+/// Network rewriting passes: dead-node elimination, constant-propagating
+/// simplification, structural hashing, and binary decomposition.  Every pass
+/// rebuilds the network from its combinational roots, so dead logic is
+/// dropped as a side effect and node ids stay compact.
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <stdexcept>
+
+#include "network/network.hpp"
+
+namespace dominosyn {
+
+namespace {
+
+/// Shared machinery: copies sources into a fresh network, then materializes
+/// every reachable gate in topological order through `make_gate`, which maps
+/// (kind, already-mapped fanins) to a node id in the destination network.
+class Rebuilder {
+ public:
+  using GateFn = std::function<NodeId(Network&, NodeKind, std::vector<NodeId>&&)>;
+
+  Rebuilder(const Network& src, GateFn make_gate)
+      : src_(src), make_gate_(std::move(make_gate)) {}
+
+  Network run(std::vector<NodeId>* old_to_new = nullptr) {
+    Network dst;
+    dst.set_name(src_.name());
+    std::vector<NodeId> map(src_.num_nodes(), kNullNode);
+    map[Network::const0()] = Network::const0();
+    map[Network::const1()] = Network::const1();
+    for (const NodeId pi : src_.pis()) {
+      map[pi] = dst.add_pi(src_.node_name(pi).value_or("pi" + std::to_string(pi)));
+    }
+    for (const auto& latch : src_.latches())
+      map[latch.output] = dst.add_latch(latch.name, latch.init);
+
+    // Reachability from combinational roots.
+    std::vector<bool> reachable(src_.num_nodes(), false);
+    std::vector<NodeId> stack = src_.roots();
+    for (const NodeId root : stack) reachable[root] = true;
+    while (!stack.empty()) {
+      const NodeId id = stack.back();
+      stack.pop_back();
+      for (const NodeId f : src_.fanins(id))
+        if (!reachable[f]) {
+          reachable[f] = true;
+          stack.push_back(f);
+        }
+    }
+
+    for (const NodeId id : src_.topo_order()) {
+      if (!reachable[id] || !is_gate_kind(src_.kind(id))) continue;
+      std::vector<NodeId> fanins;
+      fanins.reserve(src_.fanins(id).size());
+      for (const NodeId f : src_.fanins(id)) fanins.push_back(map[f]);
+      const NodeId new_id = make_gate_(dst, src_.kind(id), std::move(fanins));
+      map[id] = new_id;
+      if (const auto name = src_.node_name(id);
+          name && is_gate_kind(dst.kind(new_id)) && !dst.node_name(new_id))
+        dst.set_node_name(new_id, *name);
+    }
+
+    for (const auto& po : src_.pos()) dst.add_po(po.name, map[po.driver]);
+    for (std::size_t i = 0; i < src_.latches().size(); ++i) {
+      const auto& latch = src_.latches()[i];
+      dst.set_latch_input(dst.latches()[i].output, map[latch.input]);
+    }
+    if (old_to_new) *old_to_new = std::move(map);
+    return dst;
+  }
+
+ private:
+  const Network& src_;
+  GateFn make_gate_;
+};
+
+NodeId identity_gate(Network& dst, NodeKind kind, std::vector<NodeId>&& fanins) {
+  return dst.add_gate(kind, std::move(fanins));
+}
+
+/// Local simplification of one gate given already-simplified fanins.
+/// Returns the node that implements the gate (possibly a constant or fanin).
+NodeId simplified_gate(Network& dst, NodeKind kind, std::vector<NodeId>&& fanins) {
+  const NodeId c0 = Network::const0();
+  const NodeId c1 = Network::const1();
+
+  // Does the destination network already contain NOT(a) == b or vice versa?
+  const auto complements = [&dst](NodeId a, NodeId b) {
+    if (dst.kind(a) == NodeKind::kNot && dst.fanins(a)[0] == b) return true;
+    if (dst.kind(b) == NodeKind::kNot && dst.fanins(b)[0] == a) return true;
+    if ((a == c0 && b == c1) || (a == c1 && b == c0)) return true;
+    return false;
+  };
+
+  switch (kind) {
+    case NodeKind::kNot: {
+      const NodeId f = fanins[0];
+      if (f == c0) return c1;
+      if (f == c1) return c0;
+      if (dst.kind(f) == NodeKind::kNot) return dst.fanins(f)[0];  // !!x = x
+      return dst.add_not(f);
+    }
+    case NodeKind::kAnd:
+    case NodeKind::kOr: {
+      const bool is_and = kind == NodeKind::kAnd;
+      const NodeId absorbing = is_and ? c0 : c1;
+      const NodeId neutral = is_and ? c1 : c0;
+      std::vector<NodeId> kept;
+      kept.reserve(fanins.size());
+      for (const NodeId f : fanins) {
+        if (f == absorbing) return absorbing;
+        if (f == neutral) continue;
+        if (std::find(kept.begin(), kept.end(), f) != kept.end()) continue;  // x op x
+        kept.push_back(f);
+      }
+      for (std::size_t i = 0; i < kept.size(); ++i)
+        for (std::size_t j = i + 1; j < kept.size(); ++j)
+          if (complements(kept[i], kept[j])) return absorbing;  // x op !x
+      if (kept.empty()) return neutral;
+      if (kept.size() == 1) return kept[0];
+      return dst.add_gate(kind, std::move(kept));
+    }
+    case NodeKind::kXor: {
+      // Drop const0, count const1 as a final inversion, cancel equal pairs.
+      bool invert = false;
+      std::vector<NodeId> kept;
+      for (const NodeId f : fanins) {
+        if (f == c0) continue;
+        if (f == c1) {
+          invert = !invert;
+          continue;
+        }
+        const auto it = std::find(kept.begin(), kept.end(), f);
+        if (it != kept.end()) {
+          kept.erase(it);  // x ^ x = 0
+        } else {
+          kept.push_back(f);
+        }
+      }
+      NodeId result;
+      if (kept.empty()) {
+        result = c0;
+      } else if (kept.size() == 1) {
+        result = kept[0];
+      } else {
+        result = dst.add_gate(NodeKind::kXor, std::move(kept));
+      }
+      if (invert) result = simplified_gate(dst, NodeKind::kNot, {result});
+      return result;
+    }
+    default:
+      throw std::runtime_error("simplified_gate: unexpected kind");
+  }
+}
+
+}  // namespace
+
+TransformStats remove_dead_nodes(Network& net) {
+  TransformStats stats{net.num_nodes(), 0};
+  net = Rebuilder(net, identity_gate).run();
+  stats.nodes_after = net.num_nodes();
+  return stats;
+}
+
+Network compact_copy(const Network& net, std::vector<NodeId>* old_to_new) {
+  return Rebuilder(net, identity_gate).run(old_to_new);
+}
+
+TransformStats simplify(Network& net) {
+  TransformStats stats{net.num_nodes(), 0};
+  net = Rebuilder(net, simplified_gate).run();
+  // Forwarding rules (e.g. !!x -> x) can orphan gates built earlier in the
+  // same rebuild; sweep them.
+  net = Rebuilder(net, identity_gate).run();
+  stats.nodes_after = net.num_nodes();
+  return stats;
+}
+
+TransformStats strash(Network& net) {
+  TransformStats stats{net.num_nodes(), 0};
+  // Key: kind + canonically ordered fanins (sorted for commutative gates).
+  std::map<std::pair<NodeKind, std::vector<NodeId>>, NodeId> unique;
+  auto hashed_gate = [&unique](Network& dst, NodeKind kind,
+                               std::vector<NodeId>&& fanins) -> NodeId {
+    // Run local simplification first so x&x, !!x etc. never allocate.
+    const NodeId simplified = simplified_gate(dst, kind, std::move(fanins));
+    if (!is_gate_kind(dst.kind(simplified))) return simplified;
+    std::vector<NodeId> key_fanins = dst.fanins(simplified);
+    const NodeKind key_kind = dst.kind(simplified);
+    if (key_kind != NodeKind::kNot) std::sort(key_fanins.begin(), key_fanins.end());
+    const auto [it, inserted] =
+        unique.try_emplace({key_kind, std::move(key_fanins)}, simplified);
+    return it->second;
+  };
+  net = Rebuilder(net, hashed_gate).run();
+  // Merged duplicates may leave dead gates behind; sweep them.
+  net = Rebuilder(net, identity_gate).run();
+  stats.nodes_after = net.num_nodes();
+  return stats;
+}
+
+TransformStats decompose_binary(Network& net) {
+  TransformStats stats{net.num_nodes(), 0};
+
+  // Balanced reduction keeps logic depth logarithmic in fanin count.
+  const auto balanced = [](Network& dst, NodeKind kind, std::vector<NodeId> items,
+                           const auto& combine) -> NodeId {
+    while (items.size() > 1) {
+      std::vector<NodeId> next;
+      next.reserve((items.size() + 1) / 2);
+      for (std::size_t i = 0; i + 1 < items.size(); i += 2)
+        next.push_back(combine(dst, kind, items[i], items[i + 1]));
+      if (items.size() % 2 != 0) next.push_back(items.back());
+      items = std::move(next);
+    }
+    return items[0];
+  };
+
+  auto binary_gate = [&balanced](Network& dst, NodeKind kind,
+                                 std::vector<NodeId>&& fanins) -> NodeId {
+    switch (kind) {
+      case NodeKind::kNot:
+        return simplified_gate(dst, NodeKind::kNot, std::move(fanins));
+      case NodeKind::kAnd:
+      case NodeKind::kOr:
+        return balanced(dst, kind, std::move(fanins),
+                        [](Network& d, NodeKind k, NodeId a, NodeId b) {
+                          return simplified_gate(d, k, {a, b});
+                        });
+      case NodeKind::kXor:
+        // xor2(a,b) = (a & !b) | (!a & b); the tree keeps XOR chains shallow.
+        return balanced(dst, kind, std::move(fanins),
+                        [](Network& d, NodeKind, NodeId a, NodeId b) {
+                          const NodeId na = simplified_gate(d, NodeKind::kNot, {a});
+                          const NodeId nb = simplified_gate(d, NodeKind::kNot, {b});
+                          const NodeId l = simplified_gate(d, NodeKind::kAnd, {a, nb});
+                          const NodeId r = simplified_gate(d, NodeKind::kAnd, {na, b});
+                          return simplified_gate(d, NodeKind::kOr, {l, r});
+                        });
+      default:
+        throw std::runtime_error("decompose_binary: unexpected kind");
+    }
+  };
+  net = Rebuilder(net, binary_gate).run();
+  net = Rebuilder(net, identity_gate).run();  // sweep decomposition leftovers
+  stats.nodes_after = net.num_nodes();
+  return stats;
+}
+
+NetworkStats network_stats(const Network& net) {
+  NetworkStats stats;
+  stats.pis = net.num_pis();
+  stats.pos = net.num_pos();
+  stats.latches = net.num_latches();
+  for (NodeId id = 0; id < net.num_nodes(); ++id) {
+    switch (net.kind(id)) {
+      case NodeKind::kAnd: ++stats.ands; break;
+      case NodeKind::kOr: ++stats.ors; break;
+      case NodeKind::kNot: ++stats.nots; break;
+      case NodeKind::kXor: ++stats.xors; break;
+      default: break;
+    }
+  }
+  const auto levels = net.levels();
+  for (const auto lvl : levels) stats.depth = std::max<std::size_t>(stats.depth, lvl);
+  return stats;
+}
+
+}  // namespace dominosyn

@@ -1,0 +1,146 @@
+/// \file minarea.cpp
+/// Minimum-area phase assignment (the baseline of ref [15]): minimize the
+/// standard-cell count of the inverter-free realization.
+
+#include <cmath>
+#include <stdexcept>
+
+#include "phase/search.hpp"
+#include "util/rng.hpp"
+
+namespace dominosyn {
+
+namespace {
+
+std::size_t area_of(const AssignmentEvaluator& evaluator,
+                    const PhaseAssignment& phases, std::size_t& evaluations) {
+  ++evaluations;
+  return evaluator.evaluate(phases).area_cells();
+}
+
+SearchResult exhaustive_by(const AssignmentEvaluator& evaluator, bool by_power,
+                           std::size_t limit) {
+  const std::size_t num_pos = evaluator.network().num_pos();
+  if (num_pos > limit)
+    throw std::runtime_error("exhaustive search: too many outputs");
+
+  SearchResult best;
+  double best_metric = 0.0;
+  PhaseAssignment phases(num_pos, Phase::kPositive);
+  for (std::uint64_t code = 0; code < (1ULL << num_pos); ++code) {
+    for (std::size_t i = 0; i < num_pos; ++i)
+      phases[i] = ((code >> i) & 1ULL) != 0 ? Phase::kNegative : Phase::kPositive;
+    const AssignmentCost cost = evaluator.evaluate(phases);
+    ++best.evaluations;
+    const double metric = by_power ? cost.power.total()
+                                   : static_cast<double>(cost.area_cells());
+    if (code == 0 || metric < best_metric) {
+      best_metric = metric;
+      best.assignment = phases;
+      best.cost = cost;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+SearchResult exhaustive_min_power(const AssignmentEvaluator& evaluator,
+                                  std::size_t limit) {
+  return exhaustive_by(evaluator, /*by_power=*/true, limit);
+}
+
+SearchResult exhaustive_min_area(const AssignmentEvaluator& evaluator,
+                                 std::size_t limit) {
+  return exhaustive_by(evaluator, /*by_power=*/false, limit);
+}
+
+SearchResult min_area_assignment(const AssignmentEvaluator& evaluator,
+                                 const MinAreaOptions& options) {
+  const std::size_t num_pos = evaluator.network().num_pos();
+  if (num_pos == 0) {
+    SearchResult result;
+    result.cost = evaluator.evaluate({});
+    result.evaluations = 1;
+    return result;
+  }
+  if (num_pos <= options.exhaustive_limit)
+    return exhaustive_by(evaluator, /*by_power=*/false, options.exhaustive_limit);
+
+  // Simulated annealing over single-output flips, with restarts and a final
+  // greedy descent; deterministic via the seeded RNG.
+  const std::size_t iterations = options.anneal_iterations != 0
+                                     ? options.anneal_iterations
+                                     : 250 * num_pos;
+  SearchResult global_best;
+  std::size_t evaluations = 0;
+
+  for (unsigned restart = 0; restart < options.restarts; ++restart) {
+    Rng rng(options.seed + restart * 0x9e3779b9ULL);
+    PhaseAssignment current(num_pos, Phase::kPositive);
+    if (restart > 0)  // diversify restarts
+      for (auto& phase : current)
+        phase = rng.bernoulli(0.5) ? Phase::kNegative : Phase::kPositive;
+
+    double energy = static_cast<double>(area_of(evaluator, current, evaluations));
+    PhaseAssignment best = current;
+    double best_energy = energy;
+
+    const double t0 = std::max(1.0, 0.05 * energy);
+    const double t_end = 0.01;
+    const double alpha =
+        std::pow(t_end / t0, 1.0 / static_cast<double>(iterations));
+    double temperature = t0;
+
+    for (std::size_t iter = 0; iter < iterations; ++iter) {
+      const std::size_t flip = rng.below(num_pos);
+      current[flip] = current[flip] == Phase::kPositive ? Phase::kNegative
+                                                        : Phase::kPositive;
+      const double trial =
+          static_cast<double>(area_of(evaluator, current, evaluations));
+      const double delta = trial - energy;
+      if (delta <= 0.0 || rng.uniform() < std::exp(-delta / temperature)) {
+        energy = trial;
+        if (energy < best_energy) {
+          best_energy = energy;
+          best = current;
+        }
+      } else {
+        current[flip] = current[flip] == Phase::kPositive ? Phase::kNegative
+                                                          : Phase::kPositive;
+      }
+      temperature *= alpha;
+    }
+
+    // Greedy descent from the best annealed point.
+    current = best;
+    energy = best_energy;
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      for (std::size_t i = 0; i < num_pos; ++i) {
+        current[i] = current[i] == Phase::kPositive ? Phase::kNegative
+                                                    : Phase::kPositive;
+        const double trial =
+            static_cast<double>(area_of(evaluator, current, evaluations));
+        if (trial < energy) {
+          energy = trial;
+          improved = true;
+        } else {
+          current[i] = current[i] == Phase::kPositive ? Phase::kNegative
+                                                      : Phase::kPositive;
+        }
+      }
+    }
+
+    if (global_best.assignment.empty() ||
+        energy < static_cast<double>(global_best.cost.area_cells())) {
+      global_best.assignment = current;
+      global_best.cost = evaluator.evaluate(current);
+    }
+  }
+  global_best.evaluations = evaluations;
+  return global_best;
+}
+
+}  // namespace dominosyn

@@ -1,0 +1,204 @@
+/// \file minpower.cpp
+/// The paper's minimum-power phase assignment heuristic (§4.1).
+///
+/// Loop (paper steps 1-7): from an initial assignment, repeatedly evaluate
+/// the pairwise cost function
+///   K(i±, j±) = |Di|·Ai± + |Dj|·Aj± + 0.5·O(i,j)·(Ai± + Aj±)
+/// over all remaining candidate pairs, where Ai+ = Ai (retain phase) and
+/// Ai- = 1 - Ai (flip; Property 4.1), pick the globally cheapest (pair,
+/// combination), *measure* the resulting realization's power, commit only if
+/// it improves, and remove the pair from the candidate set either way.
+
+#include <algorithm>
+#include <vector>
+#include <limits>
+#include <stdexcept>
+
+#include "phase/search.hpp"
+#include "util/rng.hpp"
+
+namespace dominosyn {
+
+namespace {
+
+constexpr double kImprovementEps = 1e-12;
+
+PhaseAssignment with_flips(PhaseAssignment phases, std::size_t i, bool flip_i,
+                           std::size_t j, bool flip_j) {
+  const auto flip = [](Phase p) {
+    return p == Phase::kPositive ? Phase::kNegative : Phase::kPositive;
+  };
+  if (flip_i) phases[i] = flip(phases[i]);
+  if (flip_j) phases[j] = flip(phases[j]);
+  return phases;
+}
+
+}  // namespace
+
+MinPowerResult min_power_assignment(const AssignmentEvaluator& evaluator,
+                                    const ConeOverlap& overlap,
+                                    const MinPowerOptions& options) {
+  const Network& net = evaluator.network();
+  const std::size_t num_pos = net.num_pos();
+  if (overlap.num_outputs() != num_pos)
+    throw std::runtime_error("min_power_assignment: overlap/network mismatch");
+
+  MinPowerResult result;
+  result.assignment = options.initial.empty() ? all_positive(net) : options.initial;
+  if (result.assignment.size() != num_pos)
+    throw std::runtime_error("min_power_assignment: initial assignment size mismatch");
+
+  result.cost = evaluator.evaluate(result.assignment);
+  result.initial_power = result.cost.power.total();
+  result.final_power = result.initial_power;
+  if (num_pos < 2) return result;
+
+  // Candidate set: all unordered output pairs.
+  std::vector<std::pair<std::size_t, std::size_t>> candidates;
+  candidates.reserve(num_pos * (num_pos - 1) / 2);
+  for (std::size_t i = 0; i < num_pos; ++i)
+    for (std::size_t j = i + 1; j < num_pos; ++j) candidates.emplace_back(i, j);
+
+  // Precompute |Di| and O(i,j); A is refreshed on every commit.
+  std::vector<double> cone_size(num_pos);
+  for (std::size_t i = 0; i < num_pos; ++i)
+    cone_size[i] = static_cast<double>(overlap.cone_size(i));
+  std::vector<double> avg = evaluator.cone_average_probs(result.assignment);
+
+  // Best (K, flips) for one pair under the current averages.
+  struct Scored {
+    double k = 0.0;
+    bool flip_i = false;
+    bool flip_j = false;
+  };
+  const auto score_pair = [&](std::size_t i, std::size_t j) {
+    Scored best;
+    best.k = std::numeric_limits<double>::infinity();
+    const double o = overlap.overlap(i, j);
+    for (const bool fi : {false, true}) {
+      const double ai = fi ? 1.0 - avg[i] : avg[i];
+      for (const bool fj : {false, true}) {
+        const double aj = fj ? 1.0 - avg[j] : avg[j];
+        const double k =
+            cone_size[i] * ai + cone_size[j] * aj + 0.5 * o * (ai + aj);
+        if (k < best.k) best = Scored{k, fi, fj};
+      }
+    }
+    return best;
+  };
+
+  // K only changes when a commit changes the averages, so keep candidates in
+  // a sorted queue and rebuild it on commit instead of rescanning all pairs
+  // every iteration (the naive loop is O(P^4) for P outputs).
+  std::vector<std::pair<double, std::size_t>> queue;  // (K, candidate index)
+  std::vector<bool> consumed(candidates.size(), false);
+  const auto rebuild_queue = [&] {
+    queue.clear();
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      if (consumed[c]) continue;
+      queue.emplace_back(score_pair(candidates[c].first, candidates[c].second).k,
+                         c);
+    }
+    std::sort(queue.begin(), queue.end());
+  };
+
+  Rng rng(options.seed);
+  if (options.guidance == GuidanceMode::kCostFunction) rebuild_queue();
+  std::size_t queue_head = 0;
+  std::size_t remaining = candidates.size();
+
+  while (remaining > 0) {
+    std::size_t pick = 0;
+    bool flip_i = false;
+    bool flip_j = false;
+
+    switch (options.guidance) {
+      case GuidanceMode::kCostFunction: {
+        while (queue_head < queue.size() && consumed[queue[queue_head].second])
+          ++queue_head;
+        if (queue_head >= queue.size()) {
+          rebuild_queue();
+          queue_head = 0;
+        }
+        pick = queue[queue_head].second;
+        const auto [i, j] = candidates[pick];
+        const Scored scored = score_pair(i, j);
+        flip_i = scored.flip_i;
+        flip_j = scored.flip_j;
+        break;
+      }
+      case GuidanceMode::kRandom: {
+        std::size_t nth = rng.below(remaining);
+        for (pick = 0; pick < candidates.size(); ++pick) {
+          if (consumed[pick]) continue;
+          if (nth-- == 0) break;
+        }
+        flip_i = rng.bernoulli(0.5);
+        flip_j = rng.bernoulli(0.5);
+        break;
+      }
+      case GuidanceMode::kMeasureAll: {
+        // Oracle baseline: take the first live pair, measure all four combos.
+        for (pick = 0; consumed[pick]; ++pick) {
+        }
+        double best_power = std::numeric_limits<double>::infinity();
+        const auto [i, j] = candidates[pick];
+        for (const bool fi : {false, true})
+          for (const bool fj : {false, true}) {
+            const auto trial = with_flips(result.assignment, i, fi, j, fj);
+            const double power = evaluator.evaluate(trial).power.total();
+            ++result.trials;
+            if (power < best_power) {
+              best_power = power;
+              flip_i = fi;
+              flip_j = fj;
+            }
+          }
+        break;
+      }
+    }
+
+    const auto [i, j] = candidates[pick];
+    const PhaseAssignment trial = with_flips(result.assignment, i, flip_i, j, flip_j);
+    const AssignmentCost trial_cost = evaluator.evaluate(trial);
+    ++result.trials;
+    consumed[pick] = true;
+    --remaining;
+    if (trial_cost.power.total() < result.final_power - kImprovementEps) {
+      result.assignment = trial;
+      result.cost = trial_cost;
+      result.final_power = trial_cost.power.total();
+      ++result.commits;
+      avg = evaluator.cone_average_probs(result.assignment);
+      if (options.guidance == GuidanceMode::kCostFunction) {
+        rebuild_queue();
+        queue_head = 0;
+      }
+    }
+  }
+
+  // Optional polish: greedy single-output descent to a local optimum.
+  if (options.polish_descent) {
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      for (std::size_t i = 0; i < num_pos; ++i) {
+        PhaseAssignment trial = result.assignment;
+        trial[i] = trial[i] == Phase::kPositive ? Phase::kNegative
+                                                : Phase::kPositive;
+        const AssignmentCost trial_cost = evaluator.evaluate(trial);
+        ++result.trials;
+        if (trial_cost.power.total() < result.final_power - kImprovementEps) {
+          result.assignment = std::move(trial);
+          result.cost = trial_cost;
+          result.final_power = trial_cost.power.total();
+          ++result.commits;
+          improved = true;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace dominosyn

@@ -1,0 +1,81 @@
+/// \file search.hpp
+/// Phase-assignment search algorithms:
+///  * min_area_assignment — the Puri et al. (ICCAD'96, ref [15]) baseline:
+///    minimize duplication (standard-cell count).  Exhaustive when the
+///    output count is small, seeded simulated annealing + greedy descent
+///    otherwise.
+///  * min_power_assignment — the paper's §4.1 heuristic: pairwise cost
+///    function K built from cone sizes |D|, current average probabilities A
+///    and overlaps O(i,j); greedy commit loop with measured power.
+///  * exhaustive_min_power — brute force over all 2^P assignments (the
+///    frg1 "only 8 assignments" observation).
+
+#pragma once
+
+#include <cstdint>
+
+#include "network/network.hpp"
+#include "phase/assignment.hpp"
+
+namespace dominosyn {
+
+struct SearchResult {
+  PhaseAssignment assignment;
+  AssignmentCost cost;
+  std::size_t evaluations = 0;
+};
+
+struct MinAreaOptions {
+  std::uint64_t seed = 1;
+  std::size_t exhaustive_limit = 16;  ///< use brute force when #POs <= this
+  std::size_t anneal_iterations = 0;  ///< 0 = auto (scales with #POs)
+  unsigned restarts = 2;
+};
+
+[[nodiscard]] SearchResult min_area_assignment(const AssignmentEvaluator& evaluator,
+                                               const MinAreaOptions& options = {});
+
+/// Brute force over all 2^P assignments, minimizing estimated power.
+/// Throws std::runtime_error if #POs exceeds `limit`.
+[[nodiscard]] SearchResult exhaustive_min_power(const AssignmentEvaluator& evaluator,
+                                                std::size_t limit = 20);
+
+/// Brute force over all 2^P assignments, minimizing area (for tests).
+[[nodiscard]] SearchResult exhaustive_min_area(const AssignmentEvaluator& evaluator,
+                                               std::size_t limit = 20);
+
+/// How candidate pairs/combos are chosen in the min-power loop (the paper's
+/// §4.1 uses the cost function; the others are ablation baselines).
+enum class GuidanceMode : std::uint8_t {
+  kCostFunction,  ///< paper: pick globally min-K (pair, combo), measure, commit
+  kMeasureAll,    ///< oracle: measure all 4 combos of each pair (expensive)
+  kRandom,        ///< random pair order and combo (null hypothesis)
+};
+
+struct MinPowerOptions {
+  PhaseAssignment initial;  ///< empty = all positive
+  GuidanceMode guidance = GuidanceMode::kCostFunction;
+  std::uint64_t seed = 1;
+  /// After the pairwise §4.1 loop, run a greedy single-output descent until
+  /// no flip improves.  This is the paper's own suggested extension ("the
+  /// cost function can be extended ... reduces to a greedily ordered
+  /// exhaustive search") and costs O(#POs) measurements per round.
+  bool polish_descent = true;
+};
+
+struct MinPowerResult {
+  PhaseAssignment assignment;
+  AssignmentCost cost;            ///< final cost
+  double initial_power = 0.0;
+  double final_power = 0.0;
+  std::size_t trials = 0;         ///< candidate measurements
+  std::size_t commits = 0;        ///< accepted candidates
+};
+
+/// The paper's minimum-power phase assignment heuristic (§4.1).
+/// `overlap` must be built from the same network as `evaluator`.
+[[nodiscard]] MinPowerResult min_power_assignment(
+    const AssignmentEvaluator& evaluator, const ConeOverlap& overlap,
+    const MinPowerOptions& options = {});
+
+}  // namespace dominosyn

@@ -1,0 +1,87 @@
+#include "power/power.hpp"
+
+#include <stdexcept>
+
+namespace dominosyn {
+
+std::vector<DominoRole> classify_domino_roles(const Network& net) {
+  std::vector<DominoRole> roles(net.num_nodes(), DominoRole::kSource);
+
+  // Fanout bookkeeping to distinguish output inverters (feed POs only).
+  std::vector<std::uint32_t> gate_fanouts(net.num_nodes(), 0);
+  for (NodeId id = 0; id < net.num_nodes(); ++id)
+    for (const NodeId f : net.fanins(id)) ++gate_fanouts[f];
+  std::vector<std::uint32_t> latch_fanouts(net.num_nodes(), 0);
+  for (const auto& latch : net.latches())
+    if (latch.input != kNullNode) ++latch_fanouts[latch.input];
+
+  for (NodeId id = 0; id < net.num_nodes(); ++id) {
+    const auto& node = net.node(id);
+    switch (node.kind) {
+      case NodeKind::kAnd:
+      case NodeKind::kOr:
+        roles[id] = DominoRole::kDominoGate;
+        break;
+      case NodeKind::kXor:
+        throw std::runtime_error("classify_domino_roles: XOR in domino block");
+      case NodeKind::kNot: {
+        const NodeId fanin = node.fanins[0];
+        if (is_source_kind(net.kind(fanin))) {
+          roles[id] = DominoRole::kInputInverter;
+        } else if (gate_fanouts[id] == 0 && latch_fanouts[id] == 0) {
+          // Feeds only POs: legal output-boundary inverter.
+          roles[id] = DominoRole::kOutputInverter;
+        } else {
+          throw std::runtime_error(
+              "classify_domino_roles: trapped inverter inside domino block");
+        }
+        break;
+      }
+      default:
+        roles[id] = DominoRole::kSource;
+        break;
+    }
+  }
+  return roles;
+}
+
+PowerBreakdown estimate_domino_network_power(const Network& net,
+                                             std::span<const double> node_probs,
+                                             const PowerModelConfig& config) {
+  if (node_probs.size() != net.num_nodes())
+    throw std::runtime_error("estimate_domino_network_power: prob count mismatch");
+  const auto roles = classify_domino_roles(net);
+
+  PowerBreakdown result;
+  for (NodeId id = 0; id < net.num_nodes(); ++id) {
+    const double p = node_probs[id];
+    switch (roles[id]) {
+      case DominoRole::kDominoGate: {
+        const bool is_and = net.kind(id) == NodeKind::kAnd;
+        const double mult =
+            is_and ? config.penalty.and_mult : config.penalty.or_mult;
+        const double add = is_and ? config.penalty.and_add : config.penalty.or_add;
+        result.domino_block += domino_switching(p) * config.gate_cap * mult + add;
+        result.clock_load += config.clock_cap_per_gate;
+        break;
+      }
+      case DominoRole::kInputInverter: {
+        // Driven by a static source signal with probability p(fanin).
+        const double pin = node_probs[net.fanins(id)[0]];
+        result.input_inverters += static_switching(pin) * config.inverter_cap;
+        break;
+      }
+      case DominoRole::kOutputInverter: {
+        const double pin = node_probs[net.fanins(id)[0]];
+        result.output_inverters += config.domino_driven_inverter_edges * pin *
+                                   config.inverter_cap;
+        break;
+      }
+      case DominoRole::kSource:
+        break;
+    }
+  }
+  return result;
+}
+
+}  // namespace dominosyn

@@ -1,0 +1,288 @@
+#include "sgraph/mfvs.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace dominosyn {
+
+namespace {
+
+/// Mutable supervertex graph used during reduction.  Vertex ids are stable;
+/// merged/deleted vertices become inactive.
+struct WorkGraph {
+  std::vector<std::set<std::uint32_t>> succ;
+  std::vector<std::set<std::uint32_t>> pred;
+  std::vector<std::vector<std::uint32_t>> members;  ///< original vertex ids
+  std::vector<bool> active;
+
+  explicit WorkGraph(const SGraph& graph) {
+    const std::size_t n = graph.num_vertices();
+    succ.resize(n);
+    pred.resize(n);
+    members.resize(n);
+    active.assign(n, true);
+    for (std::uint32_t v = 0; v < n; ++v) {
+      members[v] = {v};
+      for (const std::uint32_t w : graph.successors(v)) succ[v].insert(w);
+      for (const std::uint32_t w : graph.predecessors(v)) pred[v].insert(w);
+    }
+  }
+
+  [[nodiscard]] std::size_t weight(std::uint32_t v) const { return members[v].size(); }
+
+  [[nodiscard]] bool has_self_loop(std::uint32_t v) const {
+    return succ[v].count(v) != 0;
+  }
+
+  /// Deletes v and all its edge records.
+  void erase(std::uint32_t v) {
+    for (const std::uint32_t w : succ[v])
+      if (w != v) pred[w].erase(v);
+    for (const std::uint32_t w : pred[v])
+      if (w != v) succ[w].erase(v);
+    succ[v].clear();
+    pred[v].clear();
+    active[v] = false;
+  }
+
+  /// Bypasses v: every predecessor gains every successor (Fig. 8c).
+  void contract(std::uint32_t v) {
+    const auto preds = pred[v];
+    const auto succs = succ[v];
+    erase(v);
+    for (const std::uint32_t p : preds)
+      for (const std::uint32_t s : succs) {
+        succ[p].insert(s);
+        pred[s].insert(p);
+      }
+  }
+
+  /// Merges vertex `from` into `to` (identical pred/succ sets by contract of
+  /// the symmetry rule, so only membership and neighbor bookkeeping change).
+  void merge_into(std::uint32_t to, std::uint32_t from) {
+    members[to].insert(members[to].end(), members[from].begin(), members[from].end());
+    erase(from);
+  }
+
+  [[nodiscard]] std::vector<std::uint32_t> active_vertices() const {
+    std::vector<std::uint32_t> result;
+    for (std::uint32_t v = 0; v < active.size(); ++v)
+      if (active[v]) result.push_back(v);
+    return result;
+  }
+};
+
+/// Applies rule (b): self-loop vertices enter the FVS.  Returns #applications.
+std::size_t apply_self_loops(WorkGraph& graph, std::vector<std::uint32_t>& fvs) {
+  std::size_t applied = 0;
+  for (const std::uint32_t v : graph.active_vertices()) {
+    if (!graph.active[v] || !graph.has_self_loop(v)) continue;
+    fvs.insert(fvs.end(), graph.members[v].begin(), graph.members[v].end());
+    graph.erase(v);
+    ++applied;
+  }
+  return applied;
+}
+
+/// Applies rule (a): source/sink vertices are deleted.  Returns #applications.
+std::size_t apply_source_sink(WorkGraph& graph) {
+  std::size_t applied = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const std::uint32_t v : graph.active_vertices()) {
+      if (!graph.active[v]) continue;
+      if (graph.pred[v].empty() || graph.succ[v].empty()) {
+        graph.erase(v);
+        ++applied;
+        changed = true;
+      }
+    }
+  }
+  return applied;
+}
+
+/// The paper's symmetry transformation (d): merge vertices with identical
+/// predecessor and successor sets into weighted supervertices.  Keys are
+/// snapshotted before any merge so the grouping is order independent
+/// (merging mutates neighbours' adjacency sets).
+std::size_t apply_symmetry(WorkGraph& graph) {
+  std::map<std::pair<std::set<std::uint32_t>, std::set<std::uint32_t>>,
+           std::vector<std::uint32_t>>
+      groups;
+  for (const std::uint32_t v : graph.active_vertices()) {
+    if (graph.has_self_loop(v)) continue;
+    groups[std::make_pair(graph.pred[v], graph.succ[v])].push_back(v);
+  }
+  std::size_t merged = 0;
+  for (const auto& [key, members] : groups) {
+    for (std::size_t i = 1; i < members.size(); ++i) {
+      graph.merge_into(members[0], members[i]);
+      ++merged;
+    }
+  }
+  return merged;
+}
+
+/// Applies one rule-(c) bypass, choosing the heaviest eligible supervertex
+/// (the paper: supervertices processed in descending weight so heavy groups
+/// are bypassed rather than cut).  Returns true if a contraction happened.
+bool apply_one_bypass(WorkGraph& graph) {
+  std::uint32_t best = 0xffffffffu;
+  for (const std::uint32_t v : graph.active_vertices()) {
+    if (graph.has_self_loop(v)) continue;
+    if (graph.pred[v].size() != 1 && graph.succ[v].size() != 1) continue;
+    if (best == 0xffffffffu || graph.weight(v) > graph.weight(best) ||
+        (graph.weight(v) == graph.weight(best) && v < best))
+      best = v;
+  }
+  if (best == 0xffffffffu) return false;
+  graph.contract(best);
+  return true;
+}
+
+/// Greedy fallback when no reduction applies: cut the vertex with the best
+/// connectivity-per-weight score.
+void greedy_cut(WorkGraph& graph, std::vector<std::uint32_t>& fvs) {
+  std::uint32_t best = 0xffffffffu;
+  double best_score = -1.0;
+  for (const std::uint32_t v : graph.active_vertices()) {
+    const double degree_product =
+        static_cast<double>(graph.pred[v].size()) * static_cast<double>(graph.succ[v].size());
+    const double score = degree_product / static_cast<double>(graph.weight(v));
+    if (score > best_score) {
+      best_score = score;
+      best = v;
+    }
+  }
+  if (best == 0xffffffffu) throw std::runtime_error("greedy_cut: empty graph");
+  fvs.insert(fvs.end(), graph.members[best].begin(), graph.members[best].end());
+  graph.erase(best);
+}
+
+}  // namespace
+
+MfvsResult mfvs_heuristic(const SGraph& graph, const MfvsOptions& options) {
+  MfvsResult result;
+  WorkGraph work(graph);
+
+  while (!work.active_vertices().empty()) {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      std::size_t n = apply_self_loops(work, result.fvs);
+      result.reductions += n;
+      progress |= n > 0;
+      n = apply_source_sink(work);
+      result.reductions += n;
+      progress |= n > 0;
+      if (options.use_symmetry) {
+        n = apply_symmetry(work);
+        result.symmetry_merges += n;
+        result.reductions += n;
+        progress |= n > 0;
+      }
+      if (apply_one_bypass(work)) {
+        ++result.reductions;
+        progress = true;
+      }
+    }
+    if (!work.active_vertices().empty()) greedy_cut(work, result.fvs);
+  }
+
+  std::sort(result.fvs.begin(), result.fvs.end());
+  if (options.verify) {
+    std::vector<bool> removed(graph.num_vertices(), false);
+    for (const std::uint32_t v : result.fvs) removed[v] = true;
+    if (!graph.is_acyclic_without(removed))
+      throw std::runtime_error("mfvs_heuristic: result is not a feedback vertex set");
+  }
+  return result;
+}
+
+namespace {
+
+/// Finds a shortest cycle (as a vertex list) in the graph restricted to
+/// non-removed vertices; empty if acyclic.  BFS from every vertex.
+std::vector<std::uint32_t> shortest_cycle(const SGraph& graph,
+                                          const std::vector<bool>& removed) {
+  const std::size_t n = graph.num_vertices();
+  std::vector<std::uint32_t> best;
+  for (std::uint32_t start = 0; start < n; ++start) {
+    if (removed[start]) continue;
+    // BFS for the shortest path start -> ... -> start.
+    std::vector<std::int32_t> parent(n, -2);  // -2 unvisited
+    std::vector<std::uint32_t> queue;
+    for (const std::uint32_t w : graph.successors(start)) {
+      if (removed[w]) continue;
+      if (w == start) return {start};  // self-loop: cycle of length 1
+      if (parent[w] == -2) {
+        parent[w] = static_cast<std::int32_t>(start);
+        queue.push_back(w);
+      }
+    }
+    bool found = false;
+    for (std::size_t head = 0; head < queue.size() && !found; ++head) {
+      const std::uint32_t v = queue[head];
+      for (const std::uint32_t w : graph.successors(v)) {
+        if (removed[w]) continue;
+        if (w == start) {
+          // Reconstruct cycle start -> ... -> v -> start.
+          std::vector<std::uint32_t> cycle;
+          std::uint32_t cur = v;
+          while (cur != start) {
+            cycle.push_back(cur);
+            cur = static_cast<std::uint32_t>(parent[cur]);
+          }
+          cycle.push_back(start);
+          if (best.empty() || cycle.size() < best.size()) best = cycle;
+          found = true;
+          break;
+        }
+        if (parent[w] == -2) {
+          parent[w] = static_cast<std::int32_t>(v);
+          queue.push_back(w);
+        }
+      }
+    }
+    if (best.size() == 1) return best;
+  }
+  return best;
+}
+
+void mfvs_exact_rec(const SGraph& graph, std::vector<bool>& removed,
+                    std::size_t current_size, std::vector<std::uint32_t>& current,
+                    std::vector<std::uint32_t>& best) {
+  if (!best.empty() && current_size >= best.size()) return;  // bound
+  const auto cycle = shortest_cycle(graph, removed);
+  if (cycle.empty()) {
+    best = current;  // new incumbent (strictly smaller by the bound above)
+    return;
+  }
+  // Branch: some vertex of this cycle must be in the FVS.
+  for (const std::uint32_t v : cycle) {
+    removed[v] = true;
+    current.push_back(v);
+    mfvs_exact_rec(graph, removed, current_size + 1, current, best);
+    current.pop_back();
+    removed[v] = false;
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> mfvs_exact(const SGraph& graph) {
+  std::vector<bool> removed(graph.num_vertices(), false);
+  std::vector<std::uint32_t> current;
+  std::vector<std::uint32_t> best;
+  // Initial incumbent: the greedy heuristic (gives a tight bound fast).
+  best = mfvs_heuristic(graph).fvs;
+  if (best.empty()) return best;
+  mfvs_exact_rec(graph, removed, 0, current, best);
+  std::sort(best.begin(), best.end());
+  return best;
+}
+
+}  // namespace dominosyn

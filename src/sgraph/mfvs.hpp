@@ -1,0 +1,43 @@
+/// \file mfvs.hpp
+/// Minimum feedback vertex set heuristics (paper §4.2.1).
+///
+/// The classic testing-domain reductions of Fig. 8 (Chakradhar et al. [2]):
+///   (a) a vertex with no predecessors or no successors is deleted,
+///   (b) a self-loop vertex must join the FVS,
+///   (c) a vertex with in-degree 1 or out-degree 1 (and no self-loop) is
+///       bypassed (contracted), possibly creating self-loops elsewhere;
+/// plus the paper's *symmetry transformation* (Fig. 9): vertices with
+/// identical predecessor and successor sets — abundant in domino blocks
+/// because phase-assignment duplication clones fan-in structure — merge into
+/// a weighted supervertex.  Supervertices are processed in descending weight
+/// order so heavy groups are bypassed rather than cut.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sgraph/sgraph.hpp"
+
+namespace dominosyn {
+
+struct MfvsOptions {
+  bool use_symmetry = true;   ///< enable the paper's 4th transformation
+  bool verify = true;         ///< assert result is a real FVS (cheap)
+};
+
+struct MfvsResult {
+  std::vector<std::uint32_t> fvs;  ///< original vertex ids in the cut
+  std::size_t symmetry_merges = 0; ///< vertices absorbed by transformation (d)
+  std::size_t reductions = 0;      ///< total reduction steps applied
+};
+
+/// Greedy MFVS with reductions; deterministic.
+[[nodiscard]] MfvsResult mfvs_heuristic(const SGraph& graph,
+                                        const MfvsOptions& options = {});
+
+/// Exact minimum FVS via branch-and-bound over cycles.  Exponential; intended
+/// for graphs with up to ~25 vertices (tests and the Fig. 9 bench).
+[[nodiscard]] std::vector<std::uint32_t> mfvs_exact(const SGraph& graph);
+
+}  // namespace dominosyn

@@ -1,0 +1,97 @@
+#include "sgraph/sgraph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dominosyn {
+
+SGraph SGraph::from_network(const Network& net) {
+  const auto& latches = net.latches();
+  SGraph graph(latches.size());
+
+  // latch_of_node[id] = latch index when node id is a latch output.
+  std::vector<std::uint32_t> latch_of_node(net.num_nodes(), 0xffffffffu);
+  for (std::uint32_t k = 0; k < latches.size(); ++k)
+    latch_of_node[latches[k].output] = k;
+
+  // For each latch j, walk the TFI of its next-state input; every latch
+  // output reached contributes an edge.
+  for (std::uint32_t j = 0; j < latches.size(); ++j) {
+    std::vector<bool> visited(net.num_nodes(), false);
+    std::vector<NodeId> stack{latches[j].input};
+    visited[latches[j].input] = true;
+    while (!stack.empty()) {
+      const NodeId id = stack.back();
+      stack.pop_back();
+      if (latch_of_node[id] != 0xffffffffu) {
+        graph.add_edge(latch_of_node[id], j);
+        continue;  // latch outputs are sources; nothing beneath them
+      }
+      for (const NodeId f : net.fanins(id))
+        if (!visited[f]) {
+          visited[f] = true;
+          stack.push_back(f);
+        }
+    }
+  }
+  return graph;
+}
+
+std::size_t SGraph::num_edges() const noexcept {
+  std::size_t count = 0;
+  for (const auto& list : succ_) count += list.size();
+  return count;
+}
+
+void SGraph::add_edge(std::uint32_t u, std::uint32_t v) {
+  auto& out = succ_.at(u);
+  if (std::find(out.begin(), out.end(), v) != out.end()) return;
+  out.push_back(v);
+  pred_.at(v).push_back(u);
+}
+
+bool SGraph::has_edge(std::uint32_t u, std::uint32_t v) const {
+  const auto& out = succ_.at(u);
+  return std::find(out.begin(), out.end(), v) != out.end();
+}
+
+bool SGraph::is_acyclic_without(const std::vector<bool>& removed) const {
+  try {
+    (void)topo_order_without(removed);
+    return true;
+  } catch (const std::runtime_error&) {
+    return false;
+  }
+}
+
+std::vector<std::uint32_t> SGraph::topo_order_without(
+    const std::vector<bool>& removed) const {
+  const std::size_t n = num_vertices();
+  std::vector<std::size_t> in_degree(n, 0);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (removed[v]) continue;
+    for (const std::uint32_t u : pred_[v])
+      if (!removed[u]) ++in_degree[v];
+  }
+  std::vector<std::uint32_t> queue;
+  for (std::uint32_t v = 0; v < n; ++v)
+    if (!removed[v] && in_degree[v] == 0) queue.push_back(v);
+
+  std::vector<std::uint32_t> order;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const std::uint32_t v = queue[head];
+    order.push_back(v);
+    for (const std::uint32_t w : succ_[v]) {
+      if (removed[w]) continue;
+      if (--in_degree[w] == 0) queue.push_back(w);
+    }
+  }
+  std::size_t active = 0;
+  for (std::uint32_t v = 0; v < n; ++v)
+    if (!removed[v]) ++active;
+  if (order.size() != active)
+    throw std::runtime_error("topo_order_without: cycle remains");
+  return order;
+}
+
+}  // namespace dominosyn

@@ -1,0 +1,55 @@
+/// \file sgraph.hpp
+/// The s-graph of a sequential circuit: one vertex per latch, a directed edge
+/// i → j whenever latch j's next-state logic structurally depends on latch
+/// i's output (paper §4.2.1).  The MFVS of this graph tells us where to cut
+/// the circuit into combinational blocks for signal-probability computation.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "network/network.hpp"
+
+namespace dominosyn {
+
+/// Simple directed graph with stable vertex ids [0, n).  Parallel edges are
+/// collapsed; self-loops are allowed and meaningful (Fig. 8b).
+class SGraph {
+ public:
+  SGraph() = default;
+  explicit SGraph(std::size_t num_vertices)
+      : succ_(num_vertices), pred_(num_vertices) {}
+
+  /// Builds the s-graph of `net`: vertex k is net.latches()[k].
+  [[nodiscard]] static SGraph from_network(const Network& net);
+
+  [[nodiscard]] std::size_t num_vertices() const noexcept { return succ_.size(); }
+  [[nodiscard]] std::size_t num_edges() const noexcept;
+
+  /// Adds edge u → v (idempotent).
+  void add_edge(std::uint32_t u, std::uint32_t v);
+  [[nodiscard]] bool has_edge(std::uint32_t u, std::uint32_t v) const;
+
+  [[nodiscard]] const std::vector<std::uint32_t>& successors(std::uint32_t v) const {
+    return succ_.at(v);
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& predecessors(std::uint32_t v) const {
+    return pred_.at(v);
+  }
+
+  /// True iff the subgraph induced by deleting `removed` vertices is acyclic.
+  /// (removed[v] == true means vertex v is deleted.)
+  [[nodiscard]] bool is_acyclic_without(const std::vector<bool>& removed) const;
+
+  /// Topological order of the graph with `removed` vertices deleted.  Throws
+  /// std::runtime_error if a cycle survives.
+  [[nodiscard]] std::vector<std::uint32_t> topo_order_without(
+      const std::vector<bool>& removed) const;
+
+ private:
+  std::vector<std::vector<std::uint32_t>> succ_;
+  std::vector<std::vector<std::uint32_t>> pred_;
+};
+
+}  // namespace dominosyn

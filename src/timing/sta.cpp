@@ -1,0 +1,129 @@
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "timing/timing.hpp"
+
+namespace dominosyn {
+
+TimingResult sta(const MappedNetlist& netlist, double clock_period,
+                 double wire_cap) {
+  const Network& net = netlist.net;
+  const auto loads = netlist.node_loads(wire_cap);
+
+  TimingResult result;
+  result.arrival.assign(net.num_nodes(), 0.0);
+  std::vector<NodeId> critical_fanin(net.num_nodes(), kNullNode);
+
+  const auto gate_delay = [&](NodeId id) {
+    const Cell* cell = netlist.cell_of[id];
+    if (cell == nullptr) return 0.0;
+    return cell->intrinsic_delay + cell->drive_res * loads[id];
+  };
+
+  for (const NodeId id : net.topo_order()) {
+    const auto& node = net.node(id);
+    if (node.kind == NodeKind::kLatch) {
+      // Latch output launches at the clock edge (plus clk->q).
+      const Cell* cell = netlist.cell_of[id];
+      result.arrival[id] =
+          cell != nullptr ? cell->intrinsic_delay + cell->drive_res * loads[id] : 0.0;
+      continue;
+    }
+    if (!is_gate_kind(node.kind)) continue;
+    double worst = 0.0;
+    for (const NodeId f : node.fanins)
+      if (result.arrival[f] >= worst) {
+        worst = result.arrival[f];
+        critical_fanin[id] = f;
+      }
+    result.arrival[id] = worst + gate_delay(id);
+  }
+
+  // Sinks: PO drivers and latch next-state inputs.
+  NodeId critical_sink = kNullNode;
+  for (const NodeId root : net.roots()) {
+    if (result.arrival[root] >= result.critical_delay) {
+      result.critical_delay = result.arrival[root];
+      critical_sink = root;
+    }
+  }
+
+  // Backward pass: required times.
+  const double period =
+      clock_period > 0.0 ? clock_period : result.critical_delay;
+  std::vector<double> required(net.num_nodes(),
+                               std::numeric_limits<double>::infinity());
+  for (const NodeId root : net.roots())
+    required[root] = std::min(required[root], period);
+  const auto topo = net.topo_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const NodeId id = *it;
+    if (!is_gate_kind(net.kind(id)) && net.kind(id) != NodeKind::kLatch) continue;
+    const double input_required = required[id] - gate_delay(id);
+    for (const NodeId f : net.fanins(id))
+      required[f] = std::min(required[f], input_required);
+  }
+
+  result.slack.assign(net.num_nodes(), 0.0);
+  for (NodeId id = 0; id < net.num_nodes(); ++id) {
+    result.slack[id] = std::isinf(required[id])
+                           ? period - result.arrival[id]
+                           : required[id] - result.arrival[id];
+  }
+
+  // Extract the critical path by walking critical fanins backwards.
+  for (NodeId cursor = critical_sink; cursor != kNullNode;
+       cursor = critical_fanin[cursor])
+    result.critical_path.push_back(cursor);
+  std::reverse(result.critical_path.begin(), result.critical_path.end());
+  return result;
+}
+
+ResizeResult resize_to_meet(MappedNetlist& netlist, double clock_period,
+                            double wire_cap) {
+  ResizeResult result;
+  result.area_before = netlist.total_area();
+  if (clock_period <= 0.0)
+    throw std::runtime_error("resize_to_meet: clock period must be positive");
+
+  constexpr std::size_t kMaxMoves = 100000;
+  while (result.upsized < kMaxMoves) {
+    const TimingResult timing = sta(netlist, clock_period, wire_cap);
+    result.achieved = timing.critical_delay;
+    if (timing.critical_delay <= clock_period) {
+      result.met = true;
+      break;
+    }
+    // Candidate moves: upsize any cell on the critical path that has a
+    // larger variant.  Estimate benefit as drive-resistance reduction times
+    // load (ignoring the input-cap increase on the upstream gate, which the
+    // next STA will capture).
+    const auto loads = netlist.node_loads(wire_cap);
+    NodeId best_node = kNullNode;
+    double best_gain = 0.0;
+    unsigned best_size = 0;
+    for (const NodeId id : timing.critical_path) {
+      const Cell* cell = netlist.cell_of[id];
+      if (cell == nullptr) continue;
+      const unsigned sizes = netlist.library->num_sizes(cell->function, cell->arity);
+      if (cell->size_index + 1 >= sizes) continue;
+      const Cell& next =
+          netlist.library->pick(cell->function, cell->arity, cell->size_index + 1);
+      const double gain = (cell->drive_res - next.drive_res) * loads[id];
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_node = id;
+        best_size = cell->size_index + 1;
+      }
+    }
+    if (best_node == kNullNode) break;  // saturated: no move helps
+    netlist.resize_cell(best_node, best_size);
+    ++result.upsized;
+  }
+  result.area_after = netlist.total_area();
+  return result;
+}
+
+}  // namespace dominosyn

@@ -1,0 +1,47 @@
+/// \file timing.hpp
+/// Static timing analysis and timing-driven cell resizing over a mapped
+/// domino netlist — the "additional step of transistor resizing (after
+/// technology mapping) in order to meet realistic timing constraints" used
+/// for Table 2.
+///
+/// Delay model: linear (intrinsic + drive_res * load).  Domino timing is
+/// treated single-phase: every path from a source (PI or latch output) to a
+/// sink (PO or latch input) must fit in the evaluate window, i.e. the clock
+/// period.  PIs arrive at t = 0.
+
+#pragma once
+
+#include <vector>
+
+#include "mapping/mapper.hpp"
+
+namespace dominosyn {
+
+struct TimingResult {
+  std::vector<double> arrival;  ///< per node, output arrival time
+  std::vector<double> slack;    ///< per node, required - arrival
+  double critical_delay = 0.0;  ///< max arrival over all sinks
+  std::vector<NodeId> critical_path;  ///< source -> sink node chain
+};
+
+/// Computes arrival times, slacks against `clock_period` (use 0 to get pure
+/// arrival analysis; slacks are then measured against the critical delay).
+[[nodiscard]] TimingResult sta(const MappedNetlist& netlist,
+                               double clock_period = 0.0,
+                               double wire_cap = 0.2);
+
+struct ResizeResult {
+  bool met = false;            ///< timing constraint satisfied
+  double achieved = 0.0;       ///< critical delay after resizing
+  std::size_t upsized = 0;     ///< number of cell size bumps applied
+  double area_before = 0.0;
+  double area_after = 0.0;
+};
+
+/// Greedy sizing: while the critical path misses `clock_period`, bump the
+/// critical cell with the best delay-improvement estimate to its next drive
+/// size.  Deterministic; stops when met or no move helps.
+ResizeResult resize_to_meet(MappedNetlist& netlist, double clock_period,
+                            double wire_cap = 0.2);
+
+}  // namespace dominosyn

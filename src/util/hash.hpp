@@ -1,0 +1,33 @@
+/// \file hash.hpp
+/// Small hashing helpers shared by the unique tables in the BDD package and
+/// the structural-hashing pass of the logic network.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace dominosyn {
+
+/// 64-bit integer mixer (final avalanche of MurmurHash3 / SplitMix64).
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Order-dependent combination of two hashes (boost::hash_combine flavour,
+/// widened to 64 bits).
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t seed,
+                                                   std::uint64_t value) noexcept {
+  return seed ^ (mix64(value) + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
+}
+
+/// Hash of a small fixed tuple of integers; used for (op, lhs, rhs) cache keys.
+[[nodiscard]] constexpr std::uint64_t hash3(std::uint64_t a, std::uint64_t b,
+                                            std::uint64_t c) noexcept {
+  return hash_combine(hash_combine(mix64(a), b), c);
+}
+
+}  // namespace dominosyn

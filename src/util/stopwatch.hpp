@@ -1,0 +1,29 @@
+/// \file stopwatch.hpp
+/// Monotonic wall-clock timer used by benches and the flow driver to report
+/// per-stage runtimes.
+
+#pragma once
+
+#include <chrono>
+
+namespace dominosyn {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last restart().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dominosyn

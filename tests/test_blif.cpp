@@ -1,0 +1,221 @@
+/// Tests for SOP covers and the BLIF reader/writer.
+
+#include <gtest/gtest.h>
+
+#include "blif/blif.hpp"
+#include "benchgen/benchgen.hpp"
+#include "flow/flow.hpp"
+#include "network/sop.hpp"
+
+namespace dominosyn {
+namespace {
+
+TEST(Cube, ParseAndMatch) {
+  const Cube cube = Cube::parse("10-");
+  const bool a[] = {true, false, false};
+  const bool b[] = {true, false, true};
+  const bool c[] = {false, false, true};
+  EXPECT_TRUE(cube.matches(a));
+  EXPECT_TRUE(cube.matches(b));
+  EXPECT_FALSE(cube.matches(c));
+  EXPECT_EQ(cube.to_string(), "10-");
+  EXPECT_THROW(Cube::parse("1x0"), std::runtime_error);
+}
+
+TEST(SopCover, OnSetAndOffSetSemantics) {
+  SopCover on;
+  on.num_inputs = 2;
+  on.output_value = true;
+  on.cubes.push_back(Cube::parse("11"));
+  SopCover off = on;
+  off.output_value = false;
+
+  const bool v11[] = {true, true};
+  const bool v01[] = {false, true};
+  EXPECT_TRUE(on.evaluate(v11));
+  EXPECT_FALSE(on.evaluate(v01));
+  EXPECT_FALSE(off.evaluate(v11));  // off-set: f = !(a & b)
+  EXPECT_TRUE(off.evaluate(v01));
+}
+
+TEST(SopCover, ConstantsAndLiteralCount) {
+  SopCover c0;
+  c0.num_inputs = 0;
+  c0.output_value = true;  // empty on-set
+  EXPECT_TRUE(c0.is_constant());
+  EXPECT_FALSE(c0.constant_value());
+
+  SopCover cover;
+  cover.num_inputs = 3;
+  cover.cubes.push_back(Cube::parse("1-0"));
+  cover.cubes.push_back(Cube::parse("-11"));
+  EXPECT_EQ(cover.literal_count(), 4u);
+}
+
+TEST(BlifReader, ParsesCombinationalModel) {
+  const std::string text = R"(
+# simple model
+.model test1
+.inputs a b c
+.outputs f g
+.names a b t1
+11 1
+.names t1 c f
+1- 1
+-1 1
+.names a g
+0 1
+.end
+)";
+  const Network net = blif::read_string(text);
+  EXPECT_EQ(net.name(), "test1");
+  EXPECT_EQ(net.num_pis(), 3u);
+  EXPECT_EQ(net.num_pos(), 2u);
+  // f = (a&b) | c, g = !a
+  const bool v[] = {false, true, true};
+  const auto out = net.evaluate(v);
+  EXPECT_TRUE(out[0]);
+  EXPECT_TRUE(out[1]);
+  const bool v2[] = {true, true, false};
+  const auto out2 = net.evaluate(v2);
+  EXPECT_TRUE(out2[0]);
+  EXPECT_FALSE(out2[1]);
+}
+
+TEST(BlifReader, ParsesLatchesWithInit) {
+  const std::string text = R"(
+.model seq
+.inputs a
+.outputs q
+.latch nxt q re clk 1
+.names a q nxt
+11 1
+.end
+)";
+  const Network net = blif::read_string(text);
+  EXPECT_EQ(net.num_latches(), 1u);
+  EXPECT_EQ(net.latches()[0].init, LatchInit::kOne);
+  EXPECT_EQ(net.latches()[0].name, "q");
+  net.validate();
+}
+
+TEST(BlifReader, OffSetCover) {
+  const std::string text = R"(
+.model offset
+.inputs a b
+.outputs f
+.names a b f
+11 0
+.end
+)";
+  const Network net = blif::read_string(text);
+  const bool v11[] = {true, true};
+  const bool v10[] = {true, false};
+  EXPECT_FALSE(net.evaluate(v11)[0]);  // f = !(a & b)
+  EXPECT_TRUE(net.evaluate(v10)[0]);
+}
+
+TEST(BlifReader, ConstantNodes) {
+  const std::string text = R"(
+.model consts
+.inputs a
+.outputs one zero f
+.names one
+1
+.names zero
+.names a one f
+11 1
+.end
+)";
+  const Network net = blif::read_string(text);
+  const bool v[] = {true};
+  const auto out = net.evaluate(v);
+  EXPECT_TRUE(out[0]);
+  EXPECT_FALSE(out[1]);
+  EXPECT_TRUE(out[2]);  // f = a & 1 = a
+}
+
+TEST(BlifReader, LineContinuationAndComments) {
+  const std::string text =
+      ".model cont\n.inputs a \\\nb\n.outputs f  # trailing comment\n"
+      ".names a b f\n11 1\n.end\n";
+  const Network net = blif::read_string(text);
+  EXPECT_EQ(net.num_pis(), 2u);
+  EXPECT_EQ(net.num_pos(), 1u);
+}
+
+TEST(BlifReader, ErrorsCarryLineNumbers) {
+  try {
+    (void)blif::read_string(".model x\n.inputs a\n.outputs f\n.names a f\n1x 1\n.end\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("blif:5"), std::string::npos) << e.what();
+  }
+}
+
+TEST(BlifReader, RejectsMixedCover) {
+  const std::string text =
+      ".model m\n.inputs a b\n.outputs f\n.names a b f\n11 1\n00 0\n.end\n";
+  EXPECT_THROW((void)blif::read_string(text), std::runtime_error);
+}
+
+TEST(BlifReader, RejectsDoubleDefinition) {
+  const std::string text =
+      ".model m\n.inputs a\n.outputs f\n.names a f\n1 1\n.names a f\n0 1\n.end\n";
+  EXPECT_THROW((void)blif::read_string(text), std::runtime_error);
+}
+
+TEST(BlifReader, DetectsCombinationalCycle) {
+  const std::string text =
+      ".model m\n.inputs a\n.outputs f\n.names g a f\n11 1\n.names f g\n1 1\n.end\n";
+  EXPECT_THROW((void)blif::read_string(text), std::runtime_error);
+}
+
+TEST(BlifWriter, RoundTripPreservesFunction) {
+  BenchSpec spec;
+  spec.name = "rt";
+  spec.num_pis = 7;
+  spec.num_pos = 4;
+  spec.gate_target = 50;
+  spec.seed = 17;
+  const Network net = generate_benchmark(spec);
+  const Network back = blif::read_string(blif::write_string(net));
+  EXPECT_EQ(back.num_pis(), net.num_pis());
+  EXPECT_EQ(back.num_pos(), net.num_pos());
+  EXPECT_TRUE(random_equivalent(net, back));
+}
+
+TEST(BlifWriter, RoundTripSequential) {
+  BenchSpec spec;
+  spec.name = "rtseq";
+  spec.num_pis = 5;
+  spec.num_pos = 3;
+  spec.num_latches = 4;
+  spec.gate_target = 40;
+  spec.seed = 18;
+  const Network net = generate_benchmark(spec);
+  const Network back = blif::read_string(blif::write_string(net));
+  EXPECT_EQ(back.num_latches(), net.num_latches());
+  for (std::size_t i = 0; i < net.num_latches(); ++i)
+    EXPECT_EQ(back.latches()[i].init, net.latches()[i].init);
+  EXPECT_TRUE(random_equivalent(net, back));
+}
+
+TEST(BlifWriter, RoundTripXorAndConstants) {
+  Network net;
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId c = net.add_pi("c");
+  net.add_po("x", net.add_gate(NodeKind::kXor, {a, b, c}));
+  net.add_po("k1", Network::const1());
+  net.add_po("k0", Network::const0());
+  const Network back = blif::read_string(blif::write_string(net));
+  EXPECT_TRUE(random_equivalent(net, back));
+}
+
+TEST(BlifFile, MissingFileThrows) {
+  EXPECT_THROW((void)blif::read_file("/nonexistent/x.blif"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dominosyn

@@ -1,0 +1,180 @@
+/// Integration tests for the end-to-end flow (§5): min-area vs min-power on
+/// stand-in circuits, equivalence, timing, and report integrity.
+
+#include <gtest/gtest.h>
+
+#include "benchgen/benchgen.hpp"
+#include "flow/flow.hpp"
+#include "flow/report.hpp"
+
+namespace dominosyn {
+namespace {
+
+BenchSpec small_spec(std::uint64_t seed, std::size_t latches = 0) {
+  BenchSpec spec;
+  spec.name = "flow" + std::to_string(seed);
+  spec.num_pis = 10;
+  spec.num_pos = 6;
+  spec.num_latches = latches;
+  spec.gate_target = 90;
+  spec.seed = seed;
+  return spec;
+}
+
+FlowOptions fast_options() {
+  FlowOptions options;
+  options.sim.steps = 600;
+  options.sim.warmup = 8;
+  return options;
+}
+
+TEST(Flow, ReportFieldsPopulated) {
+  const Network net = generate_benchmark(small_spec(1));
+  FlowOptions options = fast_options();
+  options.mode = PhaseMode::kMinPower;
+  const FlowReport report = run_flow(net, options);
+
+  EXPECT_EQ(report.pis, 10u);
+  EXPECT_EQ(report.pos, 6u);
+  EXPECT_GT(report.synth_gates, 0u);
+  EXPECT_GT(report.block_gates, 0u);
+  EXPECT_GT(report.cells, 0u);
+  EXPECT_GT(report.area, 0.0);
+  EXPECT_GT(report.est_power, 0.0);
+  EXPECT_GT(report.sim_power, 0.0);
+  EXPECT_GT(report.critical_delay, 0.0);
+  EXPECT_TRUE(report.equivalence_ok);
+  EXPECT_TRUE(report.used_exact_bdd);
+  EXPECT_EQ(report.assignment.size(), 6u);
+}
+
+TEST(Flow, MinPowerEstimateNeverAboveAllPositive) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Network net = generate_benchmark(small_spec(seed));
+    FlowOptions options = fast_options();
+    options.mode = PhaseMode::kAllPositive;
+    const auto base = run_flow(net, options);
+    options.mode = PhaseMode::kMinPower;
+    const auto mp = run_flow(net, options);
+    EXPECT_LE(mp.est_power, base.est_power + 1e-9) << seed;
+    EXPECT_TRUE(mp.equivalence_ok) << seed;
+  }
+}
+
+TEST(Flow, ExhaustiveLowerBoundsHeuristicOnSmallPoCount) {
+  BenchSpec spec = small_spec(7);
+  spec.num_pos = 5;
+  const Network net = generate_benchmark(spec);
+  FlowOptions options = fast_options();
+  options.mode = PhaseMode::kExhaustivePower;
+  const auto best = run_flow(net, options);
+  options.mode = PhaseMode::kMinPower;
+  const auto heuristic = run_flow(net, options);
+  EXPECT_LE(best.est_power, heuristic.est_power + 1e-9);
+}
+
+TEST(Flow, SequentialCircuitRunsEndToEnd) {
+  const Network net = generate_benchmark(small_spec(3, /*latches=*/4));
+  FlowOptions options = fast_options();
+  options.mode = PhaseMode::kMinPower;
+  const FlowReport report = run_flow(net, options);
+  EXPECT_EQ(report.latches, 4u);
+  EXPECT_TRUE(report.equivalence_ok);
+  EXPECT_GT(report.sim_power, 0.0);
+}
+
+TEST(Flow, TimedFlowMeetsSharedClock) {
+  const Network net = generate_benchmark(small_spec(4));
+  FlowOptions options = fast_options();
+  options.mode = PhaseMode::kMinArea;
+  const auto ma = run_flow(net, options);
+
+  // Table 2 methodology: both realizations must meet the same clock, set
+  // from the min-area critical path with a little margin.
+  const double clock = ma.critical_delay * 1.05;
+  options.clock_period = clock;
+  const auto ma_timed = run_flow(net, options);
+  options.mode = PhaseMode::kMinPower;
+  const auto mp_timed = run_flow(net, options);
+  EXPECT_TRUE(ma_timed.timing_met);
+  EXPECT_TRUE(mp_timed.timing_met);
+  EXPECT_LE(ma_timed.critical_delay, clock + 1e-9);
+  EXPECT_LE(mp_timed.critical_delay, clock + 1e-9);
+}
+
+TEST(Flow, RawBlifStyleInputIsNormalized) {
+  // A network with wide gates and internal inverters (not phase-ready) must
+  // be normalized inside run_flow.
+  Network net;
+  std::vector<NodeId> pis;
+  for (int i = 0; i < 5; ++i) pis.push_back(net.add_pi("p" + std::to_string(i)));
+  const NodeId wide = net.add_gate(NodeKind::kAnd, {pis[0], pis[1], pis[2]});
+  net.add_po("f", net.add_or(net.add_not(wide), net.add_xor(pis[3], pis[4])));
+  FlowOptions options = fast_options();
+  const FlowReport report = run_flow(net, options);
+  EXPECT_TRUE(report.equivalence_ok);
+  EXPECT_GT(report.cells, 0u);
+}
+
+TEST(Flow, ClockLoadAccounting) {
+  const Network net = generate_benchmark(small_spec(5));
+  FlowOptions with = fast_options();
+  with.count_clock_load = true;
+  const auto loaded = run_flow(net, with);
+  FlowOptions without = fast_options();
+  without.count_clock_load = false;
+  const auto unloaded = run_flow(net, without);
+  EXPECT_GT(loaded.sim_power, unloaded.sim_power);
+  EXPECT_NEAR(loaded.sim_breakdown.domino_block,
+              unloaded.sim_breakdown.domino_block, 1e-9);
+}
+
+TEST(Flow, RandomEquivalentDetectsDifference) {
+  Network a;
+  const NodeId pa = a.add_pi("x");
+  const NodeId pb = a.add_pi("y");
+  a.add_po("f", a.add_and(pa, pb));
+  Network b;
+  const NodeId qa = b.add_pi("x");
+  const NodeId qb = b.add_pi("y");
+  b.add_po("f", b.add_or(qa, qb));
+  EXPECT_FALSE(random_equivalent(a, b));
+  EXPECT_TRUE(random_equivalent(a, a));
+}
+
+TEST(Report, TextTableAlignsAndCounts) {
+  TextTable table;
+  table.header({"a", "bb"});
+  table.row({"ccc", "d"});
+  table.row({"e", "ffff"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("ccc"), std::string::npos);
+  EXPECT_NE(text.find("ffff"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2u);
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_pct(0.226, 1), "22.6");
+  EXPECT_EQ(fmt_pct(-0.028, 1), "-2.8");
+}
+
+TEST(Flow, PaperSuiteSpecsWellFormed) {
+  EXPECT_EQ(paper_suite().size(), 7u);
+  const auto& frg1 = paper_spec("frg1");
+  EXPECT_EQ(frg1.num_pis, 31u);
+  EXPECT_EQ(frg1.num_pos, 3u);
+  const auto& x3 = paper_spec("x3");
+  EXPECT_EQ(x3.num_pis, 235u);
+  EXPECT_EQ(x3.num_pos, 99u);
+  EXPECT_THROW((void)paper_spec("nope"), std::runtime_error);
+  // Generation is deterministic.
+  BenchSpec spec = paper_spec("frg1");
+  spec.gate_target = 60;
+  const Network n1 = generate_benchmark(spec);
+  const Network n2 = generate_benchmark(spec);
+  EXPECT_EQ(n1.num_nodes(), n2.num_nodes());
+  EXPECT_TRUE(random_equivalent(n1, n2));
+}
+
+}  // namespace
+}  // namespace dominosyn

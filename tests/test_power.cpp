@@ -1,0 +1,184 @@
+/// Tests for the power models (paper §2, Fig. 2 and Fig. 5) and the domino
+/// role classifier.
+
+#include <gtest/gtest.h>
+
+#include "benchgen/benchgen.hpp"
+#include "bdd/netbdd.hpp"
+#include "phase/assignment.hpp"
+#include "power/power.hpp"
+#include "util/rng.hpp"
+
+namespace dominosyn {
+namespace {
+
+TEST(Switching, Figure2Curves) {
+  // Domino: S = p (line).  Static: S = 2p(1-p), peak 0.5 at p = 0.5.
+  EXPECT_DOUBLE_EQ(domino_switching(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(domino_switching(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(domino_switching(0.25), 0.25);
+  EXPECT_DOUBLE_EQ(static_switching(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(static_switching(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(static_switching(0.5), 0.5);
+  // Above p = 0.5 the asymmetry appears: domino keeps rising, static falls.
+  EXPECT_GT(domino_switching(0.9), static_switching(0.9));
+  // Below 0.5 static switches *more* than domino only when 2(1-p) > 1.
+  EXPECT_LT(domino_switching(0.2), static_switching(0.2));
+}
+
+TEST(Classify, RolesOnSynthesizedBlock) {
+  const Network net = make_figure5_circuit();
+  // Negative-phase both outputs: duals + input inverters + output inverters.
+  const auto result =
+      synthesize_domino(net, {Phase::kNegative, Phase::kNegative});
+  const auto roles = classify_domino_roles(result.net);
+
+  std::size_t domino = 0, in_inv = 0, out_inv = 0;
+  for (NodeId id = 0; id < result.net.num_nodes(); ++id) {
+    switch (roles[id]) {
+      case DominoRole::kDominoGate: ++domino; break;
+      case DominoRole::kInputInverter: ++in_inv; break;
+      case DominoRole::kOutputInverter: ++out_inv; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(domino, 4u);
+  EXPECT_EQ(in_inv, 4u);
+  EXPECT_EQ(out_inv, 2u);
+}
+
+TEST(Classify, TrappedInverterRejected) {
+  Network net;
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  // NOT between two gates: not a boundary inverter.
+  const NodeId g = net.add_and(a, b);
+  net.add_po("f", net.add_or(net.add_not(g), b));
+  EXPECT_THROW((void)classify_domino_roles(net), std::runtime_error);
+}
+
+TEST(Classify, XorRejected) {
+  Network net;
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  net.add_po("f", net.add_xor(a, b));
+  EXPECT_THROW((void)classify_domino_roles(net), std::runtime_error);
+}
+
+TEST(Classify, LatchBoundaryInverterAllowed) {
+  Network net;
+  const NodeId s = net.add_latch("s");
+  const NodeId a = net.add_pi("a");
+  const NodeId inv = net.add_not(s);  // complemented state: input inverter
+  const NodeId g = net.add_and(inv, a);
+  net.set_latch_input(s, g);
+  net.add_po("f", g);
+  const auto roles = classify_domino_roles(net);
+  EXPECT_EQ(roles[inv], DominoRole::kInputInverter);
+}
+
+TEST(Power, Figure5BlockNumbersExact) {
+  // The central quantitative claim of Figure 5: with p(PI) = 0.9 the
+  // positive-phase block switches 3.6 per cycle, the dual block 0.40, and
+  // the dual's input inverters add 0.72.
+  const Network net = make_figure5_circuit();
+  const std::vector<double> pi_probs(4, 0.9);
+  const auto order = compute_order(net, OrderingKind::kReverseTopological);
+  const auto bdds = build_bdds(net, order);
+  const auto probs = exact_signal_probabilities(net, bdds, pi_probs);
+
+  const AssignmentEvaluator evaluator(net, probs);
+  const auto positive = evaluator.evaluate({Phase::kPositive, Phase::kPositive});
+  EXPECT_NEAR(positive.power.domino_block, 3.6, 1e-9);
+  EXPECT_NEAR(positive.power.input_inverters, 0.0, 1e-12);
+  EXPECT_NEAR(positive.power.output_inverters, 0.0, 1e-12);
+
+  const auto negative = evaluator.evaluate({Phase::kNegative, Phase::kNegative});
+  EXPECT_NEAR(negative.power.domino_block, 0.40, 1e-9);
+  EXPECT_NEAR(negative.power.input_inverters, 0.72, 1e-9);
+  // Output inverters (our convention: 2 edges per discharged cycle):
+  // 2 * (0.0019 + 0.1981) = 0.40.
+  EXPECT_NEAR(negative.power.output_inverters, 0.40, 1e-9);
+}
+
+TEST(Power, EvaluatorMatchesNetworkEstimateOnSynthesizedBlock) {
+  // Property: the fast polarity-walk estimate must equal the §4.2 power of
+  // the *materialized* network computed from its own exact probabilities.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    BenchSpec spec;
+    spec.name = "agree";
+    spec.num_pis = 8;
+    spec.num_pos = 4;
+    spec.gate_target = 50;
+    spec.seed = seed;
+    const Network net = generate_benchmark(spec);
+
+    const std::vector<double> pi_probs(net.num_pis(), 0.3 + 0.05 * seed);
+    const auto probs = signal_probabilities(net, pi_probs);
+    const AssignmentEvaluator evaluator(net, probs);
+
+    Rng rng(seed);
+    PhaseAssignment phases(net.num_pos());
+    for (auto& p : phases)
+      p = rng.bernoulli(0.5) ? Phase::kNegative : Phase::kPositive;
+
+    const auto fast = evaluator.evaluate(phases);
+    const auto domino = synthesize_domino(net, phases);
+    const auto domino_probs = signal_probabilities(
+        domino.net, std::vector<double>(domino.net.num_pis(), 0.3 + 0.05 * seed));
+    const auto slow = estimate_domino_network_power(domino.net, domino_probs);
+
+    EXPECT_NEAR(fast.power.domino_block, slow.domino_block, 1e-9) << seed;
+    EXPECT_NEAR(fast.power.input_inverters, slow.input_inverters, 1e-9) << seed;
+    EXPECT_NEAR(fast.power.output_inverters, slow.output_inverters, 1e-9) << seed;
+  }
+}
+
+TEST(Power, PenaltiesAndCapsScale) {
+  const Network net = make_figure5_circuit();
+  const std::vector<double> pi_probs(4, 0.9);
+  const auto probs = signal_probabilities(net, pi_probs);
+
+  PowerModelConfig config;
+  config.gate_cap = 2.0;
+  const AssignmentEvaluator doubled(net, probs, config);
+  const AssignmentEvaluator plain(net, probs);
+  const PhaseAssignment all_pos = {Phase::kPositive, Phase::kPositive};
+  EXPECT_NEAR(doubled.evaluate(all_pos).power.domino_block,
+              2.0 * plain.evaluate(all_pos).power.domino_block, 1e-12);
+
+  PowerModelConfig penalized;
+  penalized.penalty.and_mult = 3.0;
+  const AssignmentEvaluator pen(net, probs, penalized);
+  // fig5 all-positive: AND gates carry p=.81 and p=.8019.
+  const double base = plain.evaluate(all_pos).power.domino_block;
+  const double with_pen = pen.evaluate(all_pos).power.domino_block;
+  EXPECT_NEAR(with_pen - base, 2.0 * (0.81 + 0.8019), 1e-9);
+
+  PowerModelConfig additive;
+  additive.penalty.or_add = 0.5;
+  const AssignmentEvaluator add(net, probs, additive);
+  EXPECT_NEAR(add.evaluate(all_pos).power.domino_block - base, 2 * 0.5, 1e-12);
+}
+
+TEST(Power, ClockLoadChargesEveryGate) {
+  const Network net = make_figure5_circuit();
+  const auto probs = signal_probabilities(net, std::vector<double>(4, 0.5));
+  PowerModelConfig config;
+  config.clock_cap_per_gate = 0.25;
+  const AssignmentEvaluator evaluator(net, probs, config);
+  const auto cost = evaluator.evaluate(all_positive(net));
+  EXPECT_NEAR(cost.power.clock_load, 4 * 0.25, 1e-12);
+}
+
+TEST(Power, BreakdownTotalSums) {
+  PowerBreakdown b;
+  b.domino_block = 1.0;
+  b.input_inverters = 0.5;
+  b.output_inverters = 0.25;
+  b.clock_load = 0.125;
+  EXPECT_DOUBLE_EQ(b.total(), 1.875);
+}
+
+}  // namespace
+}  // namespace dominosyn

@@ -1,0 +1,228 @@
+/// Tests for the s-graph, the MFVS reductions of Fig. 8, the paper's
+/// symmetry transformation of Fig. 9, and the exact solver.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sgraph/mfvs.hpp"
+#include "sgraph/sgraph.hpp"
+#include "util/rng.hpp"
+
+namespace dominosyn {
+namespace {
+
+bool is_valid_fvs(const SGraph& graph, const std::vector<std::uint32_t>& fvs) {
+  std::vector<bool> removed(graph.num_vertices(), false);
+  for (const auto v : fvs) removed[v] = true;
+  return graph.is_acyclic_without(removed);
+}
+
+TEST(SGraph, FromNetworkStructuralDependencies) {
+  // s0 -> s1 -> s0 through combinational logic; s2 self-feeds.
+  Network net;
+  const NodeId a = net.add_pi("a");
+  const NodeId s0 = net.add_latch("s0");
+  const NodeId s1 = net.add_latch("s1");
+  const NodeId s2 = net.add_latch("s2");
+  net.set_latch_input(s0, net.add_and(s1, a));
+  net.set_latch_input(s1, net.add_or(s0, a));
+  net.set_latch_input(s2, net.add_and(s2, a));
+  net.add_po("f", s0);
+
+  const SGraph graph = SGraph::from_network(net);
+  EXPECT_EQ(graph.num_vertices(), 3u);
+  EXPECT_TRUE(graph.has_edge(1, 0));
+  EXPECT_TRUE(graph.has_edge(0, 1));
+  EXPECT_TRUE(graph.has_edge(2, 2));
+  EXPECT_FALSE(graph.has_edge(0, 2));
+  EXPECT_EQ(graph.num_edges(), 3u);
+}
+
+TEST(SGraph, AcyclicityAndTopoOrder) {
+  SGraph graph(3);
+  graph.add_edge(0, 1);
+  graph.add_edge(1, 2);
+  std::vector<bool> none(3, false);
+  EXPECT_TRUE(graph.is_acyclic_without(none));
+  const auto order = graph.topo_order_without(none);
+  EXPECT_EQ(order, (std::vector<std::uint32_t>{0, 1, 2}));
+
+  graph.add_edge(2, 0);
+  EXPECT_FALSE(graph.is_acyclic_without(none));
+  std::vector<bool> cut(3, false);
+  cut[0] = true;
+  EXPECT_TRUE(graph.is_acyclic_without(cut));
+}
+
+TEST(SGraph, DuplicateEdgesCollapse) {
+  SGraph graph(2);
+  graph.add_edge(0, 1);
+  graph.add_edge(0, 1);
+  EXPECT_EQ(graph.num_edges(), 1u);
+}
+
+TEST(Mfvs, EmptyAndAcyclicGraphs) {
+  EXPECT_TRUE(mfvs_heuristic(SGraph(0)).fvs.empty());
+  SGraph dag(4);
+  dag.add_edge(0, 1);
+  dag.add_edge(1, 2);
+  dag.add_edge(0, 3);
+  EXPECT_TRUE(mfvs_heuristic(dag).fvs.empty());
+}
+
+TEST(Mfvs, SelfLoopRule) {
+  SGraph graph(2);
+  graph.add_edge(0, 0);
+  graph.add_edge(0, 1);
+  const auto result = mfvs_heuristic(graph);
+  EXPECT_EQ(result.fvs, (std::vector<std::uint32_t>{0}));
+}
+
+TEST(Mfvs, SimpleCycleCutsOneVertex) {
+  SGraph graph(4);
+  for (std::uint32_t v = 0; v < 4; ++v) graph.add_edge(v, (v + 1) % 4);
+  const auto result = mfvs_heuristic(graph);
+  EXPECT_EQ(result.fvs.size(), 1u);
+  EXPECT_TRUE(is_valid_fvs(graph, result.fvs));
+}
+
+TEST(Mfvs, TwoDisjointCycles) {
+  SGraph graph(6);
+  graph.add_edge(0, 1);
+  graph.add_edge(1, 0);
+  graph.add_edge(2, 3);
+  graph.add_edge(3, 4);
+  graph.add_edge(4, 2);
+  (void)graph;  // vertex 5 isolated
+  const auto result = mfvs_heuristic(graph);
+  EXPECT_EQ(result.fvs.size(), 2u);
+  EXPECT_TRUE(is_valid_fvs(graph, result.fvs));
+}
+
+/// The exact graph of Figure 9: A,B,E with identical fanins/fanouts {C,D},
+/// and C,D with identical fanins/fanouts {A,B,E}.  Strongly connected; no
+/// classic reduction applies, but symmetrization groups ABE (w=3) and CD
+/// (w=2); bypassing the heavier ABE leaves a self-loop on CD, so the cut is
+/// {C, D}.
+SGraph figure9_graph() {
+  SGraph graph(5);  // 0=A, 1=B, 2=C, 3=D, 4=E
+  for (const std::uint32_t abe : {0u, 1u, 4u})
+    for (const std::uint32_t cd : {2u, 3u}) {
+      graph.add_edge(abe, cd);
+      graph.add_edge(cd, abe);
+    }
+  return graph;
+}
+
+TEST(Mfvs, Figure9SymmetryTransformation) {
+  const SGraph graph = figure9_graph();
+  const auto with_symmetry = mfvs_heuristic(graph, {.use_symmetry = true});
+  EXPECT_EQ(with_symmetry.fvs, (std::vector<std::uint32_t>{2, 3}));  // {C, D}
+  EXPECT_EQ(with_symmetry.symmetry_merges, 3u);  // B,E into A; D into C
+
+  // The exact optimum is also {C, D} (2 vertices).
+  const auto exact = mfvs_exact(graph);
+  EXPECT_EQ(exact.size(), 2u);
+
+  // Without symmetry the heuristic must still return a *valid* FVS.
+  const auto without = mfvs_heuristic(graph, {.use_symmetry = false});
+  EXPECT_TRUE(is_valid_fvs(graph, without.fvs));
+  EXPECT_GE(without.fvs.size(), 2u);
+}
+
+TEST(Mfvs, SymmetryNeverWorseOnCloneHeavyGraphs) {
+  // Graphs built by cloning vertices (same fanin/fanout), mimicking the
+  // duplication phase assignment introduces.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    SGraph graph(12);
+    // Random base cycle structure over vertices 0..3.
+    for (std::uint32_t v = 0; v < 4; ++v) graph.add_edge(v, (v + 1) % 4);
+    // Vertices 4..11 are clones of base vertices.
+    for (std::uint32_t v = 4; v < 12; ++v) {
+      const auto base = static_cast<std::uint32_t>(rng.below(4));
+      for (const auto s : graph.successors(base))
+        if (s != v) graph.add_edge(v, s);
+      for (const auto p : graph.predecessors(base))
+        if (p != v) graph.add_edge(p, v);
+    }
+    const auto with = mfvs_heuristic(graph, {.use_symmetry = true});
+    const auto without = mfvs_heuristic(graph, {.use_symmetry = false});
+    EXPECT_TRUE(is_valid_fvs(graph, with.fvs)) << seed;
+    EXPECT_TRUE(is_valid_fvs(graph, without.fvs)) << seed;
+    EXPECT_LE(with.fvs.size(), without.fvs.size() + 1) << seed;
+  }
+}
+
+class MfvsRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MfvsRandom, HeuristicValidAndNearExact) {
+  Rng rng(GetParam());
+  const std::size_t n = 8 + rng.below(5);
+  SGraph graph(n);
+  const std::size_t edges = n + rng.below(2 * n);
+  for (std::size_t e = 0; e < edges; ++e)
+    graph.add_edge(static_cast<std::uint32_t>(rng.below(n)),
+                   static_cast<std::uint32_t>(rng.below(n)));
+
+  const auto heuristic = mfvs_heuristic(graph);
+  EXPECT_TRUE(is_valid_fvs(graph, heuristic.fvs));
+
+  const auto exact = mfvs_exact(graph);
+  EXPECT_TRUE(is_valid_fvs(graph, exact));
+  EXPECT_LE(exact.size(), heuristic.fvs.size());
+  // The reductions are strong on small graphs; allow slack of 2.
+  EXPECT_LE(heuristic.fvs.size(), exact.size() + 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MfvsRandom, ::testing::Range<std::uint64_t>(1, 17));
+
+TEST(MfvsExact, MatchesBruteForceOnTinyGraphs) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed * 31);
+    const std::size_t n = 5;
+    SGraph graph(n);
+    for (std::size_t e = 0; e < 9; ++e)
+      graph.add_edge(static_cast<std::uint32_t>(rng.below(n)),
+                     static_cast<std::uint32_t>(rng.below(n)));
+    // Brute force: smallest subset whose removal kills all cycles.
+    std::size_t best = n;
+    for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+      std::vector<bool> removed(n, false);
+      std::size_t size = 0;
+      for (std::size_t v = 0; v < n; ++v)
+        if ((mask >> v) & 1u) {
+          removed[v] = true;
+          ++size;
+        }
+      if (size < best && graph.is_acyclic_without(removed)) best = size;
+    }
+    EXPECT_EQ(mfvs_exact(graph).size(), best) << "seed " << seed;
+  }
+}
+
+TEST(Mfvs, BypassRuleContractsChains) {
+  // 0 -> 1 -> 2 -> 0 with an extra chord 0 -> 2: still one cut suffices.
+  SGraph graph(3);
+  graph.add_edge(0, 1);
+  graph.add_edge(1, 2);
+  graph.add_edge(2, 0);
+  graph.add_edge(0, 2);
+  const auto result = mfvs_heuristic(graph);
+  EXPECT_EQ(result.fvs.size(), 1u);
+  EXPECT_TRUE(is_valid_fvs(graph, result.fvs));
+  EXPECT_GT(result.reductions, 0u);
+}
+
+TEST(Mfvs, VerifyFlagRuns) {
+  SGraph graph(2);
+  graph.add_edge(0, 1);
+  graph.add_edge(1, 0);
+  MfvsOptions options;
+  options.verify = true;
+  EXPECT_NO_THROW((void)mfvs_heuristic(graph, options));
+}
+
+}  // namespace
+}  // namespace dominosyn

@@ -1,0 +1,265 @@
+/// Tests for the power simulator (PowerMill substitute): statistical vector
+/// generation, domino clocked semantics (Properties 2.1 / 2.2), event-driven
+/// static glitching, and estimator-vs-simulator agreement.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "benchgen/benchgen.hpp"
+#include "bdd/netbdd.hpp"
+#include "phase/assignment.hpp"
+#include "sim/sim.hpp"
+#include "util/rng.hpp"
+
+namespace dominosyn {
+namespace {
+
+TEST(VectorGenerator, MatchesTargetProbabilities) {
+  VectorGenerator gen({0.1, 0.5, 0.9}, 77);
+  std::vector<std::uint64_t> words;
+  std::array<std::uint64_t, 3> ones{};
+  constexpr int kSteps = 3000;
+  for (int step = 0; step < kSteps; ++step) {
+    gen.next(words);
+    for (int i = 0; i < 3; ++i)
+      ones[i] += static_cast<std::uint64_t>(__builtin_popcountll(words[i]));
+  }
+  const double n = 64.0 * kSteps;
+  EXPECT_NEAR(ones[0] / n, 0.1, 0.01);
+  EXPECT_NEAR(ones[1] / n, 0.5, 0.01);
+  EXPECT_NEAR(ones[2] / n, 0.9, 0.01);
+}
+
+TEST(VectorGenerator, Deterministic) {
+  VectorGenerator a({0.5}, 5), b({0.5}, 5);
+  std::vector<std::uint64_t> wa, wb;
+  for (int i = 0; i < 10; ++i) {
+    a.next(wa);
+    b.next(wb);
+    EXPECT_EQ(wa, wb);
+  }
+}
+
+TEST(DominoSim, Property21SwitchingEqualsSignalProbability) {
+  // For every domino gate, the measured discharge rate must equal the
+  // measured one-rate (exactly — it's the same event), and both must match
+  // the exact BDD signal probability.
+  const Network net = make_figure5_circuit();
+  const std::vector<double> pi_probs(4, 0.9);
+  SimPowerOptions options;
+  options.steps = 4000;
+  options.warmup = 10;
+  const auto sim = simulate_domino_power(net, pi_probs, options);
+  const auto probs = signal_probabilities(net, pi_probs);
+
+  for (NodeId id = 0; id < net.num_nodes(); ++id) {
+    if (!is_gate_kind(net.kind(id))) continue;
+    EXPECT_DOUBLE_EQ(sim.activity[id], sim.one_rate[id]) << id;
+    EXPECT_NEAR(sim.activity[id], probs[id], 0.01) << id;
+  }
+}
+
+TEST(DominoSim, Property22NoGateExceedsOneDischargePerCycle) {
+  BenchSpec spec;
+  spec.name = "p22";
+  spec.num_pis = 8;
+  spec.num_pos = 4;
+  spec.gate_target = 60;
+  spec.seed = 3;
+  const Network net = generate_benchmark(spec);
+  const auto domino = synthesize_domino(net, all_positive(net));
+  SimPowerOptions options;
+  options.steps = 200;
+  const auto sim = simulate_domino_power(domino.net, std::vector<double>(8, 0.5),
+                                         options);
+  for (const double rate : sim.activity) EXPECT_LE(rate, 1.0 + 1e-12);
+}
+
+TEST(DominoSim, BlockEnergyMatchesFigure5) {
+  const Network net = make_figure5_circuit();
+  const std::vector<double> pi_probs(4, 0.9);
+  SimPowerOptions options;
+  options.steps = 6000;
+  options.warmup = 16;
+  const auto positive = simulate_domino_power(net, pi_probs, options);
+  EXPECT_NEAR(positive.per_cycle.domino_block, 3.6, 0.02);
+
+  const auto dual =
+      synthesize_domino(net, {Phase::kNegative, Phase::kNegative});
+  const auto negative = simulate_domino_power(dual.net, pi_probs, options);
+  EXPECT_NEAR(negative.per_cycle.domino_block, 0.40, 0.01);
+  EXPECT_NEAR(negative.per_cycle.input_inverters, 0.72, 0.02);
+  EXPECT_NEAR(negative.per_cycle.output_inverters, 0.40, 0.01);
+}
+
+TEST(DominoSim, SequentialLanesEvolveIndependently) {
+  // Shift register s1 <- a, s0 <- s1, PO = s0: one-rate of s0 equals p(a).
+  Network net;
+  const NodeId a = net.add_pi("a");
+  const NodeId s1 = net.add_latch("s1");
+  const NodeId s0 = net.add_latch("s0");
+  net.set_latch_input(s1, a);
+  net.set_latch_input(s0, s1);
+  net.add_po("f", net.add_and(s0, s1));
+
+  SimPowerOptions options;
+  options.steps = 3000;
+  const auto sim = simulate_domino_power(net, std::vector<double>(1, 0.3), options);
+  EXPECT_NEAR(sim.one_rate[s0], 0.3, 0.01);
+  EXPECT_NEAR(sim.one_rate[s1], 0.3, 0.01);
+  // s0 and s1 are consecutive samples of an iid stream: AND rate = 0.09.
+  EXPECT_NEAR(sim.one_rate[net.pos()[0].driver], 0.09, 0.01);
+}
+
+TEST(DominoSim, LatchInitRespected) {
+  Network net;
+  const NodeId s = net.add_latch("s", LatchInit::kOne);
+  net.set_latch_input(s, s);  // holds forever
+  net.add_po("f", s);
+  SimPowerOptions options;
+  options.steps = 64;
+  options.warmup = 1;
+  const auto sim = simulate_domino_power(net, {}, options);
+  EXPECT_DOUBLE_EQ(sim.one_rate[s], 1.0);
+}
+
+TEST(DominoSim, NodeCapsOverrideModelCaps) {
+  const Network net = make_figure5_circuit();
+  SimPowerOptions base;
+  base.steps = 500;
+  const auto plain = simulate_domino_power(net, std::vector<double>(4, 0.9), base);
+
+  SimPowerOptions scaled = base;
+  scaled.node_caps.assign(net.num_nodes(), 3.0);
+  const auto big = simulate_domino_power(net, std::vector<double>(4, 0.9), scaled);
+  EXPECT_NEAR(big.per_cycle.domino_block, 3.0 * plain.per_cycle.domino_block, 1e-9);
+}
+
+TEST(DominoSim, EstimatorAgreesOnRandomBlocks) {
+  // End-to-end: analytic §4.2 estimate vs measured power on synthesized
+  // domino realizations, multiple seeds and phases.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    BenchSpec spec;
+    spec.name = "agree";
+    spec.num_pis = 9;
+    spec.num_pos = 5;
+    spec.gate_target = 55;
+    spec.seed = seed;
+    const Network net = generate_benchmark(spec);
+    const double pi_p = 0.35 + 0.1 * seed;
+    const std::vector<double> pi_probs(net.num_pis(), pi_p);
+    const AssignmentEvaluator evaluator(net, signal_probabilities(net, pi_probs));
+
+    Rng rng(seed);
+    PhaseAssignment phases(net.num_pos());
+    for (auto& p : phases)
+      p = rng.bernoulli(0.5) ? Phase::kNegative : Phase::kPositive;
+
+    const auto est = evaluator.evaluate(phases);
+    const auto domino = synthesize_domino(net, phases);
+    SimPowerOptions options;
+    options.steps = 2500;
+    const auto sim = simulate_domino_power(domino.net, pi_probs, options);
+    EXPECT_NEAR(sim.per_cycle.total(), est.power.total(),
+                0.05 * est.power.total() + 0.05)
+        << "seed " << seed;
+  }
+}
+
+// ---- event-driven static simulation ------------------------------------------
+
+TEST(EventSim, ZeroDelaySwitchingMatchesTheory) {
+  // A single static AND at p = 0.5: value changes per cycle = 2*p*(1-p)
+  // with p = P(and) = 0.25 -> 0.375.
+  Network net;
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId g = net.add_and(a, b);
+  net.add_po("f", g);
+
+  EventSim sim(net, std::vector<std::uint32_t>(net.num_nodes(), 0));
+  Rng rng(13);
+  bool vec[2];
+  constexpr int kCycles = 40000;
+  for (int cycle = 0; cycle <= kCycles; ++cycle) {
+    vec[0] = rng.bernoulli(0.5);
+    vec[1] = rng.bernoulli(0.5);
+    sim.apply({vec, 2});
+  }
+  const double rate =
+      static_cast<double>(sim.transition_counts()[g]) / kCycles;
+  EXPECT_NEAR(rate, 2 * 0.25 * 0.75, 0.01);
+}
+
+TEST(EventSim, GlitchAppearsUnderSkewedDelays) {
+  // f = a & !a' where a' is a delayed copy through a long inverter chain:
+  // static hazard — with delays the AND pulses, at zero delay it never moves.
+  Network net;
+  const NodeId a = net.add_pi("a");
+  NodeId chain = net.add_not(a);
+  chain = net.add_not(chain);
+  chain = net.add_not(chain);  // odd chain: logical !a
+  const NodeId g = net.add_and(a, chain);  // logically a & !a = 0
+  net.add_po("f", g);
+
+  EventSim delayed(net);  // unit delays
+  EventSim zero(net, std::vector<std::uint32_t>(net.num_nodes(), 0));
+  Rng rng(3);
+  bool vec[1];
+  constexpr int kCycles = 5000;
+  for (int cycle = 0; cycle <= kCycles; ++cycle) {
+    vec[0] = rng.bernoulli(0.5);
+    delayed.apply({vec, 1});
+    zero.apply({vec, 1});
+  }
+  // Under zero delay the hazard never fires: f is the constant 0.
+  EXPECT_EQ(zero.transition_counts()[g], 0u);
+  // With the skewed path every a-rise produces a glitch pulse (2 edges).
+  EXPECT_GT(delayed.transition_counts()[g], 1000u);
+
+  // The whole-network glitch factor also exceeds 1: the NOT chain switches
+  // in both simulations, but the AND only with real delays.
+  const auto report = measure_static_glitching(net, std::vector<double>(1, 0.5),
+                                               kCycles, 3);
+  EXPECT_GT(report.glitch_factor(), 1.0);
+}
+
+TEST(EventSim, GlitchFactorAtLeastOneOnRandomLogic) {
+  BenchSpec spec;
+  spec.name = "glitch";
+  spec.num_pis = 8;
+  spec.num_pos = 4;
+  spec.gate_target = 60;
+  spec.seed = 6;
+  const Network net = generate_benchmark(spec);
+  const auto report = measure_static_glitching(net, std::vector<double>(8, 0.5),
+                                               2000, 4);
+  EXPECT_GE(report.glitch_factor(), 0.999);
+  EXPECT_GT(report.zero_delay_transitions_per_cycle, 0.0);
+}
+
+TEST(EventSim, RejectsSequentialNetworks) {
+  Network net;
+  const NodeId s = net.add_latch("s");
+  net.set_latch_input(s, s);
+  net.add_po("f", s);
+  EXPECT_THROW(EventSim sim(net), std::runtime_error);
+}
+
+TEST(EventSim, TransitionCountsResettable) {
+  Network net;
+  const NodeId a = net.add_pi("a");
+  net.add_po("f", net.add_not(a));
+  EventSim sim(net);
+  bool v0[] = {false}, v1[] = {true};
+  sim.apply({v0, 1});
+  sim.apply({v1, 1});
+  EXPECT_GT(sim.transition_counts()[net.pos()[0].driver], 0u);
+  sim.reset_counts();
+  EXPECT_EQ(sim.transition_counts()[net.pos()[0].driver], 0u);
+  EXPECT_FALSE(sim.value(net.pos()[0].driver));
+}
+
+}  // namespace
+}  // namespace dominosyn
