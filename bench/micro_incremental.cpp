@@ -1,0 +1,337 @@
+/// \file micro_incremental.cpp
+/// Wall-time comparison of the three evaluation strategies for the §4.1
+/// min-power search and the exhaustive 2^P search:
+///   * full       — the seed's code path: every candidate re-scored with
+///                  AssignmentEvaluator::evaluate(), O(nodes) per trial
+///                  (a faithful local copy of the pre-engine search loop),
+///   * incremental — EvalState::apply_flip/undo, O(|cone|) per trial,
+///   * parallel   — incremental plus the thread-parallel search layer.
+/// Emits JSON so future PRs can track the perf trajectory.
+///
+/// Usage: micro_incremental [num_threads] [gate_target] [num_pos]
+///   num_threads  0 = one per hardware thread (default), 1 = sequential
+///   gate_target  synthesis gate budget of the main circuit (default 2000)
+///   num_pos      outputs of the main circuit (default 48; >= 32 keeps the
+///                acceptance scenario)
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <limits>
+#include <vector>
+
+#include "bdd/netbdd.hpp"
+#include "benchgen/benchgen.hpp"
+#include "phase/eval.hpp"
+#include "phase/search.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace dominosyn;
+
+/// The seed's min_power_assignment (§4.1 pairwise loop + polish descent),
+/// kept verbatim except that every measurement goes through the full
+/// O(nodes) evaluate() — the baseline this PR replaced.
+MinPowerResult seed_full_reeval_min_power(const AssignmentEvaluator& evaluator,
+                                          const ConeOverlap& overlap) {
+  const Network& net = evaluator.network();
+  const std::size_t num_pos = net.num_pos();
+  constexpr double kEps = 1e-12;
+
+  MinPowerResult result;
+  result.assignment = all_positive(net);
+  result.cost = evaluator.evaluate(result.assignment);
+  result.initial_power = result.cost.power.total();
+  result.final_power = result.initial_power;
+  if (num_pos < 2) return result;
+
+  std::vector<std::pair<std::size_t, std::size_t>> candidates;
+  candidates.reserve(num_pos * (num_pos - 1) / 2);
+  for (std::size_t i = 0; i < num_pos; ++i)
+    for (std::size_t j = i + 1; j < num_pos; ++j) candidates.emplace_back(i, j);
+
+  std::vector<double> cone_size(num_pos);
+  for (std::size_t i = 0; i < num_pos; ++i)
+    cone_size[i] = static_cast<double>(overlap.cone_size(i));
+  std::vector<double> avg = evaluator.cone_average_probs(result.assignment);
+
+  struct Scored {
+    double k = 0.0;
+    bool flip_i = false;
+    bool flip_j = false;
+  };
+  const auto score_pair = [&](std::size_t i, std::size_t j) {
+    Scored best;
+    best.k = std::numeric_limits<double>::infinity();
+    const double o = overlap.overlap(i, j);
+    for (const bool fi : {false, true}) {
+      const double ai = fi ? 1.0 - avg[i] : avg[i];
+      for (const bool fj : {false, true}) {
+        const double aj = fj ? 1.0 - avg[j] : avg[j];
+        const double k =
+            cone_size[i] * ai + cone_size[j] * aj + 0.5 * o * (ai + aj);
+        if (k < best.k) best = Scored{k, fi, fj};
+      }
+    }
+    return best;
+  };
+
+  std::vector<std::pair<double, std::size_t>> queue;
+  std::vector<bool> consumed(candidates.size(), false);
+  const auto rebuild_queue = [&] {
+    queue.clear();
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      if (consumed[c]) continue;
+      queue.emplace_back(score_pair(candidates[c].first, candidates[c].second).k,
+                         c);
+    }
+    std::sort(queue.begin(), queue.end());
+  };
+  rebuild_queue();
+  std::size_t queue_head = 0;
+  std::size_t remaining = candidates.size();
+
+  const auto with_flips = [](PhaseAssignment phases, std::size_t i, bool fi,
+                             std::size_t j, bool fj) {
+    const auto flip = [](Phase p) {
+      return p == Phase::kPositive ? Phase::kNegative : Phase::kPositive;
+    };
+    if (fi) phases[i] = flip(phases[i]);
+    if (fj) phases[j] = flip(phases[j]);
+    return phases;
+  };
+
+  while (remaining > 0) {
+    while (queue_head < queue.size() && consumed[queue[queue_head].second])
+      ++queue_head;
+    if (queue_head >= queue.size()) {
+      rebuild_queue();
+      queue_head = 0;
+    }
+    const std::size_t pick = queue[queue_head].second;
+    const auto [i, j] = candidates[pick];
+    const Scored scored = score_pair(i, j);
+
+    const PhaseAssignment trial =
+        with_flips(result.assignment, i, scored.flip_i, j, scored.flip_j);
+    const AssignmentCost trial_cost = evaluator.evaluate(trial);  // O(nodes)
+    ++result.trials;
+    consumed[pick] = true;
+    --remaining;
+    if (trial_cost.power.total() < result.final_power - kEps) {
+      result.assignment = trial;
+      result.cost = trial_cost;
+      result.final_power = trial_cost.power.total();
+      ++result.commits;
+      avg = evaluator.cone_average_probs(result.assignment);
+      rebuild_queue();
+      queue_head = 0;
+    }
+  }
+
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (std::size_t i = 0; i < num_pos; ++i) {
+      PhaseAssignment trial = result.assignment;
+      trial[i] = trial[i] == Phase::kPositive ? Phase::kNegative
+                                              : Phase::kPositive;
+      const AssignmentCost trial_cost = evaluator.evaluate(trial);  // O(nodes)
+      ++result.trials;
+      if (trial_cost.power.total() < result.final_power - kEps) {
+        result.assignment = std::move(trial);
+        result.cost = trial_cost;
+        result.final_power = trial_cost.power.total();
+        ++result.commits;
+        improved = true;
+      }
+    }
+  }
+  return result;
+}
+
+Network make_circuit(const std::string& name, std::size_t gates,
+                     std::size_t pos) {
+  BenchSpec spec;
+  spec.name = name;
+  spec.num_pis = 24;
+  spec.num_pos = pos;
+  spec.gate_target = gates;
+  spec.seed = 77;
+  return generate_benchmark(spec);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto parse_arg = [&](int index, long fallback, long min_value,
+                             long& out) {
+    if (argc <= index) {
+      out = fallback;
+      return true;
+    }
+    char* end = nullptr;
+    out = std::strtol(argv[index], &end, 10);
+    return end != argv[index] && *end == '\0' && out >= min_value;
+  };
+  long threads_arg = 0, gates_arg = 0, pos_arg = 0;
+  if (!parse_arg(1, 0, 0, threads_arg) ||     // 0 = hardware
+      !parse_arg(2, 2000, 1, gates_arg) ||
+      !parse_arg(3, 48, 1, pos_arg)) {
+    std::cerr << "usage: micro_incremental [num_threads>=0] [gate_target>=1]"
+                 " [num_pos>=1]\n";
+    return 2;
+  }
+  const unsigned num_threads = static_cast<unsigned>(threads_arg);
+  const std::size_t gate_target = static_cast<std::size_t>(gates_arg);
+  const std::size_t num_pos = static_cast<std::size_t>(pos_arg);
+
+  const Network net = make_circuit("inc", gate_target, num_pos);
+  const std::vector<double> pi_probs(net.num_pis(), 0.5);
+  const AssignmentEvaluator evaluator(net, signal_probabilities(net, pi_probs));
+  const ConeOverlap overlap(net);
+  Stopwatch stopwatch;
+
+  // -- raw candidate-evaluation throughput ------------------------------------
+  const std::size_t walk = 2000;
+  Rng rng(5);
+  std::vector<std::size_t> flips(walk);
+  for (auto& f : flips) f = rng.below(net.num_pos());
+
+  PhaseAssignment phases = all_positive(net);
+  stopwatch.restart();
+  double sink = 0.0;
+  for (const std::size_t f : flips) {
+    phases[f] = phases[f] == Phase::kPositive ? Phase::kNegative
+                                              : Phase::kPositive;
+    sink += evaluator.evaluate(phases).power.total();
+  }
+  const double full_eval_seconds = stopwatch.seconds();
+
+  EvalState state(evaluator.context(), all_positive(net));
+  stopwatch.restart();
+  double sink2 = 0.0;
+  for (const std::size_t f : flips) {
+    state.apply_flip(f);
+    sink2 += state.power_total();
+  }
+  const double incremental_eval_seconds = stopwatch.seconds();
+  if (sink != sink2) {
+    std::cerr << "FATAL: incremental walk diverged from full evaluation\n";
+    return 1;
+  }
+
+  // -- §4.1 min-power search --------------------------------------------------
+  stopwatch.restart();
+  const MinPowerResult full = seed_full_reeval_min_power(evaluator, overlap);
+  const double full_search_seconds = stopwatch.seconds();
+
+  MinPowerOptions sequential;
+  sequential.num_threads = 1;
+  stopwatch.restart();
+  const MinPowerResult incremental =
+      min_power_assignment(evaluator, overlap, sequential);
+  const double incremental_search_seconds = stopwatch.seconds();
+
+  MinPowerOptions threaded;
+  threaded.num_threads = num_threads;
+  stopwatch.restart();
+  const MinPowerResult parallel =
+      min_power_assignment(evaluator, overlap, threaded);
+  const double parallel_search_seconds = stopwatch.seconds();
+
+  if (incremental.final_power != full.final_power ||
+      parallel.final_power != incremental.final_power) {
+    std::cerr << "FATAL: search arms disagree on the final power\n";
+    return 1;
+  }
+
+  // -- exhaustive 2^P sharding (secondary circuit) ----------------------------
+  const Network small = make_circuit("exh", 600, 14);
+  const AssignmentEvaluator small_eval(
+      small, signal_probabilities(small, std::vector<double>(small.num_pis(), 0.5)));
+
+  stopwatch.restart();
+  {  // seed path: binary-order scan, full evaluation per code
+    PhaseAssignment scan(small.num_pos(), Phase::kPositive);
+    double best = std::numeric_limits<double>::infinity();
+    for (std::uint64_t code = 0; code < (1ULL << small.num_pos()); ++code) {
+      for (std::size_t i = 0; i < small.num_pos(); ++i)
+        scan[i] = ((code >> i) & 1ULL) != 0 ? Phase::kNegative : Phase::kPositive;
+      best = std::min(best, small_eval.evaluate(scan).power.total());
+    }
+    sink += best;
+  }
+  const double exhaustive_full_seconds = stopwatch.seconds();
+
+  ExhaustiveOptions exh_seq;
+  exh_seq.num_threads = 1;
+  stopwatch.restart();
+  const SearchResult exh_inc = exhaustive_min_power(small_eval, exh_seq);
+  const double exhaustive_incremental_seconds = stopwatch.seconds();
+
+  ExhaustiveOptions exh_par;
+  exh_par.num_threads = num_threads;
+  stopwatch.restart();
+  const SearchResult exh_shard = exhaustive_min_power(small_eval, exh_par);
+  const double exhaustive_parallel_seconds = stopwatch.seconds();
+  if (exh_shard.cost.power.total() != exh_inc.cost.power.total()) {
+    std::cerr << "FATAL: sharded exhaustive disagrees\n";
+    return 1;
+  }
+
+  const unsigned resolved = ThreadPool::resolve_threads(num_threads);
+  std::cout.precision(6);
+  std::cout << "{\n"
+            << "  \"bench\": \"micro_incremental\",\n"
+            << "  \"num_threads\": " << resolved << ",\n"
+            << "  \"hardware_threads\": " << ThreadPool::resolve_threads(0) << ",\n"
+            << "  \"circuit\": {\"name\": \"" << net.name() << "\", \"gates\": "
+            << net.num_gates() << ", \"pis\": " << net.num_pis()
+            << ", \"pos\": " << net.num_pos() << "},\n"
+            << "  \"candidate_eval\": {\n"
+            << "    \"walk_flips\": " << walk << ",\n"
+            << "    \"full_seconds\": " << full_eval_seconds << ",\n"
+            << "    \"incremental_seconds\": " << incremental_eval_seconds
+            << ",\n"
+            << "    \"speedup\": "
+            << full_eval_seconds / incremental_eval_seconds << "\n"
+            << "  },\n"
+            << "  \"minpower_search\": {\n"
+            << "    \"trials\": " << incremental.trials << ",\n"
+            << "    \"final_power\": " << incremental.final_power << ",\n"
+            << "    \"full_reeval_seconds\": " << full_search_seconds
+            << ",\n"
+            << "    \"incremental_seconds\": "
+            << incremental_search_seconds << ",\n"
+            << "    \"parallel_seconds\": " << parallel_search_seconds
+            << ",\n"
+            << "    \"speedup_incremental\": "
+            << full_search_seconds / incremental_search_seconds << ",\n"
+            << "    \"speedup_parallel\": "
+            << full_search_seconds / parallel_search_seconds << "\n"
+            << "  },\n"
+            << "  \"exhaustive_search\": {\n"
+            << "    \"circuit\": {\"name\": \"" << small.name()
+            << "\", \"gates\": " << small.num_gates() << ", \"pos\": "
+            << small.num_pos() << "},\n"
+            << "    \"candidates\": " << (1ULL << small.num_pos()) << ",\n"
+            << "    \"full_seconds\": " << exhaustive_full_seconds
+            << ",\n"
+            << "    \"incremental_seconds\": "
+            << exhaustive_incremental_seconds << ",\n"
+            << "    \"parallel_seconds\": "
+            << exhaustive_parallel_seconds << ",\n"
+            << "    \"speedup_incremental\": "
+            << exhaustive_full_seconds / exhaustive_incremental_seconds
+            << ",\n"
+            << "    \"speedup_parallel\": "
+            << exhaustive_full_seconds / exhaustive_parallel_seconds
+            << "\n"
+            << "  }\n"
+            << "}\n";
+  return 0;
+}

@@ -12,6 +12,7 @@
 /// with frg1 at 34.1% saving for 48% area penalty and Industry 2 slightly
 /// *losing* power (-2.8%).
 
+#include <cstdlib>
 #include <iostream>
 
 #include "benchgen/benchgen.hpp"
@@ -19,8 +20,19 @@
 #include "flow/report.hpp"
 #include "util/stopwatch.hpp"
 
-int main() {
+/// Usage: table1 [num_threads]   (0 = one per hardware thread; default 1)
+int main(int argc, char** argv) {
   using namespace dominosyn;
+  long threads_arg = 1;
+  if (argc > 1) {
+    char* end = nullptr;
+    threads_arg = std::strtol(argv[1], &end, 10);
+    if (end == argv[1] || *end != '\0' || threads_arg < 0) {
+      std::cerr << "table1: num_threads must be an integer >= 0 (0 = hardware)\n";
+      return 2;
+    }
+  }
+
   std::cout << "=== Table 1: synthesis at PI signal probability 0.5 ===\n"
             << "(stand-in circuits; paper's PI/PO counts; see DESIGN.md)\n\n";
 
@@ -28,6 +40,7 @@ int main() {
   options.pi_prob = 0.5;
   options.sim.steps = 1024;
   options.sim.warmup = 16;
+  options.num_threads = static_cast<unsigned>(threads_arg);
 
   TextTable table;
   table.header({"Ckt", "Desc.", "#PIs", "#POs", "MA Size", "MA Pwr", "MP Size",

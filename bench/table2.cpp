@@ -9,6 +9,7 @@
 /// modest, and at least one circuit (x3) ends with the MP realization
 /// *smaller* than MA (-20%).
 
+#include <cstdlib>
 #include <iostream>
 
 #include "benchgen/benchgen.hpp"
@@ -16,8 +17,19 @@
 #include "flow/report.hpp"
 #include "util/stopwatch.hpp"
 
-int main() {
+/// Usage: table2 [num_threads]   (0 = one per hardware thread; default 1)
+int main(int argc, char** argv) {
   using namespace dominosyn;
+  long threads_arg = 1;
+  if (argc > 1) {
+    char* end = nullptr;
+    threads_arg = std::strtol(argv[1], &end, 10);
+    if (end == argv[1] || *end != '\0' || threads_arg < 0) {
+      std::cerr << "table2: num_threads must be an integer >= 0 (0 = hardware)\n";
+      return 2;
+    }
+  }
+
   std::cout << "=== Table 2: timed synthesis (resizing to a shared clock), "
                "PI prob 0.5 ===\n\n";
 
@@ -27,6 +39,7 @@ int main() {
   options.pi_prob = 0.5;
   options.sim.steps = 1024;
   options.sim.warmup = 16;
+  options.num_threads = static_cast<unsigned>(threads_arg);
 
   TextTable table;
   table.header({"Ckt", "#PIs", "#POs", "clock", "MA Size", "MA Pwr", "MP Size",

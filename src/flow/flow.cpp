@@ -1,5 +1,6 @@
 #include "flow/flow.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "network/synth.hpp"
@@ -64,8 +65,12 @@ FlowReport run_flow(const Network& input, const FlowOptions& options) {
       sequential_signal_probabilities(net, pi_probs, seqprob);
   report.used_exact_bdd = probs.used_exact_bdd;
 
-  // (2b) phase assignment search.
+  // (2b) phase assignment search.  FlowOptions::num_threads governs every
+  // search; FlowOptions::exhaustive_pos_limit is both the auto-exhaustive
+  // threshold and the limit handed to the search, so they cannot disagree.
   const AssignmentEvaluator evaluator(net, probs.node_probs, options.model);
+  MinAreaOptions minarea = options.minarea;
+  minarea.num_threads = options.num_threads;
   PhaseAssignment assignment;
   switch (options.mode) {
     case PhaseMode::kAllPositive:
@@ -73,23 +78,31 @@ FlowReport run_flow(const Network& input, const FlowOptions& options) {
       report.search_evaluations = 0;
       break;
     case PhaseMode::kMinArea: {
-      const SearchResult search = min_area_assignment(evaluator, options.minarea);
+      const SearchResult search = min_area_assignment(evaluator, minarea);
       assignment = search.assignment;
       report.search_evaluations = search.evaluations;
       break;
     }
     case PhaseMode::kMinPower: {
-      if (net.num_pos() <= options.exhaustive_pos_limit && net.num_pos() > 0) {
-        const SearchResult search = exhaustive_min_power(evaluator);
+      // Clamp to the search's absolute ceiling so the threshold below and
+      // the limit passed to the search stay one and the same value.
+      const std::size_t auto_exhaustive_limit =
+          std::min(options.exhaustive_pos_limit, kMaxExhaustiveOutputs);
+      if (net.num_pos() <= auto_exhaustive_limit && net.num_pos() > 0) {
+        ExhaustiveOptions exhaustive;
+        exhaustive.max_outputs = auto_exhaustive_limit;
+        exhaustive.num_threads = options.num_threads;
+        const SearchResult search = exhaustive_min_power(evaluator, exhaustive);
         assignment = search.assignment;
         report.search_evaluations = search.evaluations;
         break;
       }
       const ConeOverlap overlap(net);
       MinPowerOptions minpower = options.minpower;
+      minpower.num_threads = options.num_threads;
       std::size_t seed_evals = 0;
       if (minpower.initial.empty() && options.minpower_from_minarea) {
-        const SearchResult seed = min_area_assignment(evaluator, options.minarea);
+        const SearchResult seed = min_area_assignment(evaluator, minarea);
         minpower.initial = seed.assignment;
         seed_evals = seed.evaluations;
       }
@@ -100,7 +113,11 @@ FlowReport run_flow(const Network& input, const FlowOptions& options) {
       break;
     }
     case PhaseMode::kExhaustivePower: {
-      const SearchResult search = exhaustive_min_power(evaluator);
+      ExhaustiveOptions exhaustive;
+      exhaustive.max_outputs =
+          std::max(options.exhaustive_pos_limit, kDefaultExhaustiveLimit);
+      exhaustive.num_threads = options.num_threads;
+      const SearchResult search = exhaustive_min_power(evaluator, exhaustive);
       assignment = search.assignment;
       report.search_evaluations = search.evaluations;
       break;

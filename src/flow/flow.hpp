@@ -54,8 +54,18 @@ struct FlowOptions {
   /// In kMinPower mode, brute force all 2^P assignments when the output
   /// count allows it — the paper's frg1 observation ("only 2^3 = 8 possible
   /// phase assignments"); pairwise moves cannot cross duplication barriers
-  /// that a coordinated flip of 3+ overlapping outputs can.
+  /// that a coordinated flip of 3+ overlapping outputs can.  The same value
+  /// is passed to the search as its hard limit, so the flow's threshold and
+  /// the search's refusal (ExhaustiveLimitError) can never disagree.  In
+  /// kExhaustivePower mode the cap is max(exhaustive_pos_limit,
+  /// kDefaultExhaustiveLimit), since brute force was requested explicitly.
   std::size_t exhaustive_pos_limit = 10;
+  /// Worker threads for the phase-assignment searches (exhaustive-space
+  /// sharding, concurrent annealing restarts, speculative polish descent).
+  /// 1 = sequential, 0 = one per hardware thread.  Flow results are
+  /// identical for every value.  Overrides the minarea/minpower sub-option
+  /// thread counts.
+  unsigned num_threads = 1;
   MapOptions map_options;
   double clock_period = 0.0;     ///< > 0: resize after mapping (Table 2 flow)
   double wire_cap = 0.2;

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -23,6 +24,8 @@
 #include "power/power.hpp"
 
 namespace dominosyn {
+
+class EvalContext;  // phase/eval.hpp: the shared incremental-evaluation core
 
 enum class Phase : std::uint8_t {
   kPositive,  ///< no inverter at the output boundary
@@ -65,8 +68,15 @@ struct AssignmentCost {
 /// standard_synthesis first).  Throws std::runtime_error otherwise.
 void check_phase_ready(const Network& net);
 
-/// Fast per-assignment evaluation: demand propagation + power estimate in
+/// Full per-assignment evaluation: demand propagation + power estimate in
 /// O(nodes) per call, with signal probabilities computed once up front.
+///
+/// Internally this is a thin wrapper over the incremental engine of
+/// phase/eval.hpp: the constructor builds a shared EvalContext and
+/// evaluate() scores an assignment by constructing a fresh EvalState from
+/// it.  Searches that explore neighboring assignments should grab context()
+/// and use EvalState::apply_flip/undo directly — O(|cone|) per move with
+/// results bit-identical to evaluate().
 class AssignmentEvaluator {
  public:
   /// \param net        the synthesized network (kept by reference).
@@ -75,9 +85,15 @@ class AssignmentEvaluator {
   AssignmentEvaluator(const Network& net, std::vector<double> node_probs,
                       PowerModelConfig config = {});
 
-  [[nodiscard]] const Network& network() const noexcept { return *net_; }
-  [[nodiscard]] const std::vector<double>& probs() const noexcept { return probs_; }
-  [[nodiscard]] const PowerModelConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const Network& network() const noexcept;
+  [[nodiscard]] const std::vector<double>& probs() const noexcept;
+  [[nodiscard]] const PowerModelConfig& config() const noexcept;
+
+  /// The shared immutable evaluation core (never null).  Safe to use from
+  /// multiple threads concurrently.
+  [[nodiscard]] const std::shared_ptr<const EvalContext>& context() const noexcept {
+    return ctx_;
+  }
 
   /// Demand propagation only (no power).
   [[nodiscard]] PolarityDemand demand(const PhaseAssignment& phases) const;
@@ -92,10 +108,7 @@ class AssignmentEvaluator {
       const PhaseAssignment& phases) const;
 
  private:
-  const Network* net_;
-  std::vector<double> probs_;
-  PowerModelConfig config_;
-  std::vector<NodeId> topo_;  ///< cached topological order
+  std::shared_ptr<const EvalContext> ctx_;
 };
 
 /// Materialized inverter-free realization of an assignment.

@@ -1,26 +1,18 @@
 /// \file demand.cpp
-/// Polarity-demand propagation and the fast per-assignment cost evaluator.
+/// Polarity-demand propagation and the full per-assignment cost evaluator.
+///
+/// AssignmentEvaluator::evaluate() is implemented as a fresh EvalState build
+/// (phase/eval.hpp), which makes it bit-identical to the incremental engine
+/// by construction.  demand() keeps the original stack-walk implementation —
+/// an independent code path that the engine's refcount-derived demand is
+/// cross-checked against in tests.
 
 #include <stdexcept>
-#include <unordered_map>
 
 #include "phase/assignment.hpp"
+#include "phase/eval.hpp"
 
 namespace dominosyn {
-
-namespace {
-
-/// Follows NOT chains from (id, negated), flipping polarity per inverter
-/// (DeMorgan absorption).  Returns the terminal (non-NOT) node and polarity.
-std::pair<NodeId, bool> resolve(const Network& net, NodeId id, bool negated) {
-  while (net.kind(id) == NodeKind::kNot) {
-    negated = !negated;
-    id = net.fanins(id)[0];
-  }
-  return {id, negated};
-}
-
-}  // namespace
 
 PhaseAssignment all_positive(const Network& net) {
   return PhaseAssignment(net.num_pos(), Phase::kPositive);
@@ -46,15 +38,23 @@ void check_phase_ready(const Network& net) {
 AssignmentEvaluator::AssignmentEvaluator(const Network& net,
                                          std::vector<double> node_probs,
                                          PowerModelConfig config)
-    : net_(&net), probs_(std::move(node_probs)), config_(config) {
-  if (probs_.size() != net.num_nodes())
-    throw std::runtime_error("AssignmentEvaluator: prob count mismatch");
-  check_phase_ready(net);
-  topo_ = net.topo_order();
+    : ctx_(std::make_shared<const EvalContext>(net, std::move(node_probs),
+                                               config)) {}
+
+const Network& AssignmentEvaluator::network() const noexcept {
+  return ctx_->network();
+}
+
+const std::vector<double>& AssignmentEvaluator::probs() const noexcept {
+  return ctx_->probs();
+}
+
+const PowerModelConfig& AssignmentEvaluator::config() const noexcept {
+  return ctx_->config();
 }
 
 PolarityDemand AssignmentEvaluator::demand(const PhaseAssignment& phases) const {
-  const Network& net = *net_;
+  const Network& net = ctx_->network();
   if (phases.size() != net.num_pos())
     throw std::runtime_error("demand: assignment size mismatch");
 
@@ -63,7 +63,7 @@ PolarityDemand AssignmentEvaluator::demand(const PhaseAssignment& phases) const 
 
   std::vector<std::pair<NodeId, bool>> stack;
   const auto push = [&](NodeId id, bool negated) {
-    const auto [node, pol] = resolve(net, id, negated);
+    const auto [node, pol] = resolve_not_chain(net, id, negated);
     const std::uint8_t bit = pol ? PolarityDemand::kNeg : PolarityDemand::kPos;
     if ((result.bits[node] & bit) != 0) return;
     result.bits[node] |= bit;
@@ -76,7 +76,7 @@ PolarityDemand AssignmentEvaluator::demand(const PhaseAssignment& phases) const 
   // input inverter of s (PO = !s).  See synthesize.cpp for the wiring.
   for (std::size_t i = 0; i < phases.size(); ++i) {
     const bool negative = phases[i] == Phase::kNegative;
-    const auto [node, pol] = resolve(net, net.pos()[i].driver, negative);
+    const auto [node, pol] = resolve_not_chain(net, net.pos()[i].driver, negative);
     if (negative && is_source_kind(net.kind(node))) {
       if (!pol) push(node, true);  // PO = !s: demand the boundary inverter
       continue;                    // PO = s: direct wire
@@ -96,121 +96,15 @@ PolarityDemand AssignmentEvaluator::demand(const PhaseAssignment& phases) const 
 }
 
 AssignmentCost AssignmentEvaluator::evaluate(const PhaseAssignment& phases) const {
-  const Network& net = *net_;
-  const PolarityDemand dem = demand(phases);
-
-  // Output boundary inverters: one per distinct complement implementation
-  // feeding a negative-phase output, counted first so the load model can see
-  // how many POs each shared inverter drives.  Source-resolved outputs were
-  // folded into the input boundary by demand() and need no inverter here.
-  std::unordered_map<std::uint64_t, std::uint32_t> output_inverters;  // key -> #POs
-  for (std::size_t i = 0; i < phases.size(); ++i) {
-    if (phases[i] != Phase::kNegative) continue;
-    const auto [node, pol] = resolve(net, net.pos()[i].driver, true);
-    if (node <= Network::const1()) continue;  // constant outputs need no cell
-    if (is_source_kind(net.kind(node))) continue;
-    const std::uint64_t key = (static_cast<std::uint64_t>(node) << 1) |
-                              static_cast<std::uint64_t>(pol);
-    ++output_inverters[key];
-  }
-
-  // Structural loads per (node, polarity) instance: gate input pins plus
-  // direct PO wires (the paper's C_i, see PowerModelConfig::load_aware).
-  std::vector<std::uint32_t> pins, po_refs;
-  if (config_.load_aware) {
-    pins.assign(net.num_nodes() * 2, 0);
-    po_refs.assign(net.num_nodes() * 2, 0);
-    const auto consume = [&](NodeId id, bool negated) {
-      const auto [node, pol] = resolve(net, id, negated);
-      ++pins[node * 2 + (pol ? 1 : 0)];
-    };
-    for (NodeId id = 0; id < net.num_nodes(); ++id) {
-      const NodeKind kind = net.kind(id);
-      if (kind != NodeKind::kAnd && kind != NodeKind::kOr) continue;
-      for (const bool neg : {false, true}) {
-        if (!(neg ? dem.needs_neg(id) : dem.needs_pos(id))) continue;
-        for (const NodeId f : net.fanins(id)) consume(f, neg);
-      }
-    }
-    for (const auto& latch : net.latches()) consume(latch.input, false);
-    for (const auto& [key, count] : output_inverters) {
-      ++pins[key];  // the shared inverter's input pin
-      (void)count;
-    }
-    for (std::size_t i = 0; i < phases.size(); ++i) {
-      const bool negative = phases[i] == Phase::kNegative;
-      const auto [node, pol] = resolve(net, net.pos()[i].driver, negative);
-      if (node <= Network::const1()) continue;
-      if (negative) {
-        if (is_source_kind(net.kind(node))) {
-          // PO = s (pol true, external wire on a source: no instance load) or
-          // PO = the shared input inverter of s (pol false).
-          if (!pol) ++po_refs[node * 2 + 1];
-        }
-        // Gate-resolved negative POs load their output inverter, handled in
-        // the inverter accounting below.
-      } else {
-        ++po_refs[node * 2 + (pol ? 1 : 0)];
-      }
-    }
-  }
-
-  const auto instance_cap = [&](NodeId id, bool neg, double fallback) {
-    if (!config_.load_aware) return fallback;
-    const std::size_t k = id * 2 + (neg ? 1 : 0);
-    return config_.wire_cap + config_.pin_cap * pins[k] +
-           config_.po_cap * po_refs[k];
-  };
-
-  AssignmentCost cost;
-  for (NodeId id = 0; id < net.num_nodes(); ++id) {
-    const NodeKind kind = net.kind(id);
-    if (kind == NodeKind::kAnd || kind == NodeKind::kOr) {
-      const bool needs_pos = dem.needs_pos(id);
-      const bool needs_neg = dem.needs_neg(id);
-      if (needs_pos && needs_neg) ++cost.duplicated_gates;
-      for (const bool neg : {false, true}) {
-        if (!(neg ? needs_neg : needs_pos)) continue;
-        ++cost.domino_gates;
-        const double s = neg ? 1.0 - probs_[id] : probs_[id];
-        // DeMorgan: the negative instance of an AND is a domino OR gate.
-        const bool instance_is_and = (kind == NodeKind::kAnd) != neg;
-        const double mult = instance_is_and ? config_.penalty.and_mult
-                                            : config_.penalty.or_mult;
-        const double add = instance_is_and ? config_.penalty.and_add
-                                           : config_.penalty.or_add;
-        cost.power.domino_block += domino_switching(s) *
-                                       instance_cap(id, neg, config_.gate_cap) *
-                                       mult +
-                                   add;
-        cost.power.clock_load += config_.clock_cap_per_gate;
-      }
-    } else if ((kind == NodeKind::kPi || kind == NodeKind::kLatch) &&
-               dem.needs_neg(id)) {
-      ++cost.input_inverters;
-      cost.power.input_inverters +=
-          static_switching(probs_[id]) *
-          instance_cap(id, true, config_.inverter_cap);
-    }
-  }
-
-  for (const auto& [key, po_count] : output_inverters) {
-    ++cost.output_inverters;
-    const NodeId node = static_cast<NodeId>(key >> 1);
-    const bool pol = (key & 1) != 0;
-    const double pin = pol ? 1.0 - probs_[node] : probs_[node];
-    const double cap = config_.load_aware
-                           ? config_.wire_cap + config_.po_cap * po_count
-                           : config_.inverter_cap;
-    cost.power.output_inverters +=
-        config_.domino_driven_inverter_edges * pin * cap;
-  }
-  return cost;
+  if (phases.size() != ctx_->num_outputs())
+    throw std::runtime_error("evaluate: assignment size mismatch");
+  return EvalState(ctx_, phases).cost();
 }
 
 std::vector<double> AssignmentEvaluator::cone_average_probs(
     const PhaseAssignment& phases) const {
-  const Network& net = *net_;
+  const Network& net = ctx_->network();
+  const std::vector<double>& probs = ctx_->probs();
   if (phases.size() != net.num_pos())
     throw std::runtime_error("cone_average_probs: assignment size mismatch");
 
@@ -224,14 +118,14 @@ std::vector<double> AssignmentEvaluator::cone_average_probs(
     double sum = 0.0;
     std::size_t count = 0;
     const auto push = [&](NodeId id, bool negated) {
-      const auto [node, pol] = resolve(net, id, negated);
+      const auto [node, pol] = resolve_not_chain(net, id, negated);
       const std::uint8_t bit = pol ? 2 : 1;
       if ((visited[node] & bit) != 0) return;
       visited[node] |= bit;
       touched.push_back(node);
       const NodeKind kind = net.kind(node);
       if (kind == NodeKind::kAnd || kind == NodeKind::kOr) {
-        sum += pol ? 1.0 - probs_[node] : probs_[node];
+        sum += pol ? 1.0 - probs[node] : probs[node];
         ++count;
         stack.emplace_back(node, pol);
       }

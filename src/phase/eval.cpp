@@ -1,0 +1,349 @@
+/// \file eval.cpp
+/// Incremental phase-evaluation engine: EvalContext + EvalState.
+
+#include "phase/eval.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace dominosyn {
+
+std::pair<NodeId, bool> resolve_not_chain(const Network& net, NodeId id,
+                                          bool negated) {
+  while (net.kind(id) == NodeKind::kNot) {
+    negated = !negated;
+    id = net.fanins(id)[0];
+  }
+  return {id, negated};
+}
+
+EvalContext::EvalContext(const Network& net, std::vector<double> node_probs,
+                         PowerModelConfig config)
+    : net_(&net), probs_(std::move(node_probs)), config_(config) {
+  if (probs_.size() != net.num_nodes())
+    throw std::runtime_error("EvalContext: prob count mismatch");
+  check_phase_ready(net);
+  topo_ = net.topo_order();
+
+  const std::size_t n = net.num_nodes();
+  kinds_.resize(n);
+  inst_prob_.resize(n * 2);
+  for (NodeId id = 0; id < n; ++id) {
+    kinds_[id] = net.kind(id);
+    inst_prob_[instance_key(id, false)] = probs_[id];
+    inst_prob_[instance_key(id, true)] = 1.0 - probs_[id];  // Property 4.1
+  }
+
+  // CSR of NOT-resolved gate fanin edges.
+  edge_begin_.assign(n + 1, 0);
+  for (NodeId id = 0; id < n; ++id) {
+    if (kinds_[id] == NodeKind::kAnd || kinds_[id] == NodeKind::kOr)
+      edge_begin_[id + 1] =
+          static_cast<std::uint32_t>(net.fanins(id).size());
+  }
+  for (std::size_t i = 1; i <= n; ++i) edge_begin_[i] += edge_begin_[i - 1];
+  edges_.resize(edge_begin_[n]);
+  for (NodeId id = 0; id < n; ++id) {
+    if (kinds_[id] != NodeKind::kAnd && kinds_[id] != NodeKind::kOr) continue;
+    std::uint32_t slot = edge_begin_[id];
+    for (const NodeId f : net.fanins(id)) {
+      const auto [term, parity] = resolve_not_chain(net, f, false);
+      edges_[slot++] = instance_key(term, parity);
+    }
+  }
+
+  po_roots_.reserve(net.num_pos());
+  for (const auto& po : net.pos()) {
+    const auto [node, parity] = resolve_not_chain(net, po.driver, false);
+    po_roots_.push_back({node, parity});
+  }
+  latch_roots_.reserve(net.num_latches());
+  for (const auto& latch : net.latches()) {
+    const auto [node, parity] = resolve_not_chain(net, latch.input, false);
+    latch_roots_.push_back({node, parity});
+  }
+}
+
+EvalState::Leaf EvalState::combine(const Leaf& a, const Leaf& b) noexcept {
+  return {a.domino + b.domino, a.input_inv + b.input_inv,
+          a.output_inv + b.output_inv};
+}
+
+EvalState::EvalState(std::shared_ptr<const EvalContext> context,
+                     const PhaseAssignment& phases)
+    : ctx_(std::move(context)), phases_(phases) {
+  if (!ctx_) throw std::runtime_error("EvalState: null context");
+  if (phases_.size() != ctx_->num_outputs())
+    throw std::runtime_error("EvalState: assignment size mismatch");
+
+  const std::size_t keys = ctx_->num_instances();
+  ref_.assign(keys, 0);
+  pins_.assign(keys, 0);
+  po_refs_.assign(keys, 0);
+  po_inv_.assign(keys, 0);
+  leaf_base_ = std::bit_ceil(std::max<std::size_t>(keys, 2));
+  tree_.assign(leaf_base_ * 2, Leaf{});
+
+  building_ = true;
+  // Latch next-state roots: permanent demand + one consuming pin each.
+  for (const auto& root : ctx_->latch_roots()) {
+    const InstanceKey key = instance_key(root.node, root.parity);
+    touch_pin(key, true);
+    add_ref(key);
+  }
+  for (std::size_t i = 0; i < phases_.size(); ++i)
+    add_output_refs(i, phases_[i]);
+  building_ = false;
+  rebuild_tree();
+}
+
+void EvalState::apply_flip(std::size_t output) {
+  if (output >= phases_.size())
+    throw std::runtime_error("EvalState::apply_flip: output out of range");
+  const Phase old = phases_[output];
+  const Phase flipped =
+      old == Phase::kPositive ? Phase::kNegative : Phase::kPositive;
+  phases_[output] = flipped;
+  add_output_refs(output, flipped);
+  remove_output_refs(output, old);
+  history_.push_back(static_cast<std::uint32_t>(output));
+}
+
+void EvalState::undo() {
+  if (history_.empty())
+    throw std::runtime_error("EvalState::undo: empty history");
+  const std::size_t output = history_.back();
+  history_.pop_back();
+  const Phase old = phases_[output];
+  const Phase flipped =
+      old == Phase::kPositive ? Phase::kNegative : Phase::kPositive;
+  phases_[output] = flipped;
+  add_output_refs(output, flipped);
+  remove_output_refs(output, old);
+}
+
+void EvalState::set_assignment(const PhaseAssignment& phases) {
+  if (phases.size() != phases_.size())
+    throw std::runtime_error("EvalState::set_assignment: size mismatch");
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    if (phases[i] == phases_[i]) continue;
+    phases_[i] = phases[i];
+    add_output_refs(i, phases[i]);
+    remove_output_refs(
+        i, phases[i] == Phase::kPositive ? Phase::kNegative : Phase::kPositive);
+  }
+  history_.clear();
+}
+
+void EvalState::add_output_refs(std::size_t output, Phase phase) {
+  const EvalContext::Resolved& root = ctx_->po_root(output);
+  const bool negative = phase == Phase::kNegative;
+  const NodeId node = root.node;
+  const bool pol = root.parity != negative;
+  const bool source = is_source_kind(ctx_->kind(node));
+
+  // Demand: mirrors the PO-root folding of AssignmentEvaluator::demand —
+  // a negative-phase source-resolved output is either a direct wire (PO = s)
+  // or the shared input inverter of s (PO = !s).
+  if (negative && source) {
+    if (!pol) add_ref(instance_key(node, true));
+  } else {
+    add_ref(instance_key(node, pol));
+  }
+
+  // Structural PO loads + the shared output inverter (mirrors evaluate()).
+  if (node <= Network::const1()) return;
+  if (!negative) {
+    const InstanceKey key = instance_key(node, pol);
+    ++po_refs_[key];
+    if (ctx_->config().load_aware) refresh_leaf(key);
+  } else if (source) {
+    if (!pol) {
+      const InstanceKey key = instance_key(node, true);
+      ++po_refs_[key];
+      if (ctx_->config().load_aware) refresh_leaf(key);
+    }
+  } else {
+    const InstanceKey key = instance_key(node, pol);
+    if (po_inv_[key]++ == 0) {
+      ++output_inverters_;
+      touch_pin(key, true);  // the shared inverter's input pin
+    }
+    refresh_leaf(key);  // inverter load grows with the POs it drives
+  }
+}
+
+void EvalState::remove_output_refs(std::size_t output, Phase phase) {
+  const EvalContext::Resolved& root = ctx_->po_root(output);
+  const bool negative = phase == Phase::kNegative;
+  const NodeId node = root.node;
+  const bool pol = root.parity != negative;
+  const bool source = is_source_kind(ctx_->kind(node));
+
+  if (negative && source) {
+    if (!pol) remove_ref(instance_key(node, true));
+  } else {
+    remove_ref(instance_key(node, pol));
+  }
+
+  if (node <= Network::const1()) return;
+  if (!negative) {
+    const InstanceKey key = instance_key(node, pol);
+    --po_refs_[key];
+    if (ctx_->config().load_aware) refresh_leaf(key);
+  } else if (source) {
+    if (!pol) {
+      const InstanceKey key = instance_key(node, true);
+      --po_refs_[key];
+      if (ctx_->config().load_aware) refresh_leaf(key);
+    }
+  } else {
+    const InstanceKey key = instance_key(node, pol);
+    if (--po_inv_[key] == 0) {
+      --output_inverters_;
+      touch_pin(key, false);
+    }
+    refresh_leaf(key);
+  }
+}
+
+void EvalState::add_ref(InstanceKey key) {
+  scratch_.clear();
+  scratch_.push_back(key);
+  while (!scratch_.empty()) {
+    const InstanceKey k = scratch_.back();
+    scratch_.pop_back();
+    if (ref_[k]++ != 0) continue;  // already realized
+    const NodeId node = k >> 1;
+    const bool neg = (k & 1) != 0;
+    const NodeKind kind = ctx_->kind(node);
+    if (kind == NodeKind::kAnd || kind == NodeKind::kOr) {
+      ++domino_gates_;
+      if (ref_[k ^ 1] > 0) ++duplicated_gates_;
+      // A newborn instance demands (and loads) its resolved fanins; DeMorgan
+      // flips the propagated polarity by each edge's NOT-chain parity.
+      for (const InstanceKey edge : ctx_->gate_edges(node)) {
+        const InstanceKey fk = neg ? (edge ^ 1u) : edge;
+        touch_pin(fk, true);
+        scratch_.push_back(fk);
+      }
+      refresh_leaf(k);
+    } else if ((kind == NodeKind::kPi || kind == NodeKind::kLatch) && neg) {
+      ++input_inverters_;
+      refresh_leaf(k);
+    }
+  }
+}
+
+void EvalState::remove_ref(InstanceKey key) {
+  scratch_.clear();
+  scratch_.push_back(key);
+  while (!scratch_.empty()) {
+    const InstanceKey k = scratch_.back();
+    scratch_.pop_back();
+    if (--ref_[k] != 0) continue;  // still demanded elsewhere
+    const NodeId node = k >> 1;
+    const bool neg = (k & 1) != 0;
+    const NodeKind kind = ctx_->kind(node);
+    if (kind == NodeKind::kAnd || kind == NodeKind::kOr) {
+      --domino_gates_;
+      if (ref_[k ^ 1] > 0) --duplicated_gates_;
+      for (const InstanceKey edge : ctx_->gate_edges(node)) {
+        const InstanceKey fk = neg ? (edge ^ 1u) : edge;
+        touch_pin(fk, false);
+        scratch_.push_back(fk);
+      }
+      refresh_leaf(k);
+    } else if ((kind == NodeKind::kPi || kind == NodeKind::kLatch) && neg) {
+      --input_inverters_;
+      refresh_leaf(k);
+    }
+  }
+}
+
+void EvalState::touch_pin(InstanceKey key, bool add) {
+  if (add)
+    ++pins_[key];
+  else
+    --pins_[key];
+  // Pin counts only feed the cost through the structural load model.
+  if (ctx_->config().load_aware) refresh_leaf(key);
+}
+
+void EvalState::refresh_leaf(InstanceKey key) {
+  const PowerModelConfig& cfg = ctx_->config();
+  const NodeId node = key >> 1;
+  const bool neg = (key & 1) != 0;
+  const NodeKind kind = ctx_->kind(node);
+
+  Leaf leaf;
+  if ((kind == NodeKind::kAnd || kind == NodeKind::kOr) && ref_[key] > 0) {
+    const double s = ctx_->instance_prob(key);
+    const double cap =
+        cfg.load_aware
+            ? cfg.wire_cap + cfg.pin_cap * pins_[key] + cfg.po_cap * po_refs_[key]
+            : cfg.gate_cap;
+    // DeMorgan: the negative instance of an AND is a domino OR gate.
+    const bool instance_is_and = (kind == NodeKind::kAnd) != neg;
+    const double mult =
+        instance_is_and ? cfg.penalty.and_mult : cfg.penalty.or_mult;
+    const double add = instance_is_and ? cfg.penalty.and_add : cfg.penalty.or_add;
+    leaf.domino = domino_switching(s) * cap * mult + add;
+  } else if ((kind == NodeKind::kPi || kind == NodeKind::kLatch) && neg &&
+             ref_[key] > 0) {
+    const double cap =
+        cfg.load_aware
+            ? cfg.wire_cap + cfg.pin_cap * pins_[key] + cfg.po_cap * po_refs_[key]
+            : cfg.inverter_cap;
+    leaf.input_inv = static_switching(ctx_->probs()[node]) * cap;
+  }
+  if (po_inv_[key] > 0) {
+    const double pin = ctx_->instance_prob(key);
+    const double cap = cfg.load_aware
+                           ? cfg.wire_cap + cfg.po_cap * po_inv_[key]
+                           : cfg.inverter_cap;
+    leaf.output_inv = cfg.domino_driven_inverter_edges * pin * cap;
+  }
+
+  std::size_t i = leaf_base_ + key;
+  tree_[i] = leaf;
+  if (building_) return;
+  for (i >>= 1; i > 0; i >>= 1) tree_[i] = combine(tree_[i * 2], tree_[i * 2 + 1]);
+}
+
+void EvalState::rebuild_tree() {
+  for (std::size_t i = leaf_base_ - 1; i > 0; --i)
+    tree_[i] = combine(tree_[i * 2], tree_[i * 2 + 1]);
+}
+
+AssignmentCost EvalState::cost() const {
+  AssignmentCost cost;
+  const Leaf& total = tree_[1];
+  cost.power.domino_block = total.domino;
+  cost.power.input_inverters = total.input_inv;
+  cost.power.output_inverters = total.output_inv;
+  cost.power.clock_load = ctx_->config().clock_cap_per_gate *
+                          static_cast<double>(domino_gates_);
+  cost.domino_gates = domino_gates_;
+  cost.duplicated_gates = duplicated_gates_;
+  cost.input_inverters = input_inverters_;
+  cost.output_inverters = output_inverters_;
+  return cost;
+}
+
+double EvalState::power_total() const { return cost().power.total(); }
+
+PolarityDemand EvalState::demand() const {
+  PolarityDemand result;
+  result.bits.assign(ctx_->num_nodes(), 0);
+  for (NodeId id = 0; id < ctx_->num_nodes(); ++id) {
+    std::uint8_t bits = 0;
+    if (ref_[instance_key(id, false)] > 0) bits |= PolarityDemand::kPos;
+    if (ref_[instance_key(id, true)] > 0) bits |= PolarityDemand::kNeg;
+    result.bits[id] = bits;
+  }
+  return result;
+}
+
+}  // namespace dominosyn

@@ -1,0 +1,204 @@
+/// \file eval.hpp
+/// Incremental phase-assignment evaluation engine.
+///
+/// The §4.1 heuristic, the [15] min-area baseline and the exhaustive searches
+/// all spend their time re-scoring candidate assignments.  The full evaluator
+/// (AssignmentEvaluator::evaluate) costs O(nodes) per candidate even though a
+/// single-output flip only perturbs that output's fanin cone.  This engine
+/// splits evaluation into:
+///
+///  * EvalContext — the immutable, shareable part: network, per-node signal
+///    probabilities, the power model, NOT-chain-resolved PO/latch roots and
+///    gate fanin edges, and the precomputed dual probabilities of
+///    Property 4.1 (the DeMorgan implementation of a node with probability p
+///    has probability 1-p).  One context serves any number of concurrent
+///    searches; it holds no mutable state.
+///
+///  * EvalState — the cheap-to-copy mutable part: per-instance polarity-
+///    demand reference counts, structural load counters, and running
+///    power/area sums.  apply_flip(output) / undo() update the state in
+///    O(|cone(output)| · log nodes).
+///
+/// Exactness: power components are kept in a fixed-shape binary summation
+/// tree whose internal nodes are always recomputed as left + right.  The
+/// root therefore depends only on the *current* leaf values — never on the
+/// flip history — so an EvalState reached through any sequence of flips
+/// reports costs bit-identical to a state freshly built from the same
+/// assignment.  AssignmentEvaluator::evaluate() is implemented as exactly
+/// that fresh build, which is what makes the equivalence testable.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "phase/assignment.hpp"
+
+namespace dominosyn {
+
+/// Follows NOT chains from (id, negated), flipping polarity per inverter
+/// (DeMorgan absorption).  Returns the terminal (non-NOT) node and polarity.
+/// Shared by the engine and the stack-walk demand so the two demand
+/// implementations can never disagree on NOT resolution.
+[[nodiscard]] std::pair<NodeId, bool> resolve_not_chain(const Network& net,
+                                                        NodeId id, bool negated);
+
+/// Instance key: a (node, polarity) pair packed as node*2 + (negative ? 1:0).
+/// The *negative* instance of a node is its DeMorgan dual implementation.
+using InstanceKey = std::uint32_t;
+
+[[nodiscard]] constexpr InstanceKey instance_key(NodeId node, bool negative) noexcept {
+  return static_cast<InstanceKey>(node) * 2 + (negative ? 1u : 0u);
+}
+
+/// Immutable shared evaluation context.  Thread-safe by construction: all
+/// members are set once in the constructor and only read afterwards.
+class EvalContext {
+ public:
+  /// A NOT-chain-resolved reference: the terminal (non-NOT) node plus the
+  /// accumulated inversion parity of the chain.
+  struct Resolved {
+    NodeId node = kNullNode;
+    bool parity = false;
+  };
+
+  /// \param net        synthesized network (kept by reference; must outlive
+  ///                   the context).  Must satisfy check_phase_ready().
+  /// \param node_probs per-NodeId positive-polarity signal probabilities.
+  EvalContext(const Network& net, std::vector<double> node_probs,
+              PowerModelConfig config = {});
+
+  [[nodiscard]] const Network& network() const noexcept { return *net_; }
+  [[nodiscard]] const std::vector<double>& probs() const noexcept { return probs_; }
+  [[nodiscard]] const PowerModelConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const std::vector<NodeId>& topo_order() const noexcept { return topo_; }
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return kinds_.size(); }
+  [[nodiscard]] std::size_t num_instances() const noexcept { return kinds_.size() * 2; }
+  [[nodiscard]] std::size_t num_outputs() const noexcept { return po_roots_.size(); }
+
+  [[nodiscard]] NodeKind kind(NodeId id) const noexcept { return kinds_[id]; }
+
+  /// Signal probability of an instance (Property 4.1 duals precomputed).
+  [[nodiscard]] double instance_prob(InstanceKey key) const noexcept {
+    return inst_prob_[key];
+  }
+
+  /// Resolved driver of primary output i / next-state input of latch l.
+  [[nodiscard]] const Resolved& po_root(std::size_t i) const { return po_roots_[i]; }
+  [[nodiscard]] const std::vector<Resolved>& latch_roots() const noexcept {
+    return latch_roots_;
+  }
+
+  /// Resolved fanin edges of gate `node`, packed as instance_key(term,
+  /// parity): consuming the gate in polarity p demands instance
+  /// (term, p XOR parity) for each edge.  Empty for non-gates.
+  [[nodiscard]] std::span<const InstanceKey> gate_edges(NodeId node) const {
+    return {edges_.data() + edge_begin_[node],
+            edges_.data() + edge_begin_[node + 1]};
+  }
+
+ private:
+  const Network* net_;
+  std::vector<double> probs_;
+  PowerModelConfig config_;
+  std::vector<NodeId> topo_;
+  std::vector<NodeKind> kinds_;
+  std::vector<double> inst_prob_;        ///< 2 per node: p, 1-p
+  std::vector<Resolved> po_roots_;
+  std::vector<Resolved> latch_roots_;
+  std::vector<std::uint32_t> edge_begin_;  ///< CSR offsets into edges_
+  std::vector<InstanceKey> edges_;
+};
+
+/// Mutable incremental evaluation state over a shared EvalContext.
+///
+/// Maintains, per instance key:
+///  * ref        — demand reference count (PO/latch roots + live consumers);
+///                 an instance is realized iff ref > 0,
+///  * pins       — consuming gate-input pins (live consumers + latch inputs
+///                 + the shared output inverter, mirroring the structural
+///                 load model of PowerModelConfig::load_aware),
+///  * po_refs    — primary outputs wired directly to the instance,
+///  * po_inv     — negative-phase POs sharing the instance's output inverter,
+/// plus running power sums (summation tree) and integer cell counters.
+///
+/// Copying an EvalState is O(nodes) with small constants (flat arrays); no
+/// allocation besides the vector buffers.  States sharing a context may be
+/// used concurrently from different threads; a single state is not
+/// thread-safe.
+class EvalState {
+ public:
+  EvalState(std::shared_ptr<const EvalContext> context,
+            const PhaseAssignment& phases);
+
+  [[nodiscard]] const EvalContext& context() const noexcept { return *ctx_; }
+  [[nodiscard]] const PhaseAssignment& assignment() const noexcept { return phases_; }
+
+  /// Flips the phase of one primary output in O(|cone(output)| · log nodes).
+  void apply_flip(std::size_t output);
+
+  /// Reverts the most recent not-yet-undone apply_flip().  Throws
+  /// std::runtime_error if the history is empty.
+  void undo();
+
+  /// Number of apply_flip() calls that can currently be undone.
+  [[nodiscard]] std::size_t history_depth() const noexcept { return history_.size(); }
+
+  /// Jumps to an arbitrary assignment by flipping the differing outputs.
+  /// Clears the undo history.
+  void set_assignment(const PhaseAssignment& phases);
+
+  /// Cost of the current assignment, read from the running sums in O(1).
+  /// Bit-identical to AssignmentEvaluator::evaluate(assignment()).
+  [[nodiscard]] AssignmentCost cost() const;
+
+  /// Shorthands for the two search objectives.
+  [[nodiscard]] double power_total() const;
+  [[nodiscard]] std::size_t area_cells() const noexcept {
+    return domino_gates_ + input_inverters_ + output_inverters_;
+  }
+
+  /// Current polarity demand, derived from the reference counts (equals
+  /// AssignmentEvaluator::demand(assignment())).
+  [[nodiscard]] PolarityDemand demand() const;
+
+ private:
+  /// Power components of one instance slot; summed component-wise through
+  /// the fixed-shape tree.
+  struct Leaf {
+    double domino = 0.0;      ///< domino gate instance switching
+    double input_inv = 0.0;   ///< PI/latch boundary inverter switching
+    double output_inv = 0.0;  ///< PO boundary inverter switching
+  };
+
+  [[nodiscard]] static Leaf combine(const Leaf& a, const Leaf& b) noexcept;
+  void add_output_refs(std::size_t output, Phase phase);
+  void remove_output_refs(std::size_t output, Phase phase);
+  void add_ref(InstanceKey key);
+  void remove_ref(InstanceKey key);
+  void touch_pin(InstanceKey key, bool add);
+  void refresh_leaf(InstanceKey key);
+  void rebuild_tree();
+
+  std::shared_ptr<const EvalContext> ctx_;
+  PhaseAssignment phases_;
+  std::vector<std::uint32_t> ref_;
+  std::vector<std::uint32_t> pins_;
+  std::vector<std::uint32_t> po_refs_;
+  std::vector<std::uint32_t> po_inv_;
+  std::vector<Leaf> tree_;  ///< 1-based tree, leaves at [leaf_base_, leaf_base_+2N)
+  std::size_t leaf_base_ = 1;
+  std::size_t domino_gates_ = 0;
+  std::size_t duplicated_gates_ = 0;
+  std::size_t input_inverters_ = 0;
+  std::size_t output_inverters_ = 0;
+  std::vector<std::uint32_t> history_;
+  std::vector<InstanceKey> scratch_;  ///< reusable cascade stack
+  bool building_ = false;
+};
+
+}  // namespace dominosyn

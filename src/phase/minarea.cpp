@@ -1,58 +1,137 @@
 /// \file minarea.cpp
 /// Minimum-area phase assignment (the baseline of ref [15]): minimize the
-/// standard-cell count of the inverter-free realization.
+/// standard-cell count of the inverter-free realization.  Also hosts the
+/// exhaustive 2^P searches shared with the min-power flow.
+///
+/// Both paths run on the incremental engine: the exhaustive search walks the
+/// assignment space in Gray-code order (adjacent codes differ in one output,
+/// so each candidate costs one O(|cone|) flip) sharded across threads, and
+/// the annealing restarts run concurrently.  Every result — including the
+/// per-restart random trajectories — is identical for any thread count.
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
-#include <stdexcept>
+#include <limits>
+#include <string>
 
+#include "phase/eval.hpp"
 #include "phase/search.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dominosyn {
 
+ExhaustiveLimitError::ExhaustiveLimitError(std::size_t num_outputs,
+                                           std::size_t limit)
+    : std::runtime_error("exhaustive search: " + std::to_string(num_outputs) +
+                         " outputs exceed the limit of " +
+                         std::to_string(limit) + " (2^P candidates)"),
+      num_outputs_(num_outputs),
+      limit_(limit) {}
+
 namespace {
 
-std::size_t area_of(const AssignmentEvaluator& evaluator,
-                    const PhaseAssignment& phases, std::size_t& evaluations) {
-  ++evaluations;
-  return evaluator.evaluate(phases).area_cells();
+/// Assignment whose output i is negative iff bit i of `code` is set — the
+/// seed implementation's enumeration encoding.
+PhaseAssignment assignment_from_code(std::uint64_t code, std::size_t num_pos) {
+  PhaseAssignment phases(num_pos, Phase::kPositive);
+  for (std::size_t i = 0; i < num_pos; ++i)
+    if ((code >> i) & 1ULL) phases[i] = Phase::kNegative;
+  return phases;
+}
+
+double metric_of(const EvalState& state, bool by_power) {
+  return by_power ? state.power_total()
+                  : static_cast<double>(state.area_cells());
 }
 
 SearchResult exhaustive_by(const AssignmentEvaluator& evaluator, bool by_power,
-                           std::size_t limit) {
+                           const ExhaustiveOptions& options) {
   const std::size_t num_pos = evaluator.network().num_pos();
-  if (num_pos > limit)
-    throw std::runtime_error("exhaustive search: too many outputs");
+  const std::size_t limit =
+      std::min(options.max_outputs, kMaxExhaustiveOutputs);
+  if (num_pos > limit) throw ExhaustiveLimitError(num_pos, limit);
 
   SearchResult best;
-  double best_metric = 0.0;
-  PhaseAssignment phases(num_pos, Phase::kPositive);
-  for (std::uint64_t code = 0; code < (1ULL << num_pos); ++code) {
-    for (std::size_t i = 0; i < num_pos; ++i)
-      phases[i] = ((code >> i) & 1ULL) != 0 ? Phase::kNegative : Phase::kPositive;
-    const AssignmentCost cost = evaluator.evaluate(phases);
-    ++best.evaluations;
-    const double metric = by_power ? cost.power.total()
-                                   : static_cast<double>(cost.area_cells());
-    if (code == 0 || metric < best_metric) {
-      best_metric = metric;
-      best.assignment = phases;
-      best.cost = cost;
-    }
+  if (num_pos == 0) {
+    best.cost = evaluator.evaluate({});
+    best.evaluations = 1;
+    return best;
   }
+
+  const std::uint64_t total = 1ULL << num_pos;
+  // A chunk walks positions [begin, end) of the Gray sequence (adjacent
+  // positions differ in one output: one O(|cone|) flip each) but remembers
+  // its best by the *assignment code* gray(position), so ties resolve to the
+  // seed scan's first-in-code-order winner for any thread count.
+  struct ChunkBest {
+    double metric = std::numeric_limits<double>::infinity();
+    std::uint64_t code = std::numeric_limits<std::uint64_t>::max();
+  };
+  const auto better = [](const ChunkBest& a, const ChunkBest& b) {
+    return a.metric < b.metric || (a.metric == b.metric && a.code < b.code);
+  };
+  ThreadPool pool(options.num_threads);
+  const std::uint64_t num_chunks =
+      std::min<std::uint64_t>(pool.size(), total);
+  std::vector<ChunkBest> chunk_bests(num_chunks);
+
+  // Balanced partition via remainder distribution: never empty while
+  // num_chunks <= total, and no uint64 overflow anywhere below the
+  // kMaxExhaustiveOutputs ceiling (base * c <= total <= 2^62).
+  const std::uint64_t chunk_base = total / num_chunks;
+  const std::uint64_t chunk_extra = total % num_chunks;
+  pool.parallel_for(static_cast<std::size_t>(num_chunks), [&](std::size_t c) {
+    const std::uint64_t begin =
+        chunk_base * c + std::min<std::uint64_t>(c, chunk_extra);
+    const std::uint64_t end = begin + chunk_base + (c < chunk_extra ? 1 : 0);
+    std::uint64_t gray = begin ^ (begin >> 1);
+    EvalState state(evaluator.context(), assignment_from_code(gray, num_pos));
+    ChunkBest local{metric_of(state, by_power), gray};
+    for (std::uint64_t position = begin + 1; position < end; ++position) {
+      // Gray step: position differs from its predecessor in exactly output
+      // ctz(position).
+      const std::size_t flip =
+          static_cast<std::size_t>(std::countr_zero(position));
+      gray ^= 1ULL << flip;
+      state.apply_flip(flip);
+      const ChunkBest candidate{metric_of(state, by_power), gray};
+      if (better(candidate, local)) local = candidate;
+    }
+    chunk_bests[c] = local;
+  });
+
+  ChunkBest overall = chunk_bests[0];
+  for (std::uint64_t c = 1; c < num_chunks; ++c)
+    if (better(chunk_bests[c], overall)) overall = chunk_bests[c];
+
+  best.assignment = assignment_from_code(overall.code, num_pos);
+  best.cost = evaluator.evaluate(best.assignment);
+  best.evaluations = total;
   return best;
 }
 
 }  // namespace
 
 SearchResult exhaustive_min_power(const AssignmentEvaluator& evaluator,
+                                  const ExhaustiveOptions& options) {
+  return exhaustive_by(evaluator, /*by_power=*/true, options);
+}
+
+SearchResult exhaustive_min_area(const AssignmentEvaluator& evaluator,
+                                 const ExhaustiveOptions& options) {
+  return exhaustive_by(evaluator, /*by_power=*/false, options);
+}
+
+SearchResult exhaustive_min_power(const AssignmentEvaluator& evaluator,
                                   std::size_t limit) {
-  return exhaustive_by(evaluator, /*by_power=*/true, limit);
+  return exhaustive_min_power(evaluator, ExhaustiveOptions{limit, 1});
 }
 
 SearchResult exhaustive_min_area(const AssignmentEvaluator& evaluator,
                                  std::size_t limit) {
-  return exhaustive_by(evaluator, /*by_power=*/false, limit);
+  return exhaustive_min_area(evaluator, ExhaustiveOptions{limit, 1});
 }
 
 SearchResult min_area_assignment(const AssignmentEvaluator& evaluator,
@@ -64,26 +143,44 @@ SearchResult min_area_assignment(const AssignmentEvaluator& evaluator,
     result.evaluations = 1;
     return result;
   }
-  if (num_pos <= options.exhaustive_limit)
-    return exhaustive_by(evaluator, /*by_power=*/false, options.exhaustive_limit);
+  // Clamp like exhaustive_by does, so an over-generous exhaustive_limit
+  // falls back to annealing instead of tripping ExhaustiveLimitError.
+  const std::size_t exhaustive_limit =
+      std::min(options.exhaustive_limit, kMaxExhaustiveOutputs);
+  if (num_pos <= exhaustive_limit) {
+    ExhaustiveOptions exhaustive;
+    exhaustive.max_outputs = exhaustive_limit;
+    exhaustive.num_threads = options.num_threads;
+    return exhaustive_min_area(evaluator, exhaustive);
+  }
 
   // Simulated annealing over single-output flips, with restarts and a final
-  // greedy descent; deterministic via the seeded RNG.
+  // greedy descent; deterministic via the seeded per-restart RNG, so the
+  // restarts can run concurrently without changing any trajectory.
   const std::size_t iterations = options.anneal_iterations != 0
                                      ? options.anneal_iterations
                                      : 250 * num_pos;
-  SearchResult global_best;
-  std::size_t evaluations = 0;
+  struct RestartResult {
+    PhaseAssignment assignment;
+    std::size_t area = 0;
+    std::size_t evaluations = 0;
+  };
+  // At least one restart, or there would be no assignment to return.
+  const unsigned num_restarts = std::max(1u, options.restarts);
+  std::vector<RestartResult> restarts(num_restarts);
+  ThreadPool pool(options.num_threads);
 
-  for (unsigned restart = 0; restart < options.restarts; ++restart) {
+  pool.parallel_for(num_restarts, [&](std::size_t restart) {
     Rng rng(options.seed + restart * 0x9e3779b9ULL);
-    PhaseAssignment current(num_pos, Phase::kPositive);
+    PhaseAssignment initial(num_pos, Phase::kPositive);
     if (restart > 0)  // diversify restarts
-      for (auto& phase : current)
+      for (auto& phase : initial)
         phase = rng.bernoulli(0.5) ? Phase::kNegative : Phase::kPositive;
 
-    double energy = static_cast<double>(area_of(evaluator, current, evaluations));
-    PhaseAssignment best = current;
+    EvalState state(evaluator.context(), initial);
+    std::size_t evaluations = 1;
+    double energy = static_cast<double>(state.area_cells());
+    PhaseAssignment best = state.assignment();
     double best_energy = energy;
 
     const double t0 = std::max(1.0, 0.05 * energy);
@@ -93,52 +190,57 @@ SearchResult min_area_assignment(const AssignmentEvaluator& evaluator,
     double temperature = t0;
 
     for (std::size_t iter = 0; iter < iterations; ++iter) {
-      const std::size_t flip = rng.below(num_pos);
-      current[flip] = current[flip] == Phase::kPositive ? Phase::kNegative
-                                                        : Phase::kPositive;
-      const double trial =
-          static_cast<double>(area_of(evaluator, current, evaluations));
+      state.apply_flip(rng.below(num_pos));
+      const double trial = static_cast<double>(state.area_cells());
+      ++evaluations;
       const double delta = trial - energy;
       if (delta <= 0.0 || rng.uniform() < std::exp(-delta / temperature)) {
         energy = trial;
         if (energy < best_energy) {
           best_energy = energy;
-          best = current;
+          best = state.assignment();
         }
       } else {
-        current[flip] = current[flip] == Phase::kPositive ? Phase::kNegative
-                                                          : Phase::kPositive;
+        state.undo();
       }
       temperature *= alpha;
     }
 
     // Greedy descent from the best annealed point.
-    current = best;
+    state.set_assignment(best);
     energy = best_energy;
     bool improved = true;
     while (improved) {
       improved = false;
       for (std::size_t i = 0; i < num_pos; ++i) {
-        current[i] = current[i] == Phase::kPositive ? Phase::kNegative
-                                                    : Phase::kPositive;
-        const double trial =
-            static_cast<double>(area_of(evaluator, current, evaluations));
+        state.apply_flip(i);
+        const double trial = static_cast<double>(state.area_cells());
+        ++evaluations;
         if (trial < energy) {
           energy = trial;
           improved = true;
         } else {
-          current[i] = current[i] == Phase::kPositive ? Phase::kNegative
-                                                      : Phase::kPositive;
+          state.undo();
         }
       }
     }
 
-    if (global_best.assignment.empty() ||
-        energy < static_cast<double>(global_best.cost.area_cells())) {
-      global_best.assignment = current;
-      global_best.cost = evaluator.evaluate(current);
+    restarts[restart] = {state.assignment(), static_cast<std::size_t>(energy),
+                         evaluations};
+  });
+
+  // Merge in restart order with strict improvement — the sequential rule.
+  SearchResult global_best;
+  std::size_t best_area = std::numeric_limits<std::size_t>::max();
+  std::size_t evaluations = 0;
+  for (const RestartResult& restart : restarts) {
+    evaluations += restart.evaluations;
+    if (global_best.assignment.empty() || restart.area < best_area) {
+      best_area = restart.area;
+      global_best.assignment = restart.assignment;
     }
   }
+  global_best.cost = evaluator.evaluate(global_best.assignment);
   global_best.evaluations = evaluations;
   return global_best;
 }

@@ -8,30 +8,28 @@
 /// Ai- = 1 - Ai (flip; Property 4.1), pick the globally cheapest (pair,
 /// combination), *measure* the resulting realization's power, commit only if
 /// it improves, and remove the pair from the candidate set either way.
+///
+/// Measurements run on the incremental engine: a trial is one or two
+/// O(|cone|) flips on a persistent EvalState, undone unless committed.  The
+/// final polish descent can speculatively evaluate the remaining flips of a
+/// sweep across threads; the committed trajectory (and the reported trial
+/// count) is identical to the sequential first-improvement sweep.
 
 #include <algorithm>
-#include <vector>
 #include <limits>
 #include <stdexcept>
+#include <vector>
 
+#include "phase/eval.hpp"
 #include "phase/search.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dominosyn {
 
 namespace {
 
 constexpr double kImprovementEps = 1e-12;
-
-PhaseAssignment with_flips(PhaseAssignment phases, std::size_t i, bool flip_i,
-                           std::size_t j, bool flip_j) {
-  const auto flip = [](Phase p) {
-    return p == Phase::kPositive ? Phase::kNegative : Phase::kPositive;
-  };
-  if (flip_i) phases[i] = flip(phases[i]);
-  if (flip_j) phases[j] = flip(phases[j]);
-  return phases;
-}
 
 }  // namespace
 
@@ -48,9 +46,30 @@ MinPowerResult min_power_assignment(const AssignmentEvaluator& evaluator,
   if (result.assignment.size() != num_pos)
     throw std::runtime_error("min_power_assignment: initial assignment size mismatch");
 
-  result.cost = evaluator.evaluate(result.assignment);
+  EvalState state(evaluator.context(), result.assignment);
+  result.cost = state.cost();
   result.initial_power = result.cost.power.total();
   result.final_power = result.initial_power;
+
+  // Measures the current assignment with flips applied, then reverts.
+  const auto measure_flips = [&state](std::size_t i, bool flip_i, std::size_t j,
+                                      bool flip_j) {
+    unsigned applied = 0;
+    if (flip_i) { state.apply_flip(i); ++applied; }
+    if (flip_j) { state.apply_flip(j); ++applied; }
+    const AssignmentCost cost = state.cost();
+    while (applied-- > 0) state.undo();
+    return cost;
+  };
+
+  // Commits the current EvalState position as the new best.
+  const auto commit = [&](const AssignmentCost& cost) {
+    result.assignment = state.assignment();
+    result.cost = cost;
+    result.final_power = cost.power.total();
+    ++result.commits;
+  };
+
   if (num_pos < 2) return result;
 
   // Candidate set: all unordered output pairs.
@@ -145,8 +164,7 @@ MinPowerResult min_power_assignment(const AssignmentEvaluator& evaluator,
         const auto [i, j] = candidates[pick];
         for (const bool fi : {false, true})
           for (const bool fj : {false, true}) {
-            const auto trial = with_flips(result.assignment, i, fi, j, fj);
-            const double power = evaluator.evaluate(trial).power.total();
+            const double power = measure_flips(i, fi, j, fj).power.total();
             ++result.trials;
             if (power < best_power) {
               best_power = power;
@@ -159,41 +177,82 @@ MinPowerResult min_power_assignment(const AssignmentEvaluator& evaluator,
     }
 
     const auto [i, j] = candidates[pick];
-    const PhaseAssignment trial = with_flips(result.assignment, i, flip_i, j, flip_j);
-    const AssignmentCost trial_cost = evaluator.evaluate(trial);
+    unsigned applied = 0;
+    if (flip_i) { state.apply_flip(i); ++applied; }
+    if (flip_j) { state.apply_flip(j); ++applied; }
+    const AssignmentCost trial_cost = state.cost();
     ++result.trials;
     consumed[pick] = true;
     --remaining;
     if (trial_cost.power.total() < result.final_power - kImprovementEps) {
-      result.assignment = trial;
-      result.cost = trial_cost;
-      result.final_power = trial_cost.power.total();
-      ++result.commits;
+      commit(trial_cost);
       avg = evaluator.cone_average_probs(result.assignment);
       if (options.guidance == GuidanceMode::kCostFunction) {
         rebuild_queue();
         queue_head = 0;
       }
+    } else {
+      while (applied-- > 0) state.undo();
     }
   }
 
-  // Optional polish: greedy single-output descent to a local optimum.
+  // Optional polish: greedy first-improvement descent to a local optimum.
   if (options.polish_descent) {
-    bool improved = true;
-    while (improved) {
-      improved = false;
-      for (std::size_t i = 0; i < num_pos; ++i) {
-        PhaseAssignment trial = result.assignment;
-        trial[i] = trial[i] == Phase::kPositive ? Phase::kNegative
-                                                : Phase::kPositive;
-        const AssignmentCost trial_cost = evaluator.evaluate(trial);
-        ++result.trials;
-        if (trial_cost.power.total() < result.final_power - kImprovementEps) {
-          result.assignment = std::move(trial);
-          result.cost = trial_cost;
-          result.final_power = trial_cost.power.total();
-          ++result.commits;
+    const unsigned num_threads = ThreadPool::resolve_threads(options.num_threads);
+    if (num_threads <= 1) {
+      bool improved = true;
+      while (improved) {
+        improved = false;
+        for (std::size_t i = 0; i < num_pos; ++i) {
+          state.apply_flip(i);
+          const AssignmentCost trial_cost = state.cost();
+          ++result.trials;
+          if (trial_cost.power.total() < result.final_power - kImprovementEps) {
+            commit(trial_cost);
+            improved = true;
+          } else {
+            state.undo();
+          }
+        }
+      }
+    } else {
+      // Speculative parallel descent: evaluate the remaining flips of the
+      // sweep from the current base, commit the first improving one, resume
+      // after it — the exact trajectory (and trial count, defined as flips
+      // measured up to the committed one) of the sequential sweep.
+      ThreadPool pool(options.num_threads);
+      std::vector<double> powers(num_pos);
+      bool improved = true;
+      while (improved) {
+        improved = false;
+        std::size_t start = 0;
+        while (start < num_pos) {
+          const std::size_t count = num_pos - start;
+          const std::size_t shards = std::min<std::size_t>(pool.size(), count);
+          pool.parallel_for(shards, [&](std::size_t shard) {
+            EvalState local = state;
+            for (std::size_t idx = shard; idx < count; idx += shards) {
+              local.apply_flip(start + idx);
+              powers[start + idx] = local.power_total();
+              local.undo();
+            }
+          });
+          std::size_t found = count;
+          for (std::size_t idx = 0; idx < count; ++idx) {
+            if (powers[start + idx] < result.final_power - kImprovementEps) {
+              found = idx;
+              break;
+            }
+          }
+          if (found == count) {
+            result.trials += count;
+            break;
+          }
+          result.trials += found + 1;
+          state.apply_flip(start + found);
+          commit(state.cost());
           improved = true;
+          start += found + 1;
         }
       }
     }

@@ -9,10 +9,17 @@
 ///    and overlaps O(i,j); greedy commit loop with measured power.
 ///  * exhaustive_min_power — brute force over all 2^P assignments (the
 ///    frg1 "only 8 assignments" observation).
+///
+/// All searches run on the incremental engine (phase/eval.hpp): candidate
+/// moves cost O(|cone|) instead of O(network), the exhaustive searches walk
+/// the 2^P space in Gray-code order (one flip per candidate) and shard it
+/// across threads, and annealing restarts run concurrently.  Results are
+/// deterministic in the seed and independent of the thread count.
 
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 
 #include "network/network.hpp"
 #include "phase/assignment.hpp"
@@ -25,24 +32,67 @@ struct SearchResult {
   std::size_t evaluations = 0;
 };
 
+/// Hard cap applied when no explicit limit is given: 2^20 candidates.
+inline constexpr std::size_t kDefaultExhaustiveLimit = 20;
+
+/// Absolute ceiling on exhaustively enumerable outputs (the 2^P code space
+/// must fit uint64 arithmetic); larger requested limits are clamped here.
+inline constexpr std::size_t kMaxExhaustiveOutputs = 62;
+
+/// Thrown when an exhaustive search is asked to enumerate more outputs than
+/// its limit allows (2^P candidates would be intractable).  Callers that
+/// auto-select between exhaustive and heuristic search should catch — or
+/// better, avoid triggering — this specific type.
+class ExhaustiveLimitError : public std::runtime_error {
+ public:
+  ExhaustiveLimitError(std::size_t num_outputs, std::size_t limit);
+  [[nodiscard]] std::size_t num_outputs() const noexcept { return num_outputs_; }
+  [[nodiscard]] std::size_t limit() const noexcept { return limit_; }
+
+ private:
+  std::size_t num_outputs_;
+  std::size_t limit_;
+};
+
+struct ExhaustiveOptions {
+  /// Refuse (with ExhaustiveLimitError) when #POs exceeds this.
+  std::size_t max_outputs = kDefaultExhaustiveLimit;
+  /// Worker threads sharding the 2^P space; 0 = one per hardware thread.
+  /// The result is identical for every value.
+  unsigned num_threads = 1;
+};
+
+/// Brute force over all 2^P assignments, minimizing estimated power.
+/// Ties are broken towards the smallest assignment code (output i negative
+/// iff bit i set) — exactly the seed scan's first-minimum-in-code-order —
+/// so the result is thread-count independent.
+[[nodiscard]] SearchResult exhaustive_min_power(const AssignmentEvaluator& evaluator,
+                                                const ExhaustiveOptions& options);
+
+/// Brute force over all 2^P assignments, minimizing area.
+[[nodiscard]] SearchResult exhaustive_min_area(const AssignmentEvaluator& evaluator,
+                                               const ExhaustiveOptions& options);
+
+/// Convenience overloads with a bare output-count limit.
+[[nodiscard]] SearchResult exhaustive_min_power(
+    const AssignmentEvaluator& evaluator,
+    std::size_t limit = kDefaultExhaustiveLimit);
+[[nodiscard]] SearchResult exhaustive_min_area(
+    const AssignmentEvaluator& evaluator,
+    std::size_t limit = kDefaultExhaustiveLimit);
+
 struct MinAreaOptions {
   std::uint64_t seed = 1;
   std::size_t exhaustive_limit = 16;  ///< use brute force when #POs <= this
   std::size_t anneal_iterations = 0;  ///< 0 = auto (scales with #POs)
   unsigned restarts = 2;
+  /// Worker threads (exhaustive sharding / concurrent annealing restarts);
+  /// 0 = one per hardware thread.  The result is identical for every value.
+  unsigned num_threads = 1;
 };
 
 [[nodiscard]] SearchResult min_area_assignment(const AssignmentEvaluator& evaluator,
                                                const MinAreaOptions& options = {});
-
-/// Brute force over all 2^P assignments, minimizing estimated power.
-/// Throws std::runtime_error if #POs exceeds `limit`.
-[[nodiscard]] SearchResult exhaustive_min_power(const AssignmentEvaluator& evaluator,
-                                                std::size_t limit = 20);
-
-/// Brute force over all 2^P assignments, minimizing area (for tests).
-[[nodiscard]] SearchResult exhaustive_min_area(const AssignmentEvaluator& evaluator,
-                                               std::size_t limit = 20);
 
 /// How candidate pairs/combos are chosen in the min-power loop (the paper's
 /// §4.1 uses the cost function; the others are ablation baselines).
@@ -61,6 +111,10 @@ struct MinPowerOptions {
   /// cost function can be extended ... reduces to a greedily ordered
   /// exhaustive search") and costs O(#POs) measurements per round.
   bool polish_descent = true;
+  /// Worker threads for the polish descent (speculative evaluation of the
+  /// remaining flips of a sweep); 0 = one per hardware thread.  The result
+  /// and the reported trial count are identical for every value.
+  unsigned num_threads = 1;
 };
 
 struct MinPowerResult {

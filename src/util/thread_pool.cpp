@@ -1,0 +1,90 @@
+/// \file thread_pool.cpp
+
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace dominosyn {
+
+unsigned ThreadPool::resolve_threads(unsigned requested) noexcept {
+  constexpr unsigned kMaxWorkers = 1024;
+  if (requested != 0) return std::min(requested, kMaxWorkers);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw != 0 ? std::min(hw, kMaxWorkers) : 1;
+}
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  const unsigned total = resolve_threads(num_threads);
+  workers_.reserve(total - 1);
+  for (unsigned i = 1; i < total; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] { return stopping_ || generation_ != seen; });
+      if (stopping_) return;
+      seen = generation_;
+    }
+    run_shard();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--active_workers_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::run_shard() {
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count_) return;
+    try {
+      (*body_)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!error_) error_ = std::current_exception();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  if (workers_.empty()) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    body_ = &body;
+    count_ = count;
+    next_.store(0, std::memory_order_relaxed);
+    error_ = nullptr;
+    active_workers_ = workers_.size();
+    ++generation_;  // publishes body_/count_ to workers (same mutex)
+  }
+  start_cv_.notify_all();
+  run_shard();
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return active_workers_ == 0; });
+  body_ = nullptr;
+  if (error_) {
+    const std::exception_ptr error = error_;
+    error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace dominosyn

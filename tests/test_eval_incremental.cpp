@@ -1,0 +1,420 @@
+/// Tests for the incremental phase-evaluation engine (phase/eval.hpp) and the
+/// deterministic parallel searches built on it:
+///  * bit-exact equivalence of EvalState flip sequences vs the full
+///    AssignmentEvaluator::evaluate() across random networks and all power
+///    model variants (the engine's core contract),
+///  * undo/set_assignment state restoration,
+///  * refcount-derived demand vs the independent stack-walk demand,
+///  * thread-count independence of exhaustive / min-area / min-power search,
+///  * the ExhaustiveLimitError contract.
+
+#include <gtest/gtest.h>
+
+#include "bdd/netbdd.hpp"
+#include "benchgen/benchgen.hpp"
+#include "flow/flow.hpp"
+#include "phase/eval.hpp"
+#include "phase/search.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dominosyn {
+namespace {
+
+AssignmentEvaluator make_evaluator(const Network& net, PowerModelConfig config,
+                                   double pi_prob = 0.5) {
+  const std::vector<double> pi_probs(net.num_pis(), pi_prob);
+  return AssignmentEvaluator(net, signal_probabilities(net, pi_probs), config);
+}
+
+/// All comparisons are *exact*: the incremental engine must agree with the
+/// full evaluator bit-for-bit, not approximately.
+void expect_cost_identical(const AssignmentCost& a, const AssignmentCost& b) {
+  EXPECT_EQ(a.power.domino_block, b.power.domino_block);
+  EXPECT_EQ(a.power.input_inverters, b.power.input_inverters);
+  EXPECT_EQ(a.power.output_inverters, b.power.output_inverters);
+  EXPECT_EQ(a.power.clock_load, b.power.clock_load);
+  EXPECT_EQ(a.domino_gates, b.domino_gates);
+  EXPECT_EQ(a.duplicated_gates, b.duplicated_gates);
+  EXPECT_EQ(a.input_inverters, b.input_inverters);
+  EXPECT_EQ(a.output_inverters, b.output_inverters);
+}
+
+/// The power-model variants the engine must track exactly: the paper's plain
+/// C_i = 1 setting, the structural load model, clock/penalty terms, and all
+/// of them combined.
+std::vector<PowerModelConfig> model_variants() {
+  PowerModelConfig plain;
+  PowerModelConfig loaded;
+  loaded.load_aware = true;
+  PowerModelConfig clocked;
+  clocked.clock_cap_per_gate = 0.35;
+  clocked.penalty.and_mult = 1.25;
+  clocked.penalty.or_add = 0.05;
+  PowerModelConfig full;
+  full.load_aware = true;
+  full.clock_cap_per_gate = 0.5;
+  full.domino_driven_inverter_edges = 1.0;
+  full.penalty.or_mult = 1.1;
+  full.penalty.and_add = 0.02;
+  return {plain, loaded, clocked, full};
+}
+
+class IncrementalEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IncrementalEquivalence, RandomFlipSequencesMatchFullEvaluate) {
+  const std::uint64_t seed = GetParam();
+  BenchSpec spec;
+  spec.name = "inc";
+  spec.num_pis = 9;
+  spec.num_pos = 7;
+  spec.num_latches = seed % 2 == 0 ? 3 : 0;
+  spec.gate_target = 80;
+  spec.seed = seed * 17 + 1;
+  const Network net = generate_benchmark(spec);
+
+  for (const PowerModelConfig& config : model_variants()) {
+    const AssignmentEvaluator evaluator =
+        make_evaluator(net, config, seed % 3 == 0 ? 0.8 : 0.5);
+
+    Rng rng(seed);
+    PhaseAssignment initial(net.num_pos());
+    for (auto& p : initial)
+      p = rng.bernoulli(0.5) ? Phase::kNegative : Phase::kPositive;
+
+    EvalState state(evaluator.context(), initial);
+    expect_cost_identical(state.cost(), evaluator.evaluate(initial));
+
+    for (int flip = 0; flip < 60; ++flip) {
+      state.apply_flip(rng.below(net.num_pos()));
+      const AssignmentCost full = evaluator.evaluate(state.assignment());
+      expect_cost_identical(state.cost(), full);
+      EXPECT_EQ(state.area_cells(), full.area_cells());
+      EXPECT_EQ(state.power_total(), full.power.total());
+    }
+  }
+}
+
+TEST_P(IncrementalEquivalence, RefcountDemandMatchesWalkDemand) {
+  const std::uint64_t seed = GetParam();
+  BenchSpec spec;
+  spec.name = "dem";
+  spec.num_pis = 8;
+  spec.num_pos = 6;
+  spec.num_latches = seed % 3 == 0 ? 2 : 0;
+  spec.gate_target = 70;
+  spec.seed = seed + 100;
+  const Network net = generate_benchmark(spec);
+  const AssignmentEvaluator evaluator = make_evaluator(net, {});
+
+  Rng rng(seed);
+  PhaseAssignment phases(net.num_pos(), Phase::kPositive);
+  EvalState state(evaluator.context(), phases);
+  for (int flip = 0; flip < 20; ++flip) {
+    state.apply_flip(rng.below(net.num_pos()));
+    // demand() is the seed's independent stack-walk implementation; the
+    // engine derives the same bits from its reference counts.
+    EXPECT_EQ(state.demand().bits, evaluator.demand(state.assignment()).bits);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalEquivalence,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(Incremental, SourceResolvedAndConstantOutputs) {
+  // The boundary folding cases: direct-wire POs, shared input inverters,
+  // constant drivers, NOT chains — everything demand()/evaluate() special-
+  // cases must stay exact under flips.
+  Network net;
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId g = net.add_and(a, b);
+  net.add_po("wire", a);
+  net.add_po("inv", net.add_not(a));
+  net.add_po("const", Network::const0());
+  net.add_po("notconst", net.add_not(Network::const1()));
+  net.add_po("f", g);
+  net.add_po("nf", net.add_not(net.add_not(net.add_not(g))));
+
+  for (const PowerModelConfig& config : model_variants()) {
+    const AssignmentEvaluator evaluator = make_evaluator(net, config, 0.7);
+    // Walk all 64 assignments in Gray order: one flip each.
+    EvalState state(evaluator.context(), all_positive(net));
+    expect_cost_identical(state.cost(), evaluator.evaluate(state.assignment()));
+    for (std::uint64_t code = 1; code < (1ULL << net.num_pos()); ++code) {
+      state.apply_flip(static_cast<std::size_t>(std::countr_zero(code)));
+      expect_cost_identical(state.cost(), evaluator.evaluate(state.assignment()));
+      EXPECT_EQ(state.demand().bits, evaluator.demand(state.assignment()).bits);
+    }
+  }
+}
+
+TEST(Incremental, UndoRestoresExactState) {
+  BenchSpec spec;
+  spec.name = "undo";
+  spec.num_pis = 9;
+  spec.num_pos = 6;
+  spec.gate_target = 70;
+  spec.seed = 11;
+  const Network net = generate_benchmark(spec);
+  PowerModelConfig config;
+  config.load_aware = true;
+  const AssignmentEvaluator evaluator = make_evaluator(net, config);
+
+  EvalState state(evaluator.context(), all_positive(net));
+  const AssignmentCost before = state.cost();
+
+  Rng rng(7);
+  const int depth = 17;
+  for (int i = 0; i < depth; ++i) state.apply_flip(rng.below(net.num_pos()));
+  EXPECT_EQ(state.history_depth(), static_cast<std::size_t>(depth));
+  for (int i = 0; i < depth; ++i) state.undo();
+  EXPECT_EQ(state.history_depth(), 0u);
+  EXPECT_EQ(state.assignment(), all_positive(net));
+  expect_cost_identical(state.cost(), before);
+  EXPECT_THROW(state.undo(), std::runtime_error);
+}
+
+TEST(Incremental, SetAssignmentJumpsAndCopiesAreIndependent) {
+  BenchSpec spec;
+  spec.name = "jump";
+  spec.num_pis = 8;
+  spec.num_pos = 5;
+  spec.gate_target = 60;
+  spec.seed = 23;
+  const Network net = generate_benchmark(spec);
+  const AssignmentEvaluator evaluator = make_evaluator(net, {});
+
+  Rng rng(3);
+  PhaseAssignment target(net.num_pos());
+  for (auto& p : target)
+    p = rng.bernoulli(0.5) ? Phase::kNegative : Phase::kPositive;
+
+  EvalState state(evaluator.context(), all_positive(net));
+  EvalState copy = state;
+  state.set_assignment(target);
+  EXPECT_EQ(state.assignment(), target);
+  EXPECT_EQ(state.history_depth(), 0u);
+  expect_cost_identical(state.cost(), evaluator.evaluate(target));
+  // The copy still scores the original assignment.
+  expect_cost_identical(copy.cost(), evaluator.evaluate(all_positive(net)));
+}
+
+TEST(Search, ExhaustiveMatchesReferenceScan) {
+  BenchSpec spec;
+  spec.name = "ref";
+  spec.num_pis = 8;
+  spec.num_pos = 7;
+  spec.gate_target = 70;
+  spec.seed = 4;
+  const Network net = generate_benchmark(spec);
+  const AssignmentEvaluator evaluator = make_evaluator(net, {}, 0.6);
+
+  // Reference: the seed's binary-order scan with full evaluation, keeping
+  // the first strict minimum (= lowest assignment code among ties).
+  double best_power = 0.0;
+  std::size_t best_area = 0;
+  PhaseAssignment best_power_phases, best_area_phases;
+  PhaseAssignment phases(net.num_pos(), Phase::kPositive);
+  for (std::uint64_t code = 0; code < (1ULL << net.num_pos()); ++code) {
+    for (std::size_t i = 0; i < net.num_pos(); ++i)
+      phases[i] = ((code >> i) & 1ULL) != 0 ? Phase::kNegative : Phase::kPositive;
+    const AssignmentCost cost = evaluator.evaluate(phases);
+    if (code == 0 || cost.power.total() < best_power) {
+      best_power = cost.power.total();
+      best_power_phases = phases;
+    }
+    if (code == 0 || cost.area_cells() < best_area) {
+      best_area = cost.area_cells();
+      best_area_phases = phases;
+    }
+  }
+
+  const SearchResult power = exhaustive_min_power(evaluator);
+  EXPECT_EQ(power.cost.power.total(), best_power);
+  EXPECT_EQ(power.assignment, best_power_phases);  // seed tie-break order
+  EXPECT_EQ(power.evaluations, 1ULL << net.num_pos());
+  expect_cost_identical(power.cost, evaluator.evaluate(power.assignment));
+
+  const SearchResult area = exhaustive_min_area(evaluator);
+  EXPECT_EQ(area.cost.area_cells(), best_area);
+  // Area metrics are small integers, so ties are common — the Gray-walk
+  // search must still return the seed scan's first winner.
+  EXPECT_EQ(area.assignment, best_area_phases);
+}
+
+TEST(Search, ParallelExhaustiveIsThreadCountIndependent) {
+  BenchSpec spec;
+  spec.name = "shard";
+  spec.num_pis = 10;
+  spec.num_pos = 10;
+  spec.gate_target = 90;
+  spec.seed = 9;
+  const Network net = generate_benchmark(spec);
+  const AssignmentEvaluator evaluator = make_evaluator(net, {}, 0.7);
+
+  ExhaustiveOptions sequential;
+  sequential.num_threads = 1;
+  const SearchResult base = exhaustive_min_power(evaluator, sequential);
+  for (const unsigned threads : {2u, 3u, 5u, 8u}) {
+    ExhaustiveOptions parallel;
+    parallel.num_threads = threads;
+    const SearchResult result = exhaustive_min_power(evaluator, parallel);
+    EXPECT_EQ(result.assignment, base.assignment) << threads;
+    expect_cost_identical(result.cost, base.cost);
+    EXPECT_EQ(result.evaluations, base.evaluations);
+  }
+}
+
+TEST(Search, ParallelMinAreaAnnealingIsThreadCountIndependent) {
+  BenchSpec spec;
+  spec.name = "par-ma";
+  spec.num_pis = 10;
+  spec.num_pos = 9;
+  spec.gate_target = 80;
+  spec.seed = 6;
+  const Network net = generate_benchmark(spec);
+  const AssignmentEvaluator evaluator = make_evaluator(net, {});
+
+  MinAreaOptions sequential;
+  sequential.exhaustive_limit = 0;  // force the annealing path
+  sequential.restarts = 3;
+  sequential.num_threads = 1;
+  const SearchResult base = min_area_assignment(evaluator, sequential);
+  for (const unsigned threads : {2u, 4u}) {
+    MinAreaOptions parallel = sequential;
+    parallel.num_threads = threads;
+    const SearchResult result = min_area_assignment(evaluator, parallel);
+    EXPECT_EQ(result.assignment, base.assignment) << threads;
+    expect_cost_identical(result.cost, base.cost);
+    EXPECT_EQ(result.evaluations, base.evaluations);
+  }
+}
+
+TEST(Search, ParallelMinPowerIsThreadCountIndependent) {
+  BenchSpec spec;
+  spec.name = "par-mp";
+  spec.num_pis = 11;
+  spec.num_pos = 12;
+  spec.gate_target = 120;
+  spec.seed = 14;
+  const Network net = generate_benchmark(spec);
+  const AssignmentEvaluator evaluator = make_evaluator(net, {}, 0.65);
+  const ConeOverlap overlap(net);
+
+  MinPowerOptions sequential;
+  sequential.num_threads = 1;
+  const MinPowerResult base = min_power_assignment(evaluator, overlap, sequential);
+  for (const unsigned threads : {2u, 4u}) {
+    MinPowerOptions parallel;
+    parallel.num_threads = threads;
+    const MinPowerResult result =
+        min_power_assignment(evaluator, overlap, parallel);
+    EXPECT_EQ(result.assignment, base.assignment) << threads;
+    EXPECT_EQ(result.final_power, base.final_power) << threads;
+    EXPECT_EQ(result.trials, base.trials) << threads;
+    EXPECT_EQ(result.commits, base.commits) << threads;
+    expect_cost_identical(result.cost, base.cost);
+  }
+}
+
+TEST(Search, ExhaustiveLimitErrorCarriesContext) {
+  BenchSpec spec;
+  spec.name = "big";
+  spec.num_pis = 8;
+  spec.num_pos = 25;
+  spec.gate_target = 60;
+  spec.seed = 2;
+  const Network net = generate_benchmark(spec);
+  const AssignmentEvaluator evaluator = make_evaluator(net, {});
+
+  try {
+    (void)exhaustive_min_power(evaluator);
+    FAIL() << "expected ExhaustiveLimitError";
+  } catch (const ExhaustiveLimitError& error) {
+    EXPECT_EQ(error.num_outputs(), 25u);
+    EXPECT_EQ(error.limit(), kDefaultExhaustiveLimit);
+    EXPECT_NE(std::string(error.what()).find("25"), std::string::npos);
+  }
+}
+
+TEST(Flow, ExhaustiveLimitIsConsistentBetweenFlowAndSearch) {
+  // Seed bug class: flow.cpp's auto-exhaustive threshold and search.hpp's
+  // hard limit could silently disagree.  Now the threshold *is* the limit:
+  // below it the flow brute-forces, above it the flow falls back to the
+  // heuristic instead of throwing.
+  BenchSpec spec;
+  spec.name = "limit";
+  spec.num_pis = 9;
+  spec.num_pos = 6;
+  spec.gate_target = 70;
+  spec.seed = 21;
+  const Network net = generate_benchmark(spec);
+
+  FlowOptions options;
+  options.sim.steps = 200;
+  options.sim.warmup = 4;
+  options.mode = PhaseMode::kMinPower;
+  options.exhaustive_pos_limit = 4;  // below #POs: heuristic path, no throw
+  EXPECT_NO_THROW((void)run_flow(net, options));
+  options.exhaustive_pos_limit = 6;  // exactly #POs: exhaustive path works
+  EXPECT_NO_THROW((void)run_flow(net, options));
+
+  // Explicit brute-force mode on an intractable output count fails fast
+  // with the typed error instead of enumerating forever.
+  BenchSpec wide = spec;
+  wide.name = "wide";
+  wide.num_pos = 25;
+  const Network wide_net = generate_benchmark(wide);
+  options.mode = PhaseMode::kExhaustivePower;
+  EXPECT_THROW((void)run_flow(wide_net, options), ExhaustiveLimitError);
+}
+
+TEST(Flow, NumThreadsProducesIdenticalReports) {
+  BenchSpec spec;
+  spec.name = "par-flow";
+  spec.num_pis = 10;
+  spec.num_pos = 12;  // above the default exhaustive threshold
+  spec.gate_target = 100;
+  spec.seed = 31;
+  const Network net = generate_benchmark(spec);
+
+  FlowOptions options;
+  options.sim.steps = 200;
+  options.sim.warmup = 4;
+  options.mode = PhaseMode::kMinPower;
+  options.num_threads = 1;
+  const FlowReport base = run_flow(net, options);
+  options.num_threads = 4;
+  const FlowReport parallel = run_flow(net, options);
+  EXPECT_EQ(parallel.assignment, base.assignment);
+  EXPECT_EQ(parallel.est_power, base.est_power);
+  EXPECT_EQ(parallel.sim_power, base.sim_power);
+  EXPECT_EQ(parallel.search_evaluations, base.search_evaluations);
+}
+
+TEST(Util, ThreadPoolRunsAllIndicesAndPropagatesErrors) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<int> hits(100, 0);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i] = 1; });
+  for (const int hit : hits) EXPECT_EQ(hit, 1);
+
+  EXPECT_THROW(
+      pool.parallel_for(8,
+                        [](std::size_t i) {
+                          if (i == 3) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool survives an exception and stays usable.
+  int sum = 0;
+  std::mutex mutex;
+  pool.parallel_for(10, [&](std::size_t i) {
+    std::lock_guard<std::mutex> lock(mutex);
+    sum += static_cast<int>(i);
+  });
+  EXPECT_EQ(sum, 45);
+}
+
+}  // namespace
+}  // namespace dominosyn

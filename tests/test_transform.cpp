@@ -97,9 +97,11 @@ TEST(DecomposeBinary, LowersWideGates) {
   for (int i = 0; i < 7; ++i) pis.push_back(net.add_pi("p" + std::to_string(i)));
   net.add_po("f", net.add_gate(NodeKind::kAnd, {pis.begin(), pis.end()}));
   decompose_binary(net);
-  for (NodeId id = 0; id < net.num_nodes(); ++id)
-    if (is_gate_kind(net.kind(id)) && net.kind(id) != NodeKind::kNot)
+  for (NodeId id = 0; id < net.num_nodes(); ++id) {
+    if (is_gate_kind(net.kind(id)) && net.kind(id) != NodeKind::kNot) {
       EXPECT_EQ(net.fanins(id).size(), 2u);
+    }
+  }
   // Balanced tree of 7 leaves: depth 3.
   const auto stats = network_stats(net);
   EXPECT_EQ(stats.ands, 6u);
@@ -191,8 +193,9 @@ TEST(StandardSynthesis, ProducesBinaryNetwork) {
   for (NodeId id = 0; id < net.num_nodes(); ++id) {
     const NodeKind kind = net.kind(id);
     EXPECT_NE(kind, NodeKind::kXor);
-    if (kind == NodeKind::kAnd || kind == NodeKind::kOr)
+    if (kind == NodeKind::kAnd || kind == NodeKind::kOr) {
       EXPECT_EQ(net.fanins(id).size(), 2u);
+    }
   }
 }
 
