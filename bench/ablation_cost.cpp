@@ -9,7 +9,7 @@
 #include <iostream>
 
 #include "benchgen/benchgen.hpp"
-#include "bdd/netbdd.hpp"
+#include "flow/session.hpp"
 #include "flow/report.hpp"
 #include "phase/search.hpp"
 #include "util/stopwatch.hpp"
@@ -30,9 +30,13 @@ int main() {
     if (spec.num_pos > 40) spec.num_pos = 40;
     const Network net = generate_benchmark(spec);
 
-    const std::vector<double> pi_probs(net.num_pis(), 0.5);
-    const AssignmentEvaluator evaluator(net, signal_probabilities(net, pi_probs));
-    const ConeOverlap overlap(net);
+    // Session stages supply the probabilities, the shared EvalContext and the
+    // cone overlaps; the three guidance modes reuse all of them.
+    FlowOptions flow_options;
+    flow_options.model = PowerModelConfig{};  // the paper's C_i = 1 objective
+    FlowSession session(net, flow_options);
+    const AssignmentEvaluator& evaluator = session.evaluator();
+    const ConeOverlap& overlap = session.cone_overlap();
 
     const auto run_mode = [&](GuidanceMode mode) {
       MinPowerOptions options;

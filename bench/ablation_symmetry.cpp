@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "benchgen/benchgen.hpp"
+#include "flow/session.hpp"
 #include "flow/report.hpp"
 #include "phase/assignment.hpp"
 #include "sgraph/mfvs.hpp"
@@ -62,7 +63,12 @@ int main() {
     spec.num_latches = 14;
     spec.gate_target = 220;
     spec.seed = seed * 97;
-    const Network net = generate_benchmark(spec);
+    const Network raw = generate_benchmark(spec);
+
+    // The session's synthesis stage guarantees the 2-input phase-ready form
+    // synthesize_domino expects, whatever the generator emitted.
+    FlowSession session(raw, FlowOptions{});
+    const Network& net = session.synthesized();
 
     Rng rng(seed);
     PhaseAssignment phases(net.num_pos());

@@ -1,0 +1,57 @@
+/// \file cli.hpp
+/// Shared argv parsing for the bench drivers.  table1/table2 used to carry
+/// duplicated strtol blocks with no ERANGE handling; every driver flag goes
+/// through these helpers instead.
+
+#pragma once
+
+#include <cerrno>
+#include <cstdlib>
+#include <iostream>
+#include <limits>
+#include <optional>
+
+namespace dominosyn::cli {
+
+/// Parses a whole decimal integer in [min_value, max_value].  Rejects null /
+/// empty strings, trailing junk, and out-of-range values (both the strtol
+/// ERANGE overflow and the caller's bounds).
+inline std::optional<long> parse_long(const char* text, long min_value,
+                                      long max_value =
+                                          std::numeric_limits<long>::max()) {
+  if (text == nullptr || *text == '\0') return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE) return std::nullopt;
+  if (value < min_value || value > max_value) return std::nullopt;
+  return value;
+}
+
+/// argv[index] as above, with a fallback when the argument is absent.
+/// std::nullopt means the argument was present but invalid.
+inline std::optional<long> parse_long_arg(int argc, char** argv, int index,
+                                          long fallback, long min_value,
+                                          long max_value =
+                                              std::numeric_limits<long>::max()) {
+  if (argc <= index) return fallback;
+  return parse_long(argv[index], min_value, max_value);
+}
+
+/// Parses argv[index] as a worker-thread count (>= 0; 0 = one per hardware
+/// thread), printing a uniform usage error on bad input.  The cap matches
+/// ThreadPool::resolve_threads' nonsense bound.
+inline std::optional<unsigned> parse_threads(int argc, char** argv, int index,
+                                             const char* program,
+                                             long fallback = 1) {
+  const auto value = parse_long_arg(argc, argv, index, fallback, 0, 1024);
+  if (!value) {
+    std::cerr << program
+              << ": num_threads must be an integer in [0, 1024] "
+                 "(0 = one per hardware thread)\n";
+    return std::nullopt;
+  }
+  return static_cast<unsigned>(*value);
+}
+
+}  // namespace dominosyn::cli

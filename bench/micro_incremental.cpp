@@ -6,7 +6,10 @@
 ///                  (a faithful local copy of the pre-engine search loop),
 ///   * incremental — EvalState::apply_flip/undo, O(|cone|) per trial,
 ///   * parallel   — incremental plus the thread-parallel search layer.
-/// Emits JSON so future PRs can track the perf trajectory.
+/// Also times a paper-style MA+MP sweep as back-to-back monolithic run_flow
+/// calls vs one run_flow_batch over shared FlowSessions (the staged-API
+/// amortization win).  Emits JSON so future PRs can track the perf
+/// trajectory.
 ///
 /// Usage: micro_incremental [num_threads] [gate_target] [num_pos]
 ///   num_threads  0 = one per hardware thread (default), 1 = sequential
@@ -15,13 +18,14 @@
 ///                acceptance scenario)
 
 #include <algorithm>
-#include <cstdlib>
 #include <iostream>
 #include <limits>
 #include <vector>
 
 #include "bdd/netbdd.hpp"
 #include "benchgen/benchgen.hpp"
+#include "cli.hpp"
+#include "flow/batch.hpp"
 #include "phase/eval.hpp"
 #include "phase/search.hpp"
 #include "util/rng.hpp"
@@ -167,27 +171,17 @@ Network make_circuit(const std::string& name, std::size_t gates,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto parse_arg = [&](int index, long fallback, long min_value,
-                             long& out) {
-    if (argc <= index) {
-      out = fallback;
-      return true;
-    }
-    char* end = nullptr;
-    out = std::strtol(argv[index], &end, 10);
-    return end != argv[index] && *end == '\0' && out >= min_value;
-  };
-  long threads_arg = 0, gates_arg = 0, pos_arg = 0;
-  if (!parse_arg(1, 0, 0, threads_arg) ||     // 0 = hardware
-      !parse_arg(2, 2000, 1, gates_arg) ||
-      !parse_arg(3, 48, 1, pos_arg)) {
-    std::cerr << "usage: micro_incremental [num_threads>=0] [gate_target>=1]"
-                 " [num_pos>=1]\n";
+  const auto threads_arg = cli::parse_long_arg(argc, argv, 1, 0, 0, 1024);
+  const auto gates_arg = cli::parse_long_arg(argc, argv, 2, 2000, 1);
+  const auto pos_arg = cli::parse_long_arg(argc, argv, 3, 48, 1);
+  if (!threads_arg || !gates_arg || !pos_arg) {
+    std::cerr << "usage: micro_incremental [num_threads 0..1024] "
+                 "[gate_target>=1] [num_pos>=1]\n";
     return 2;
   }
-  const unsigned num_threads = static_cast<unsigned>(threads_arg);
-  const std::size_t gate_target = static_cast<std::size_t>(gates_arg);
-  const std::size_t num_pos = static_cast<std::size_t>(pos_arg);
+  const unsigned num_threads = static_cast<unsigned>(*threads_arg);
+  const std::size_t gate_target = static_cast<std::size_t>(*gates_arg);
+  const std::size_t num_pos = static_cast<std::size_t>(*pos_arg);
 
   const Network net = make_circuit("inc", gate_target, num_pos);
   const std::vector<double> pi_probs(net.num_pis(), 0.5);
@@ -283,6 +277,67 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // -- batched MA+MP sweep vs back-to-back monolithic run_flow ---------------
+  // Each monolithic call re-synthesizes, re-extracts BDD probabilities and
+  // rebuilds the EvalContext; the batch shares one FlowSession per circuit
+  // and seeds MP from the cached MA stage.
+  std::vector<BenchSpec> sweep_specs;
+  for (const char* name : {"apex7", "frg1", "x1", "x3"}) {
+    BenchSpec spec = paper_spec(name);
+    spec.gate_target = std::min<std::size_t>(spec.gate_target, 800);
+    sweep_specs.push_back(spec);
+  }
+  std::vector<Network> sweep_nets;
+  sweep_nets.reserve(sweep_specs.size());
+  for (const BenchSpec& spec : sweep_specs)
+    sweep_nets.push_back(generate_benchmark(spec));
+
+  std::vector<FlowJob> sweep_jobs;
+  for (const Network& job_net : sweep_nets) {
+    for (const PhaseMode mode : {PhaseMode::kMinArea, PhaseMode::kMinPower}) {
+      FlowJob job;
+      job.network = &job_net;
+      job.options.sim.steps = 256;
+      job.options.sim.warmup = 8;
+      job.options.mode = mode;
+      sweep_jobs.push_back(std::move(job));
+    }
+  }
+
+  stopwatch.restart();
+  std::vector<FlowReport> monolithic;
+  monolithic.reserve(sweep_jobs.size());
+  for (const FlowJob& job : sweep_jobs)
+    monolithic.push_back(run_flow(*job.network, job.options));
+  const double sweep_monolithic_seconds = stopwatch.seconds();
+
+  BatchOptions sweep_seq;
+  sweep_seq.num_threads = 1;
+  stopwatch.restart();
+  const std::vector<FlowReport> batched = run_flow_batch(sweep_jobs, sweep_seq);
+  const double sweep_batch_seconds = stopwatch.seconds();
+
+  BatchOptions sweep_par;
+  sweep_par.num_threads = num_threads;
+  stopwatch.restart();
+  const std::vector<FlowReport> batched_par =
+      run_flow_batch(sweep_jobs, sweep_par);
+  const double sweep_batch_parallel_seconds = stopwatch.seconds();
+
+  for (std::size_t i = 0; i < sweep_jobs.size(); ++i) {
+    const bool same =
+        batched[i].est_power == monolithic[i].est_power &&
+        batched[i].sim_power == monolithic[i].sim_power &&
+        batched[i].cells == monolithic[i].cells &&
+        batched[i].assignment == monolithic[i].assignment &&
+        batched_par[i].sim_power == monolithic[i].sim_power &&
+        batched_par[i].assignment == monolithic[i].assignment;
+    if (!same) {
+      std::cerr << "FATAL: batched sweep diverged from monolithic run_flow\n";
+      return 1;
+    }
+  }
+
   const unsigned resolved = ThreadPool::resolve_threads(num_threads);
   std::cout.precision(6);
   std::cout << "{\n"
@@ -331,6 +386,19 @@ int main(int argc, char** argv) {
             << "    \"speedup_parallel\": "
             << exhaustive_full_seconds / exhaustive_parallel_seconds
             << "\n"
+            << "  },\n"
+            << "  \"batched_sweep\": {\n"
+            << "    \"circuits\": " << sweep_nets.size() << ",\n"
+            << "    \"jobs\": " << sweep_jobs.size() << ",\n"
+            << "    \"monolithic_seconds\": " << sweep_monolithic_seconds
+            << ",\n"
+            << "    \"batch_seconds\": " << sweep_batch_seconds << ",\n"
+            << "    \"batch_parallel_seconds\": "
+            << sweep_batch_parallel_seconds << ",\n"
+            << "    \"speedup_amortization\": "
+            << sweep_monolithic_seconds / sweep_batch_seconds << ",\n"
+            << "    \"speedup_parallel\": "
+            << sweep_monolithic_seconds / sweep_batch_parallel_seconds << "\n"
             << "  }\n"
             << "}\n";
   return 0;

@@ -10,8 +10,7 @@
 #include <iostream>
 
 #include "blif/blif.hpp"
-#include "network/synth.hpp"
-#include "flow/flow.hpp"
+#include "flow/session.hpp"
 #include "flow/report.hpp"
 #include "phase/assignment.hpp"
 
@@ -67,34 +66,29 @@ int main(int argc, char** argv) {
   FlowOptions options;
   options.sim.steps = 2048;
 
+  // Both modes share the session's synthesized form and probabilities; the
+  // min-power search seeds from the cached min-area stage.
+  FlowSession session(net, options);
+
   TextTable table;
   table.header({"mode", "cells", "area", "est power", "sim power", "delay",
                 "neg outputs", "equiv"});
-  FlowReport best;
   for (const PhaseMode mode : {PhaseMode::kMinArea, PhaseMode::kMinPower}) {
-    options.mode = mode;
-    const FlowReport report = run_flow(net, options);
+    const FlowReport report = session.report(mode);
     table.row({std::string(to_string(mode)), std::to_string(report.cells),
                fmt(report.area, 1), fmt(report.est_power, 2),
                fmt(report.sim_power, 2), fmt(report.critical_delay, 2),
                std::to_string(report.negative_outputs),
                report.equivalence_ok ? "yes" : "NO"});
-    if (mode == PhaseMode::kMinPower) best = report;
   }
   table.print(std::cout);
 
   if (argc > 2) {
+    // The session already holds the normalized network and the min-power
+    // assignment; rewriting to the inverter-free block is all that remains.
     const auto domino = synthesize_domino(
-        [&] {
-          Network copy = compact_copy(net);
-          try {
-            check_phase_ready(copy);
-          } catch (const std::runtime_error&) {
-            standard_synthesis(copy);
-          }
-          return copy;
-        }(),
-        best.assignment);
+        session.synthesized(),
+        session.assign(PhaseMode::kMinPower).assignment);
     blif::write_file(domino.net, argv[2]);
     std::cout << "\nWrote the min-power inverter-free realization to "
               << argv[2] << "\n";

@@ -9,8 +9,7 @@
 #include <iostream>
 
 #include "benchgen/benchgen.hpp"
-#include "bdd/netbdd.hpp"
-#include "flow/flow.hpp"
+#include "flow/session.hpp"
 #include "flow/report.hpp"
 #include "phase/search.hpp"
 
@@ -28,11 +27,12 @@ int main(int argc, char** argv) {
             << " gates -> " << (1u << net.num_pos())
             << " possible phase assignments\n\n";
 
-  const std::vector<double> pi_probs(net.num_pis(), 0.5);
-  PowerModelConfig model;
-  model.load_aware = true;
-  const AssignmentEvaluator evaluator(net, signal_probabilities(net, pi_probs),
-                                      model);
+  // The session's probability and EvalContext stages feed the enumeration.
+  FlowOptions options;
+  options.pi_prob = 0.5;
+  options.model.load_aware = true;
+  FlowSession session(net, options);
+  const AssignmentEvaluator& evaluator = session.evaluator();
 
   struct Point {
     PhaseAssignment phases;

@@ -1,8 +1,16 @@
 /// \file quickstart.cpp
 /// Minimal end-to-end tour of the dominosyn API:
 ///  1. build a small logic network,
-///  2. run the min-area (Puri'96) and min-power (DAC'99 §4.1) flows,
-///  3. compare cell counts and simulated power.
+///  2. open a staged FlowSession on it,
+///  3. compare all-positive, min-area (Puri'96) and min-power (DAC'99 §4.1)
+///     phase assignments — sharing the synthesized form, signal
+///     probabilities and evaluation context across all three.
+///
+/// Migrating from run_flow: `run_flow(net, options)` still works and is
+/// exactly `FlowSession(net, options).report(options.mode)`.  Hold the
+/// session whenever you compare modes or option variants on one circuit —
+/// stage artifacts are cached and each report reuses them; for sweeps over
+/// many circuits, see run_flow_batch (flow/batch.hpp).
 ///
 /// Usage: quickstart [pi_probability]   (default 0.9, the Figure 5 regime)
 
@@ -10,7 +18,7 @@
 #include <iostream>
 
 #include "benchgen/benchgen.hpp"
-#include "flow/flow.hpp"
+#include "flow/session.hpp"
 #include "flow/report.hpp"
 
 int main(int argc, char** argv) {
@@ -29,13 +37,16 @@ int main(int argc, char** argv) {
   // with Figure 5's numbers (3.6 vs 0.40 + boundary inverters).
   options.model.load_aware = false;
 
+  // One session, three modes: synthesis, the BDD probabilities and the
+  // incremental EvalContext are built once and shared by every report.
+  FlowSession session(net, options);
+
   TextTable table;
   table.header({"phase mode", "cells", "block gates", "inverters", "est power",
                 "sim power", "delay", "equiv"});
   for (const PhaseMode mode :
        {PhaseMode::kAllPositive, PhaseMode::kMinArea, PhaseMode::kMinPower}) {
-    options.mode = mode;
-    const FlowReport report = run_flow(net, options);
+    const FlowReport report = session.report(mode);
     table.row({std::string(to_string(mode)), std::to_string(report.cells),
                std::to_string(report.block_gates),
                std::to_string(report.boundary_inverters), fmt(report.est_power, 4),
@@ -43,6 +54,12 @@ int main(int argc, char** argv) {
                report.equivalence_ok ? "yes" : "NO"});
   }
   table.print(std::cout);
+
+  const FlowSession::Stats& stats = session.stats();
+  std::cout << "\nStage builds for the 3-mode sweep: synth=" << stats.synth_builds
+            << " probs=" << stats.prob_builds
+            << " context=" << stats.context_builds
+            << " searches=" << stats.assign_searches << "\n";
 
   std::cout << "\nThe min-power assignment pushes the block into the "
                "low-probability polarity\n(Property 4.1), trading boundary "

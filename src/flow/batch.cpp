@@ -1,0 +1,159 @@
+#include "flow/batch.hpp"
+
+#include <functional>
+#include <stdexcept>
+
+#include "util/hash.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dominosyn {
+
+std::uint64_t network_fingerprint(const Network& net) {
+  const std::hash<std::string> str_hash;
+  std::uint64_t h = mix64(net.num_nodes());
+  for (NodeId id = 0; id < net.num_nodes(); ++id) {
+    h = hash_combine(h, static_cast<std::uint64_t>(net.kind(id)));
+    const auto& fanins = net.fanins(id);
+    h = hash_combine(h, fanins.size());
+    for (const NodeId fanin : fanins) h = hash_combine(h, fanin);
+  }
+  for (const NodeId pi : net.pis()) h = hash_combine(h, pi);
+  for (const Po& po : net.pos()) {
+    h = hash_combine(h, po.driver);
+    h = hash_combine(h, str_hash(po.name));
+  }
+  for (const LatchInfo& latch : net.latches()) {
+    h = hash_combine(h, latch.output);
+    h = hash_combine(h, latch.input);
+    h = hash_combine(h, static_cast<std::uint64_t>(latch.init));
+    h = hash_combine(h, str_hash(latch.name));
+  }
+  return h;
+}
+
+SessionCache::SessionCache(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::shared_ptr<FlowSession> SessionCache::acquire(const std::string& key,
+                                                   const Network& net,
+                                                   const FlowOptions& options) {
+  const std::uint64_t fingerprint = network_fingerprint(net);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto found = index_.find(key);
+  if (found != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, found->second);
+    Entry& entry = lru_.front();
+    if (entry.fingerprint == fingerprint) {
+      ++hits_;
+      entry.session->set_options(options);
+      return entry.session;
+    }
+    // Same key, different circuit: the cached stages are for another network.
+    ++invalidations_;
+    entry.session = std::make_shared<FlowSession>(net, options);
+    entry.fingerprint = fingerprint;
+    return entry.session;
+  }
+
+  ++misses_;
+  lru_.push_front(Entry{key, fingerprint,
+                        std::make_shared<FlowSession>(net, options)});
+  index_[key] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  return lru_.front().session;
+}
+
+std::shared_ptr<FlowSession> SessionCache::peek(const std::string& key) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto found = index_.find(key);
+  return found == index_.end() ? nullptr : found->second->session;
+}
+
+std::size_t SessionCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+void SessionCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+}
+
+std::size_t SessionCache::hits() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::size_t SessionCache::misses() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+std::size_t SessionCache::evictions() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
+std::size_t SessionCache::invalidations() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return invalidations_;
+}
+
+std::vector<FlowReport> run_flow_batch(std::span<const FlowJob> jobs,
+                                       const BatchOptions& options) {
+  std::vector<FlowReport> reports(jobs.size());
+  if (jobs.empty()) return reports;
+  for (const FlowJob& job : jobs)
+    if (job.network == nullptr)
+      throw std::invalid_argument("run_flow_batch: job has a null network");
+
+  SessionCache local_cache(options.cache_capacity);
+  SessionCache& cache = options.cache != nullptr ? *options.cache : local_cache;
+
+  // Group jobs by session key, preserving submission order inside a group and
+  // first-appearance order across groups.  One group = one worker index, so a
+  // session is only ever touched by one thread and the reports depend solely
+  // on the job list, never on scheduling.
+  const auto key_of = [](const FlowJob& job) -> const std::string& {
+    return job.circuit.empty() ? job.network->name() : job.circuit;
+  };
+  std::vector<std::vector<std::size_t>> groups;
+  std::unordered_map<std::string, std::size_t> group_of;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto [it, inserted] = group_of.try_emplace(key_of(jobs[i]), groups.size());
+    if (inserted) groups.emplace_back();
+    groups[it->second].push_back(i);
+  }
+
+  ThreadPool pool(options.num_threads);
+  pool.parallel_for(groups.size(), [&](std::size_t g) {
+    // Acquire once per group and drive the held session directly for the
+    // remaining jobs: a concurrent group's insertion may evict this key from
+    // the LRU mid-sweep, and re-acquiring would then silently rebuild the
+    // session — losing the shared stages the grouping exists to provide.
+    std::shared_ptr<FlowSession> session;
+    const Network* session_net = nullptr;
+    for (const std::size_t index : groups[g]) {
+      const FlowJob& job = jobs[index];
+      const bool same_net =
+          session_net != nullptr &&
+          (job.network == session_net ||
+           network_fingerprint(*job.network) == network_fingerprint(*session_net));
+      if (session != nullptr && same_net) {
+        session->set_options(job.options);
+      } else {
+        session = cache.acquire(key_of(job), *job.network, job.options);
+        session_net = job.network;
+      }
+      reports[index] = session->report(job.options.mode);
+    }
+  });
+  return reports;
+}
+
+}  // namespace dominosyn

@@ -1,11 +1,7 @@
 #include "flow/flow.hpp"
 
-#include <algorithm>
-#include <stdexcept>
-
-#include "network/synth.hpp"
+#include "flow/session.hpp"
 #include "util/rng.hpp"
-#include "util/stopwatch.hpp"
 
 namespace dominosyn {
 
@@ -41,132 +37,12 @@ bool random_equivalent(const Network& a, const Network& b, std::size_t words,
 }
 
 FlowReport run_flow(const Network& input, const FlowOptions& options) {
-  Stopwatch stopwatch;
-  FlowReport report;
-  report.circuit = input.name();
-  report.mode = options.mode;
-
-  // (1) normalize to 2-input AND/OR + NOT.
-  Network net = compact_copy(input);
-  try {
-    check_phase_ready(net);
-  } catch (const std::runtime_error&) {
-    standard_synthesis(net);
-  }
-  report.pis = net.num_pis();
-  report.pos = net.num_pos();
-  report.latches = net.num_latches();
-  report.synth_gates = net.num_gates();
-
-  // (2a) signal probabilities (sequential-aware, BDD-exact when feasible).
-  const std::vector<double> pi_probs(net.num_pis(), options.pi_prob);
-  SeqProbOptions seqprob = options.seqprob;
-  const SeqProbResult probs =
-      sequential_signal_probabilities(net, pi_probs, seqprob);
-  report.used_exact_bdd = probs.used_exact_bdd;
-
-  // (2b) phase assignment search.  FlowOptions::num_threads governs every
-  // search; FlowOptions::exhaustive_pos_limit is both the auto-exhaustive
-  // threshold and the limit handed to the search, so they cannot disagree.
-  const AssignmentEvaluator evaluator(net, probs.node_probs, options.model);
-  MinAreaOptions minarea = options.minarea;
-  minarea.num_threads = options.num_threads;
-  PhaseAssignment assignment;
-  switch (options.mode) {
-    case PhaseMode::kAllPositive:
-      assignment = all_positive(net);
-      report.search_evaluations = 0;
-      break;
-    case PhaseMode::kMinArea: {
-      const SearchResult search = min_area_assignment(evaluator, minarea);
-      assignment = search.assignment;
-      report.search_evaluations = search.evaluations;
-      break;
-    }
-    case PhaseMode::kMinPower: {
-      // Clamp to the search's absolute ceiling so the threshold below and
-      // the limit passed to the search stay one and the same value.
-      const std::size_t auto_exhaustive_limit =
-          std::min(options.exhaustive_pos_limit, kMaxExhaustiveOutputs);
-      if (net.num_pos() <= auto_exhaustive_limit && net.num_pos() > 0) {
-        ExhaustiveOptions exhaustive;
-        exhaustive.max_outputs = auto_exhaustive_limit;
-        exhaustive.num_threads = options.num_threads;
-        const SearchResult search = exhaustive_min_power(evaluator, exhaustive);
-        assignment = search.assignment;
-        report.search_evaluations = search.evaluations;
-        break;
-      }
-      const ConeOverlap overlap(net);
-      MinPowerOptions minpower = options.minpower;
-      minpower.num_threads = options.num_threads;
-      std::size_t seed_evals = 0;
-      if (minpower.initial.empty() && options.minpower_from_minarea) {
-        const SearchResult seed = min_area_assignment(evaluator, minarea);
-        minpower.initial = seed.assignment;
-        seed_evals = seed.evaluations;
-      }
-      const MinPowerResult search =
-          min_power_assignment(evaluator, overlap, minpower);
-      assignment = search.assignment;
-      report.search_evaluations = search.trials + seed_evals;
-      break;
-    }
-    case PhaseMode::kExhaustivePower: {
-      ExhaustiveOptions exhaustive;
-      exhaustive.max_outputs =
-          std::max(options.exhaustive_pos_limit, kDefaultExhaustiveLimit);
-      exhaustive.num_threads = options.num_threads;
-      const SearchResult search = exhaustive_min_power(evaluator, exhaustive);
-      assignment = search.assignment;
-      report.search_evaluations = search.evaluations;
-      break;
-    }
-  }
-  report.assignment = assignment;
-  for (const Phase phase : assignment)
-    if (phase == Phase::kNegative) ++report.negative_outputs;
-
-  const AssignmentCost est = evaluator.evaluate(assignment);
-  report.est_power = est.power.total();
-
-  // (3) inverter-free synthesis + mapping.
-  const DominoSynthesisResult domino = synthesize_domino(net, assignment);
-  if (options.verify_equivalence)
-    report.equivalence_ok = random_equivalent(net, domino.net);
-  report.block_gates = est.domino_gates;
-  report.boundary_inverters = est.input_inverters + est.output_inverters;
-
-  static const CellLibrary library = CellLibrary::generic();
-  MapResult mapped = map_network(domino.net, library, options.map_options);
-
-  // (3b) timing: optional resize to meet the clock (Table 2 flow).
-  if (options.clock_period > 0.0) {
-    const ResizeResult resize =
-        resize_to_meet(mapped.netlist, options.clock_period, options.wire_cap);
-    report.timing_met = resize.met;
-    report.resize_moves = resize.upsized;
-  }
-  const TimingResult timing =
-      sta(mapped.netlist, options.clock_period, options.wire_cap);
-  report.critical_delay = timing.critical_delay;
-  report.cells = mapped.netlist.cell_count();
-  report.area = mapped.netlist.total_area();
-
-  // (4) power measurement on the mapped netlist with real loads.
-  SimPowerOptions sim = options.sim;
-  sim.node_caps = mapped.netlist.node_loads(options.wire_cap);
-  const std::vector<double> mapped_pi_probs(mapped.netlist.net.num_pis(),
-                                            options.pi_prob);
-  const SimPowerResult measured =
-      simulate_domino_power(mapped.netlist.net, mapped_pi_probs, sim);
-  report.sim_breakdown = measured.per_cycle;
-  if (options.count_clock_load)
-    report.sim_breakdown.clock_load += mapped.netlist.clock_load();
-  report.sim_power = report.sim_breakdown.total();
-
-  report.seconds = stopwatch.seconds();
-  return report;
+  // Compatibility wrapper: a one-shot staged session.  Callers that compare
+  // several modes or clock targets on one circuit should hold a FlowSession
+  // (or use run_flow_batch) so the synthesized form, BDD probabilities and
+  // EvalContext are built once instead of per call.
+  FlowSession session(input, options);
+  return session.report(options.mode);
 }
 
 }  // namespace dominosyn

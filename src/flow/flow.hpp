@@ -104,6 +104,13 @@ struct FlowReport {
 /// Runs the full flow on a synthesized network.  The input is copied; it is
 /// normalized via standard_synthesis if not already in 2-input AND/OR/NOT
 /// form.  Throws on structural errors.
+///
+/// This is a thin compatibility wrapper over a one-shot FlowSession
+/// (flow/session.hpp).  To compare several modes or clock targets on one
+/// circuit without re-running synthesis, sequential partitioning, BDD
+/// probability extraction and the EvalContext build per call, hold a
+/// FlowSession and use its staged entry points — or run_flow_batch
+/// (flow/batch.hpp) for whole sweeps.
 [[nodiscard]] FlowReport run_flow(const Network& input, const FlowOptions& options);
 
 /// Checks combinational equivalence of two networks with identical PI/latch

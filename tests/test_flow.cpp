@@ -1,10 +1,13 @@
 /// Integration tests for the end-to-end flow (§5): min-area vs min-power on
-/// stand-in circuits, equivalence, timing, and report integrity.
+/// stand-in circuits, equivalence, timing, and report integrity.  Multi-mode
+/// comparisons run on staged FlowSessions (one shared context per circuit);
+/// run_flow coverage remains for the compatibility wrapper.  The session /
+/// batch machinery itself is tested in test_flow_session.cpp.
 
 #include <gtest/gtest.h>
 
 #include "benchgen/benchgen.hpp"
-#include "flow/flow.hpp"
+#include "flow/session.hpp"
 #include "flow/report.hpp"
 
 namespace dominosyn {
@@ -51,11 +54,9 @@ TEST(Flow, ReportFieldsPopulated) {
 TEST(Flow, MinPowerEstimateNeverAboveAllPositive) {
   for (std::uint64_t seed = 1; seed <= 5; ++seed) {
     const Network net = generate_benchmark(small_spec(seed));
-    FlowOptions options = fast_options();
-    options.mode = PhaseMode::kAllPositive;
-    const auto base = run_flow(net, options);
-    options.mode = PhaseMode::kMinPower;
-    const auto mp = run_flow(net, options);
+    FlowSession session(net, fast_options());
+    const auto base = session.report(PhaseMode::kAllPositive);
+    const auto mp = session.report(PhaseMode::kMinPower);
     EXPECT_LE(mp.est_power, base.est_power + 1e-9) << seed;
     EXPECT_TRUE(mp.equivalence_ok) << seed;
   }
@@ -65,11 +66,9 @@ TEST(Flow, ExhaustiveLowerBoundsHeuristicOnSmallPoCount) {
   BenchSpec spec = small_spec(7);
   spec.num_pos = 5;
   const Network net = generate_benchmark(spec);
-  FlowOptions options = fast_options();
-  options.mode = PhaseMode::kExhaustivePower;
-  const auto best = run_flow(net, options);
-  options.mode = PhaseMode::kMinPower;
-  const auto heuristic = run_flow(net, options);
+  FlowSession session(net, fast_options());
+  const auto best = session.report(PhaseMode::kExhaustivePower);
+  const auto heuristic = session.report(PhaseMode::kMinPower);
   EXPECT_LE(best.est_power, heuristic.est_power + 1e-9);
 }
 
@@ -86,20 +85,23 @@ TEST(Flow, SequentialCircuitRunsEndToEnd) {
 TEST(Flow, TimedFlowMeetsSharedClock) {
   const Network net = generate_benchmark(small_spec(4));
   FlowOptions options = fast_options();
-  options.mode = PhaseMode::kMinArea;
-  const auto ma = run_flow(net, options);
+  FlowSession session(net, options);
+  const auto ma = session.report(PhaseMode::kMinArea);
 
   // Table 2 methodology: both realizations must meet the same clock, set
-  // from the min-area critical path with a little margin.
+  // from the min-area critical path with a little margin.  The new clock
+  // only re-runs mapping + measurement on the session.
   const double clock = ma.critical_delay * 1.05;
   options.clock_period = clock;
-  const auto ma_timed = run_flow(net, options);
-  options.mode = PhaseMode::kMinPower;
-  const auto mp_timed = run_flow(net, options);
+  session.set_options(options);
+  const auto ma_timed = session.report(PhaseMode::kMinArea);
+  const auto mp_timed = session.report(PhaseMode::kMinPower);
   EXPECT_TRUE(ma_timed.timing_met);
   EXPECT_TRUE(mp_timed.timing_met);
   EXPECT_LE(ma_timed.critical_delay, clock + 1e-9);
   EXPECT_LE(mp_timed.critical_delay, clock + 1e-9);
+  // The clock change must not have re-run either phase search.
+  EXPECT_EQ(session.stats().assign_searches, 2u);
 }
 
 TEST(Flow, RawBlifStyleInputIsNormalized) {
@@ -118,15 +120,18 @@ TEST(Flow, RawBlifStyleInputIsNormalized) {
 
 TEST(Flow, ClockLoadAccounting) {
   const Network net = generate_benchmark(small_spec(5));
-  FlowOptions with = fast_options();
-  with.count_clock_load = true;
-  const auto loaded = run_flow(net, with);
-  FlowOptions without = fast_options();
-  without.count_clock_load = false;
-  const auto unloaded = run_flow(net, without);
+  FlowOptions options = fast_options();
+  options.count_clock_load = true;
+  FlowSession session(net, options);
+  const auto loaded = session.report(options.mode);
+  options.count_clock_load = false;
+  session.set_options(options);  // invalidates only the measurement stage
+  const auto unloaded = session.report(options.mode);
   EXPECT_GT(loaded.sim_power, unloaded.sim_power);
   EXPECT_NEAR(loaded.sim_breakdown.domino_block,
               unloaded.sim_breakdown.domino_block, 1e-9);
+  EXPECT_EQ(session.stats().map_runs, 1u);
+  EXPECT_EQ(session.stats().measure_runs, 2u);
 }
 
 TEST(Flow, RandomEquivalentDetectsDifference) {
