@@ -8,8 +8,10 @@
 ///   * parallel   — incremental plus the thread-parallel search layer.
 /// Also times a paper-style MA+MP sweep as back-to-back monolithic run_flow
 /// calls vs one run_flow_batch over shared FlowSessions (the staged-API
-/// amortization win).  Emits JSON so future PRs can track the perf
-/// trajectory.
+/// amortization win), and measures in-process ServerCore throughput —
+/// requests/sec and p50/p95 client-observed latency for N client threads
+/// over a cold vs hot SessionCache.  Emits JSON so future PRs can track the
+/// perf trajectory.
 ///
 /// Usage: micro_incremental [num_threads] [gate_target] [num_pos]
 ///   num_threads  0 = one per hardware thread (default), 1 = sequential
@@ -20,14 +22,16 @@
 #include <algorithm>
 #include <iostream>
 #include <limits>
+#include <thread>
 #include <vector>
 
 #include "bdd/netbdd.hpp"
 #include "benchgen/benchgen.hpp"
-#include "cli.hpp"
 #include "flow/batch.hpp"
 #include "phase/eval.hpp"
 #include "phase/search.hpp"
+#include "server/core.hpp"
+#include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
@@ -338,6 +342,67 @@ int main(int argc, char** argv) {
     }
   }
 
+  // -- in-process serving throughput (ServerCore over the sweep circuits) ----
+  // Four client threads block on one request each at a time, round-robining
+  // over the sweep's (circuit, mode) jobs.  The cold wave starts from an
+  // empty SessionCache (every circuit's staged prefix is built once,
+  // mid-wave requests pile onto the hot sessions); the hot wave repeats the
+  // identical requests against the now-warm cache.
+  const std::size_t server_clients = 4;
+  const std::size_t requests_per_client = 6;
+  struct Wave {
+    double seconds = 0.0;
+    std::vector<double> latencies;  // client-observed submit -> response
+  };
+  const auto run_wave = [&](ServerCore& core) {
+    Wave wave;
+    std::vector<std::vector<double>> latencies(server_clients);
+    std::vector<std::thread> clients;
+    clients.reserve(server_clients);
+    Stopwatch wave_timer;
+    for (std::size_t c = 0; c < server_clients; ++c)
+      clients.emplace_back([&, c] {
+        for (std::size_t r = 0; r < requests_per_client; ++r) {
+          const FlowJob& job = sweep_jobs[(c + r * server_clients) %
+                                          sweep_jobs.size()];
+          ServerRequest request;
+          request.network = std::shared_ptr<const Network>(
+              std::shared_ptr<void>(), job.network);
+          request.options = job.options;
+          Stopwatch latency;
+          const ServerResponse response = core.submit(std::move(request)).get();
+          latencies[c].push_back(latency.seconds());
+          if (response.status != ServerStatus::kOk) std::abort();
+        }
+      });
+    for (std::thread& client : clients) client.join();
+    wave.seconds = wave_timer.seconds();
+    for (const auto& per_client : latencies)
+      wave.latencies.insert(wave.latencies.end(), per_client.begin(),
+                            per_client.end());
+    std::sort(wave.latencies.begin(), wave.latencies.end());
+    return wave;
+  };
+  const auto quantile_ms = [](const std::vector<double>& sorted, double q) {
+    if (sorted.empty()) return 0.0;
+    const std::size_t index = static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[index] * 1e3;
+  };
+
+  ServerConfig server_config;
+  server_config.num_workers = num_threads;
+  server_config.queue_capacity = server_clients * 2;
+  ServerCore server(server_config);
+  const Wave cold_wave = run_wave(server);
+  const Wave hot_wave = run_wave(server);
+  const std::size_t wave_requests = server_clients * requests_per_client;
+  server.shutdown();
+  if (server.stats().completed != 2 * wave_requests) {
+    std::cerr << "FATAL: server waves lost requests\n";
+    return 1;
+  }
+
   const unsigned resolved = ThreadPool::resolve_threads(num_threads);
   std::cout.precision(6);
   std::cout << "{\n"
@@ -399,6 +464,29 @@ int main(int argc, char** argv) {
             << sweep_monolithic_seconds / sweep_batch_seconds << ",\n"
             << "    \"speedup_parallel\": "
             << sweep_monolithic_seconds / sweep_batch_parallel_seconds << "\n"
+            << "  },\n"
+            << "  \"server_throughput\": {\n"
+            << "    \"workers\": " << resolved << ",\n"
+            << "    \"client_threads\": " << server_clients << ",\n"
+            << "    \"requests_per_wave\": " << wave_requests << ",\n"
+            << "    \"cold\": {\n"
+            << "      \"seconds\": " << cold_wave.seconds << ",\n"
+            << "      \"requests_per_second\": "
+            << static_cast<double>(wave_requests) / cold_wave.seconds << ",\n"
+            << "      \"p50_ms\": " << quantile_ms(cold_wave.latencies, 0.5)
+            << ",\n"
+            << "      \"p95_ms\": " << quantile_ms(cold_wave.latencies, 0.95)
+            << "\n    },\n"
+            << "    \"hot\": {\n"
+            << "      \"seconds\": " << hot_wave.seconds << ",\n"
+            << "      \"requests_per_second\": "
+            << static_cast<double>(wave_requests) / hot_wave.seconds << ",\n"
+            << "      \"p50_ms\": " << quantile_ms(hot_wave.latencies, 0.5)
+            << ",\n"
+            << "      \"p95_ms\": " << quantile_ms(hot_wave.latencies, 0.95)
+            << "\n    },\n"
+            << "    \"speedup_hot\": " << cold_wave.seconds / hot_wave.seconds
+            << "\n"
             << "  }\n"
             << "}\n";
   return 0;

@@ -21,7 +21,7 @@
 #include <vector>
 
 #include "benchgen/benchgen.hpp"
-#include "cli.hpp"
+#include "util/cli.hpp"
 #include "flow/batch.hpp"
 #include "flow/report.hpp"
 

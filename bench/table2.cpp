@@ -17,7 +17,7 @@
 #include <iostream>
 
 #include "benchgen/benchgen.hpp"
-#include "cli.hpp"
+#include "util/cli.hpp"
 #include "flow/session.hpp"
 #include "flow/report.hpp"
 #include "util/stopwatch.hpp"

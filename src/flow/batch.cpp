@@ -1,10 +1,15 @@
 #include "flow/batch.hpp"
 
+#include <algorithm>
+#include <exception>
 #include <functional>
+#include <future>
 #include <stdexcept>
+#include <string_view>
+#include <utility>
 
+#include "server/core.hpp"
 #include "util/hash.hpp"
-#include "util/thread_pool.hpp"
 
 namespace dominosyn {
 
@@ -31,46 +36,104 @@ std::uint64_t network_fingerprint(const Network& net) {
   return h;
 }
 
+/// Per-key serialization state.  The slot mutex is the single-flight lock: it
+/// is held for the whole lifetime of a Lease, serializing session use and
+/// rebuild decisions.  The session/fingerprint *pointers* are additionally
+/// guarded by the cache mutex so peek() can read them without taking the
+/// (potentially long-held) slot lock.  Leases keep their slot alive via
+/// shared_ptr, so eviction never invalidates a held lease.
+struct SessionCache::Lease::Slot {
+  std::mutex mutex;
+  std::uint64_t fingerprint = 0;
+  std::shared_ptr<FlowSession> session;
+};
+
+void SessionCache::Lease::release() {
+  session_.reset();
+  if (lock_.owns_lock()) lock_.unlock();
+  lock_ = std::unique_lock<std::mutex>();
+  slot_.reset();
+  hit_ = false;
+}
+
 SessionCache::SessionCache(std::size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void SessionCache::evict_over_capacity(const Lease::Slot* keep) {
+  // Walk victims from the LRU end, skipping pinned entries (a lease holds a
+  // second reference to the slot) and the entry being handed out.
+  auto it = lru_.end();
+  while (lru_.size() > capacity_ && it != lru_.begin()) {
+    --it;
+    if (it->slot.get() == keep || it->slot.use_count() > 1) continue;
+    index_.erase(it->key);
+    it = lru_.erase(it);
+    ++evictions_;
+  }
+}
+
+SessionCache::Lease SessionCache::lease(const std::string& key,
+                                        const Network& net,
+                                        const FlowOptions& options) {
+  const std::uint64_t fingerprint = network_fingerprint(net);
+
+  Lease lease;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto found = index_.find(key);
+    if (found != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, found->second);
+    } else {
+      lru_.push_front(Entry{key, std::make_shared<Lease::Slot>()});
+      index_[key] = lru_.begin();
+    }
+    lease.slot_ = lru_.front().slot;
+    evict_over_capacity(lease.slot_.get());
+  }
+
+  // Blocks while another lease on this key is held — the single-flight gate.
+  lease.lock_ = std::unique_lock<std::mutex>(lease.slot_->mutex);
+
+  // Only the lock holder mutates slot state, so reading it here needs no
+  // cache mutex; installing a new session does (peek() reads concurrently).
+  Lease::Slot& slot = *lease.slot_;
+  if (slot.session != nullptr && slot.fingerprint == fingerprint) {
+    slot.session->set_options(options);
+    lease.session_ = slot.session;
+    lease.hit_ = true;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++hits_;
+    return lease;
+  }
+
+  const bool replacing = slot.session != nullptr;
+  auto session = std::make_shared<FlowSession>(net, options);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    slot.session = session;
+    slot.fingerprint = fingerprint;
+    if (replacing)
+      ++invalidations_;  // same key, different circuit behind it
+    else
+      ++misses_;
+  }
+  lease.session_ = std::move(session);
+  return lease;
+}
 
 std::shared_ptr<FlowSession> SessionCache::acquire(const std::string& key,
                                                    const Network& net,
                                                    const FlowOptions& options) {
-  const std::uint64_t fingerprint = network_fingerprint(net);
-  const std::lock_guard<std::mutex> lock(mutex_);
-  const auto found = index_.find(key);
-  if (found != index_.end()) {
-    lru_.splice(lru_.begin(), lru_, found->second);
-    Entry& entry = lru_.front();
-    if (entry.fingerprint == fingerprint) {
-      ++hits_;
-      entry.session->set_options(options);
-      return entry.session;
-    }
-    // Same key, different circuit: the cached stages are for another network.
-    ++invalidations_;
-    entry.session = std::make_shared<FlowSession>(net, options);
-    entry.fingerprint = fingerprint;
-    return entry.session;
-  }
-
-  ++misses_;
-  lru_.push_front(Entry{key, fingerprint,
-                        std::make_shared<FlowSession>(net, options)});
-  index_[key] = lru_.begin();
-  if (lru_.size() > capacity_) {
-    index_.erase(lru_.back().key);
-    lru_.pop_back();
-    ++evictions_;
-  }
-  return lru_.front().session;
+  Lease held = lease(key, net, options);
+  std::shared_ptr<FlowSession> session = held.session_ptr();
+  held.release();
+  return session;
 }
 
 std::shared_ptr<FlowSession> SessionCache::peek(const std::string& key) const {
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto found = index_.find(key);
-  return found == index_.end() ? nullptr : found->second->session;
+  return found == index_.end() ? nullptr : found->second->slot->session;
 }
 
 std::size_t SessionCache::size() const {
@@ -112,47 +175,55 @@ std::vector<FlowReport> run_flow_batch(std::span<const FlowJob> jobs,
     if (job.network == nullptr)
       throw std::invalid_argument("run_flow_batch: job has a null network");
 
-  SessionCache local_cache(options.cache_capacity);
-  SessionCache& cache = options.cache != nullptr ? *options.cache : local_cache;
+  // The batch is just an in-process client of the serving core: one
+  // admission/scheduling path shared with the dominod daemon.  The queue is
+  // sized to the batch so admission never rejects, and jobs carry no
+  // deadline.  The private cache is sized to at least the batch's distinct
+  // circuits, so one batch never loses the staged-prefix amortization to
+  // LRU churn mid-sweep (an external cache's capacity is the caller's
+  // hot-set policy and is respected as-is).
+  std::size_t distinct_keys = 0;
+  {
+    std::unordered_map<std::string_view, bool> seen;
+    for (const FlowJob& job : jobs) {
+      const std::string& key =
+          job.circuit.empty() ? job.network->name() : job.circuit;
+      if (seen.try_emplace(key, true).second) ++distinct_keys;
+    }
+  }
+  ServerConfig config;
+  config.num_workers = options.num_threads;
+  config.queue_capacity = jobs.size();
+  config.cache = options.cache;
+  config.cache_capacity = std::max(options.cache_capacity, distinct_keys);
+  ServerCore core(config);
 
-  // Group jobs by session key, preserving submission order inside a group and
-  // first-appearance order across groups.  One group = one worker index, so a
-  // session is only ever touched by one thread and the reports depend solely
-  // on the job list, never on scheduling.
-  const auto key_of = [](const FlowJob& job) -> const std::string& {
-    return job.circuit.empty() ? job.network->name() : job.circuit;
-  };
-  std::vector<std::vector<std::size_t>> groups;
-  std::unordered_map<std::string, std::size_t> group_of;
-  for (std::size_t i = 0; i < jobs.size(); ++i) {
-    const auto [it, inserted] = group_of.try_emplace(key_of(jobs[i]), groups.size());
-    if (inserted) groups.emplace_back();
-    groups[it->second].push_back(i);
+  std::vector<std::future<ServerResponse>> futures;
+  futures.reserve(jobs.size());
+  for (const FlowJob& job : jobs) {
+    ServerRequest request;
+    request.circuit = job.circuit;
+    // Borrowed, per the FlowJob contract — aliasing share with no owner.
+    request.network = std::shared_ptr<const Network>(std::shared_ptr<void>(),
+                                                     job.network);
+    request.options = job.options;
+    futures.push_back(core.submit(std::move(request)));
   }
 
-  ThreadPool pool(options.num_threads);
-  pool.parallel_for(groups.size(), [&](std::size_t g) {
-    // Acquire once per group and drive the held session directly for the
-    // remaining jobs: a concurrent group's insertion may evict this key from
-    // the LRU mid-sweep, and re-acquiring would then silently rebuild the
-    // session — losing the shared stages the grouping exists to provide.
-    std::shared_ptr<FlowSession> session;
-    const Network* session_net = nullptr;
-    for (const std::size_t index : groups[g]) {
-      const FlowJob& job = jobs[index];
-      const bool same_net =
-          session_net != nullptr &&
-          (job.network == session_net ||
-           network_fingerprint(*job.network) == network_fingerprint(*session_net));
-      if (session != nullptr && same_net) {
-        session->set_options(job.options);
-      } else {
-        session = cache.acquire(key_of(job), *job.network, job.options);
-        session_net = job.network;
-      }
-      reports[index] = session->report(job.options.mode);
+  std::exception_ptr first_error;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    ServerResponse response = futures[i].get();
+    if (response.status == ServerStatus::kOk) {
+      reports[i] = std::move(response.report);
+    } else if (first_error == nullptr) {
+      first_error = response.error != nullptr
+                        ? response.error
+                        : std::make_exception_ptr(std::runtime_error(
+                              "run_flow_batch: job rejected: " +
+                              std::string(to_string(response.status))));
     }
-  });
+  }
+  if (first_error != nullptr) std::rethrow_exception(first_error);
   return reports;
 }
 

@@ -32,7 +32,9 @@
 /// Sessions are single-threaded objects: stage building is not internally
 /// synchronized.  Thread parallelism lives *inside* the searches
 /// (`FlowOptions::num_threads`) and *across* sessions (`run_flow_batch` in
-/// flow/batch.hpp).
+/// flow/batch.hpp, the serving core in server/core.hpp); multi-threaded
+/// callers hold a `SessionCache::Lease`, whose per-key lock serializes all
+/// use of one session.
 
 #pragma once
 

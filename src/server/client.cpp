@@ -1,0 +1,148 @@
+/// \file client.cpp
+
+#include "server/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "server/protocol.hpp"
+
+namespace dominosyn {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Client Client::connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path))
+    throw std::runtime_error("unix socket path too long: " + path);
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket(AF_UNIX)");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    throw_errno("connect(" + path + ")");
+  }
+  return Client(fd);
+}
+
+Client Client::connect_tcp(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw std::runtime_error("bad address: " + host);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket(AF_INET)");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    throw_errno("connect(" + host + ":" + std::to_string(port) + ")");
+  }
+  return Client(fd);
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+std::optional<std::string> Client::read_line() {
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (got > 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(got));
+      continue;
+    }
+    if (got < 0 && errno == EINTR) continue;
+    return std::nullopt;
+  }
+}
+
+std::string Client::request(const std::string& command,
+                            const std::string& body) {
+  std::string payload = command;
+  payload += '\n';
+  if (!body.empty()) {
+    payload += body;
+    if (payload.back() != '\n') payload += '\n';
+  }
+  std::string_view remaining = payload;
+  while (!remaining.empty()) {
+    const ssize_t sent =
+        ::send(fd_, remaining.data(), remaining.size(), MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    remaining.remove_prefix(static_cast<std::size_t>(sent));
+  }
+  auto line = read_line();
+  if (!line) throw std::runtime_error("connection closed before response");
+  return *std::move(line);
+}
+
+Client::SubmitSummary Client::submit(const std::string& command,
+                                     const std::string& body) {
+  SubmitSummary summary;
+  summary.raw = request(command, body);
+  const std::string& json = summary.raw;
+  summary.ok = protocol::find_bool(json, "ok").value_or(false);
+  summary.status = protocol::find_string(json, "status").value_or("");
+  summary.error = protocol::find_string(json, "error").value_or("");
+  summary.circuit = protocol::find_string(json, "circuit").value_or("");
+  summary.mode = protocol::find_string(json, "mode").value_or("");
+  summary.cells =
+      static_cast<std::size_t>(protocol::find_number(json, "cells").value_or(0));
+  summary.sim_power = protocol::find_number(json, "sim_power").value_or(0.0);
+  summary.est_power = protocol::find_number(json, "est_power").value_or(0.0);
+  summary.cache_hit = protocol::find_bool(json, "cache_hit").value_or(false);
+  summary.queue_seconds =
+      protocol::find_number(json, "queue_seconds").value_or(0.0);
+  summary.service_seconds =
+      protocol::find_number(json, "service_seconds").value_or(0.0);
+  return summary;
+}
+
+bool Client::ping() {
+  try {
+    const std::string response = request("ping");
+    return protocol::find_bool(response, "ok").value_or(false);
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace dominosyn

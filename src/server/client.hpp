@@ -1,0 +1,70 @@
+/// \file client.hpp
+/// Small blocking client for the dominod wire protocol — the library behind
+/// the `domino_cli` tool and the socket round-trip tests.
+///
+/// A `Client` owns one connection (UNIX-domain or TCP) and exchanges
+/// protocol lines synchronously: send one command (plus optional BLIF body),
+/// read one JSON response line.  Responses come back raw; the
+/// protocol::find_* scanners extract individual fields, and `SubmitSummary`
+/// pre-extracts the ones the CLI prints.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace dominosyn {
+
+class Client {
+ public:
+  /// Connects to a UNIX-domain socket path.  Throws std::runtime_error.
+  static Client connect_unix(const std::string& path);
+  /// Connects to a TCP endpoint (numeric address).  Throws std::runtime_error.
+  static Client connect_tcp(const std::string& host, std::uint16_t port);
+
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends one command line (and, for `submit blif=inline`, the BLIF body —
+  /// pass it via `body`, `.end`-terminated) and returns the JSON response
+  /// line.  Throws std::runtime_error when the connection drops first.
+  [[nodiscard]] std::string request(const std::string& command,
+                                    const std::string& body = "");
+
+  /// Parsed essentials of a submit response.
+  struct SubmitSummary {
+    bool ok = false;
+    std::string status;
+    std::string error;
+    std::string circuit;
+    std::string mode;
+    std::size_t cells = 0;
+    double sim_power = 0.0;
+    double est_power = 0.0;
+    bool cache_hit = false;
+    double queue_seconds = 0.0;
+    double service_seconds = 0.0;
+    std::string raw;  ///< the full response line
+  };
+
+  /// request() + field extraction for submit commands.
+  [[nodiscard]] SubmitSummary submit(const std::string& command,
+                                     const std::string& body = "");
+
+  /// `ping` round trip; false on a dead / non-protocol peer.
+  [[nodiscard]] bool ping();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  [[nodiscard]] std::optional<std::string> read_line();
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace dominosyn

@@ -1,0 +1,226 @@
+/// \file core.cpp
+
+#include "server/core.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/stopwatch.hpp"
+
+namespace dominosyn {
+
+namespace {
+
+/// Stage builds between two snapshots of one session's counters.
+FlowSession::Stats stats_delta(const FlowSession::Stats& after,
+                               const FlowSession::Stats& before) {
+  FlowSession::Stats delta;
+  delta.synth_builds = after.synth_builds - before.synth_builds;
+  delta.prob_builds = after.prob_builds - before.prob_builds;
+  delta.context_builds = after.context_builds - before.context_builds;
+  delta.assign_searches = after.assign_searches - before.assign_searches;
+  delta.map_runs = after.map_runs - before.map_runs;
+  delta.measure_runs = after.measure_runs - before.measure_runs;
+  return delta;
+}
+
+ServerResponse rejection(ServerStatus status, std::string message) {
+  ServerResponse response;
+  response.status = status;
+  response.error_message = std::move(message);
+  return response;
+}
+
+}  // namespace
+
+std::string_view to_string(ServerStatus status) noexcept {
+  switch (status) {
+    case ServerStatus::kOk: return "ok";
+    case ServerStatus::kRejectedQueueFull: return "rejected_queue_full";
+    case ServerStatus::kRejectedDeadline: return "rejected_deadline";
+    case ServerStatus::kRejectedShutdown: return "rejected_shutdown";
+    case ServerStatus::kError: return "error";
+  }
+  return "unknown";
+}
+
+ServerCore::ServerCore(ServerConfig config) : config_(config) {
+  if (config_.cache != nullptr) {
+    cache_ = config_.cache;
+  } else {
+    owned_cache_ = std::make_unique<SessionCache>(config_.cache_capacity);
+    cache_ = owned_cache_.get();
+  }
+  if (config_.queue_capacity == 0) config_.queue_capacity = 1;
+  const unsigned total = ThreadPool::resolve_threads(config_.num_workers);
+  workers_.reserve(total);
+  for (unsigned i = 0; i < total; ++i)
+    workers_.emplace_back([this] {
+      while (auto task = ready_.pop()) (*task)();
+    });
+}
+
+ServerCore::~ServerCore() { shutdown(/*drain=*/true); }
+
+std::future<ServerResponse> ServerCore::submit(ServerRequest request) {
+  if (request.network == nullptr)
+    throw std::invalid_argument("ServerCore::submit: request has a null network");
+
+  auto pending = std::make_shared<Pending>();
+  pending->request = std::move(request);
+  pending->enqueued = std::chrono::steady_clock::now();
+  std::future<ServerResponse> future = pending->promise.get_future();
+  const std::string key = pending->request.circuit.empty()
+                              ? pending->request.network->name()
+                              : pending->request.circuit;
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.submitted;
+    if (shutting_down_) {
+      ++stats_.rejected_shutdown;
+      pending->promise.set_value(rejection(
+          ServerStatus::kRejectedShutdown, "server is shutting down"));
+      return future;
+    }
+    if (queued_ >= config_.queue_capacity) {
+      ++stats_.rejected_queue_full;
+      pending->promise.set_value(rejection(
+          ServerStatus::kRejectedQueueFull,
+          "admission queue at capacity (" +
+              std::to_string(config_.queue_capacity) + ")"));
+      return future;
+    }
+    ++stats_.accepted;
+    ++queued_;
+    if (active_.contains(key)) {
+      // The key is busy: park the request in its FIFO lane instead of
+      // letting it occupy (and block) a worker.
+      waiting_[key].push_back(std::move(pending));
+    } else {
+      active_.insert(key);
+      schedule_locked(key, std::move(pending));
+    }
+  }
+  return future;
+}
+
+void ServerCore::schedule_locked(const std::string& key,
+                                 std::shared_ptr<Pending> pending) {
+  ready_.push([this, key, pending = std::move(pending)] { process(key, pending); });
+}
+
+void ServerCore::process(const std::string& key,
+                         const std::shared_ptr<Pending>& pending) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    --queued_;
+    ++running_;
+  }
+
+  ServerResponse response = execute(*pending);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    switch (response.status) {
+      case ServerStatus::kOk: ++stats_.completed; break;
+      case ServerStatus::kRejectedDeadline: ++stats_.rejected_deadline; break;
+      case ServerStatus::kRejectedShutdown: ++stats_.rejected_shutdown; break;
+      case ServerStatus::kError: ++stats_.errors; break;
+      default: break;
+    }
+  }
+  pending->promise.set_value(std::move(response));
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    --running_;
+    const auto lane = waiting_.find(key);
+    if (lane != waiting_.end() && !lane->second.empty()) {
+      std::shared_ptr<Pending> next = std::move(lane->second.front());
+      lane->second.pop_front();
+      if (lane->second.empty()) waiting_.erase(lane);
+      schedule_locked(key, std::move(next));
+    } else {
+      active_.erase(key);
+    }
+    if (queued_ == 0 && running_ == 0) idle_cv_.notify_all();
+  }
+}
+
+ServerResponse ServerCore::execute(Pending& pending) {
+  const auto start = std::chrono::steady_clock::now();
+  const double queue_seconds =
+      std::chrono::duration<double>(start - pending.enqueued).count();
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (cancel_queued_) {
+      ServerResponse response = rejection(ServerStatus::kRejectedShutdown,
+                                          "cancelled by non-drain shutdown");
+      response.telemetry.queue_seconds = queue_seconds;
+      return response;
+    }
+  }
+  if (pending.request.deadline && start > *pending.request.deadline) {
+    ServerResponse response = rejection(ServerStatus::kRejectedDeadline,
+                                        "deadline expired while queued");
+    response.telemetry.queue_seconds = queue_seconds;
+    return response;
+  }
+
+  ServerResponse response;
+  response.telemetry.queue_seconds = queue_seconds;
+  Stopwatch stopwatch;
+  try {
+    const std::string& key = pending.request.circuit.empty()
+                                 ? pending.request.network->name()
+                                 : pending.request.circuit;
+    SessionCache::Lease lease =
+        cache_->lease(key, *pending.request.network, pending.request.options);
+    response.telemetry.cache_hit = lease.cache_hit();
+    const FlowSession::Stats before = lease.session().stats();
+    response.report = lease.session().report(pending.request.options.mode);
+    response.telemetry.rebuilt = stats_delta(lease.session().stats(), before);
+    response.status = ServerStatus::kOk;
+  } catch (const std::exception& e) {
+    response.status = ServerStatus::kError;
+    response.error_message = e.what();
+    response.error = std::current_exception();
+  } catch (...) {
+    response.status = ServerStatus::kError;
+    response.error_message = "unknown exception";
+    response.error = std::current_exception();
+  }
+  response.telemetry.service_seconds = stopwatch.seconds();
+  return response;
+}
+
+void ServerCore::shutdown(bool drain) {
+  const std::lock_guard<std::mutex> shutdown_lock(shutdown_mutex_);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+    if (!drain) cancel_queued_ = true;
+  }
+  {
+    // Queued work drains through the normal per-key dispatch (with
+    // cancel_queued_ set, each request resolves kRejectedShutdown instead of
+    // running); every admitted future resolves before the workers stop.
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_cv_.wait(lock, [&] { return queued_ == 0 && running_ == 0; });
+  }
+  if (workers_joined_) return;
+  ready_.close();
+  for (std::thread& worker : workers_) worker.join();
+  workers_joined_ = true;
+}
+
+ServerCore::Stats ServerCore::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Stats snapshot = stats_;
+  snapshot.queued_now = queued_;
+  snapshot.running_now = running_;
+  return snapshot;
+}
+
+}  // namespace dominosyn

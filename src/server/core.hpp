@@ -1,0 +1,180 @@
+/// \file core.hpp
+/// Transport-independent serving core for phase-assignment flows.
+///
+/// `ServerCore` is the process behind both the `dominod` daemon and
+/// `run_flow_batch`: it owns one hot `SessionCache` plus a pool of dedicated
+/// workers, and turns submitted (circuit, options) requests into
+/// `FlowReport`s with explicit admission control:
+///
+///   * bounded queue — at most `queue_capacity` admitted-but-not-started
+///     requests; over-capacity submissions resolve immediately with
+///     `kRejectedQueueFull` instead of piling up,
+///   * per-request deadline — a request whose deadline passed while it
+///     waited is rejected (`kRejectedDeadline`) without running,
+///   * graceful drain — `shutdown()` stops admitting, finishes (or, with
+///     drain = false, cleanly rejects) everything in flight, and joins the
+///     workers; every future ever returned by submit() resolves.
+///
+/// Concurrency model: per-circuit single-flight.  Requests are FIFO-ordered
+/// per session key and only one request per key runs at a time, so all
+/// same-circuit traffic shares one cached `FlowSession` (its stage artifacts
+/// rebuild only when options actually change) while distinct circuits run on
+/// as many workers as are free.  The per-key serialization itself lives in
+/// `SessionCache::lease`; the core's dispatcher additionally keeps waiting
+/// same-key requests off the workers, so a burst on one hot circuit cannot
+/// occupy the whole pool.
+///
+/// Responses carry telemetry — cache hit, the stage builds this request
+/// actually triggered, queue wait and service time — so clients can observe
+/// the cache economics end to end.
+
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "flow/batch.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dominosyn {
+
+struct ServerRequest {
+  /// Session-cache key; empty = network->name().
+  std::string circuit;
+  /// The circuit to serve.  May be owning (daemon-parsed BLIF / generated
+  /// corpus) or a non-owning alias of caller-kept storage (run_flow_batch).
+  std::shared_ptr<const Network> network;
+  FlowOptions options;
+  /// Reject instead of running when this point passed while queued.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+};
+
+enum class ServerStatus : std::uint8_t {
+  kOk,
+  kRejectedQueueFull,  ///< admission queue at capacity
+  kRejectedDeadline,   ///< deadline expired before the request ran
+  kRejectedShutdown,   ///< submitted after (or cancelled by) shutdown
+  kError,              ///< the flow itself threw
+};
+
+[[nodiscard]] std::string_view to_string(ServerStatus status) noexcept;
+
+/// What serving this request actually cost, beyond the report itself.
+struct ServerTelemetry {
+  /// Served from a valid cached session (stage artifacts potentially hot).
+  bool cache_hit = false;
+  /// Stage builds this request triggered (all-zero = fully hot service).
+  FlowSession::Stats rebuilt;
+  double queue_seconds = 0.0;    ///< admission to start of service
+  double service_seconds = 0.0;  ///< lease + stage work + report composition
+};
+
+struct ServerResponse {
+  ServerStatus status = ServerStatus::kOk;
+  FlowReport report;          ///< valid when status == kOk
+  std::string error_message;  ///< human-readable, set for every non-kOk status
+  /// The flow's exception when status == kError — in-process clients
+  /// (run_flow_batch) rethrow the original type from this.
+  std::exception_ptr error;
+  ServerTelemetry telemetry;
+};
+
+struct ServerConfig {
+  /// Dedicated worker threads; 0 = one per hardware thread.
+  unsigned num_workers = 1;
+  /// Max admitted-but-not-started requests before kRejectedQueueFull.
+  std::size_t queue_capacity = 64;
+  /// Long-lived external cache to serve from; nullptr = core-owned cache.
+  SessionCache* cache = nullptr;
+  /// Capacity of the core-owned cache when `cache` is nullptr.
+  std::size_t cache_capacity = 8;
+};
+
+class ServerCore {
+ public:
+  /// Monotonic admission/outcome counters (completed = kOk responses), plus
+  /// an instantaneous queue-depth snapshot.
+  struct Stats {
+    std::size_t submitted = 0;
+    std::size_t accepted = 0;
+    std::size_t completed = 0;
+    std::size_t rejected_queue_full = 0;
+    std::size_t rejected_deadline = 0;
+    std::size_t rejected_shutdown = 0;
+    std::size_t errors = 0;
+    std::size_t queued_now = 0;   ///< admitted, not yet started
+    std::size_t running_now = 0;  ///< currently executing
+  };
+
+  explicit ServerCore(ServerConfig config = {});
+  /// shutdown(/*drain=*/true).
+  ~ServerCore();
+  ServerCore(const ServerCore&) = delete;
+  ServerCore& operator=(const ServerCore&) = delete;
+
+  /// Admits (or rejects) the request and returns its eventual response.
+  /// Every returned future resolves — rejections resolve immediately with a
+  /// non-kOk status rather than throwing.  Throws std::invalid_argument only
+  /// on a null network.
+  [[nodiscard]] std::future<ServerResponse> submit(ServerRequest request);
+
+  /// Stops admitting, resolves all queued + running requests (running work
+  /// always finishes; queued work finishes when `drain`, else resolves
+  /// kRejectedShutdown), and joins the workers.  Idempotent.
+  void shutdown(bool drain = true);
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] SessionCache& cache() noexcept { return *cache_; }
+  [[nodiscard]] const ServerConfig& config() const noexcept { return config_; }
+  [[nodiscard]] unsigned num_workers() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+ private:
+  struct Pending {
+    ServerRequest request;
+    std::promise<ServerResponse> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void schedule_locked(const std::string& key, std::shared_ptr<Pending> pending);
+  void process(const std::string& key, const std::shared_ptr<Pending>& pending);
+  [[nodiscard]] ServerResponse execute(Pending& pending);
+
+  ServerConfig config_;
+  std::unique_ptr<SessionCache> owned_cache_;
+  SessionCache* cache_ = nullptr;
+
+  mutable std::mutex mutex_;
+  std::condition_variable idle_cv_;
+  /// Per-key FIFO lanes of admitted requests waiting for their key.
+  std::unordered_map<std::string, std::deque<std::shared_ptr<Pending>>> waiting_;
+  /// Keys with a request scheduled or running.
+  std::unordered_set<std::string> active_;
+  std::size_t queued_ = 0;   ///< admitted, not yet started
+  std::size_t running_ = 0;  ///< currently executing
+  bool shutting_down_ = false;
+  bool cancel_queued_ = false;
+  Stats stats_;
+
+  std::mutex shutdown_mutex_;
+  bool workers_joined_ = false;
+
+  TaskQueue ready_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dominosyn

@@ -1,0 +1,450 @@
+/// \file protocol.cpp
+
+#include "server/protocol.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <istream>
+#include <limits>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "benchgen/benchgen.hpp"
+#include "blif/blif.hpp"
+#include "util/cli.hpp"
+
+namespace dominosyn::protocol {
+
+namespace {
+
+std::vector<std::string> split_tokens(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream stream(line);
+  std::string token;
+  while (stream >> token) tokens.push_back(std::move(token));
+  return tokens;
+}
+
+PhaseMode parse_mode(const std::string& text) {
+  if (text == "allpos" || text == "all-positive") return PhaseMode::kAllPositive;
+  if (text == "ma" || text == "min-area") return PhaseMode::kMinArea;
+  if (text == "mp" || text == "min-power") return PhaseMode::kMinPower;
+  if (text == "exhaustive" || text == "exhaustive-power")
+    return PhaseMode::kExhaustivePower;
+  throw ProtocolError("unknown mode '" + text +
+                      "' (allpos|ma|mp|exhaustive)");
+}
+
+long require_long(const std::string& key, const std::string& value,
+                  long min_value, long max_value) {
+  const auto parsed = cli::parse_long(value.c_str(), min_value, max_value);
+  if (!parsed)
+    throw ProtocolError(key + " must be an integer in [" +
+                        std::to_string(min_value) + ", " +
+                        std::to_string(max_value) + "], got '" + value + "'");
+  return *parsed;
+}
+
+double require_double(const std::string& key, const std::string& value,
+                      double min_value, double max_value) {
+  const auto parsed = cli::parse_double(value.c_str(), min_value, max_value);
+  if (!parsed)
+    throw ProtocolError(key + " must be a number in [" +
+                        std::to_string(min_value) + ", " +
+                        std::to_string(max_value) + "], got '" + value + "'");
+  return *parsed;
+}
+
+/// Consumes an inline-BLIF body up to `.end`; returns the full text.
+/// Throws ProtocolError when the input ends first.
+std::string read_blif_body(const LineSource& next_line) {
+  std::string text;
+  while (auto line = next_line()) {
+    text += *line;
+    text += '\n';
+    // Trim trailing whitespace/CR before matching the terminator.
+    std::string_view trimmed = *line;
+    while (!trimmed.empty() &&
+           (trimmed.back() == '\r' || trimmed.back() == ' ' ||
+            trimmed.back() == '\t'))
+      trimmed.remove_suffix(1);
+    if (trimmed == ".end") return text;
+  }
+  throw ProtocolError("inline BLIF body ended before .end");
+}
+
+Command parse_submit_header(const std::vector<std::string>& tokens,
+                            std::string& corpus, bool& inline_blif) {
+  Command command;
+  command.kind = CommandKind::kSubmit;
+  ServerRequest& request = command.request;
+
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    const std::string& token = tokens[i];
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0)
+      throw ProtocolError("submit arguments are key=value, got '" + token + "'");
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+
+    if (key == "circuit") {
+      request.circuit = value;
+    } else if (key == "corpus") {
+      corpus = value;
+    } else if (key == "blif") {
+      if (value != "inline")
+        throw ProtocolError("blif only supports 'inline' (body until .end)");
+      inline_blif = true;
+    } else if (key == "mode") {
+      request.options.mode = parse_mode(value);
+    } else if (key == "threads") {
+      request.options.num_threads =
+          static_cast<unsigned>(require_long(key, value, 0, 1024));
+    } else if (key == "pi_prob") {
+      request.options.pi_prob = require_double(key, value, 0.0, 1.0);
+    } else if (key == "sim_steps") {
+      request.options.sim.steps =
+          static_cast<std::size_t>(require_long(key, value, 1, 1 << 24));
+    } else if (key == "sim_warmup") {
+      request.options.sim.warmup =
+          static_cast<std::size_t>(require_long(key, value, 0, 1 << 24));
+    } else if (key == "sim_seed") {
+      request.options.sim.seed = static_cast<std::uint64_t>(
+          require_long(key, value, 0, std::numeric_limits<long>::max()));
+    } else if (key == "clock") {
+      request.options.clock_period = require_double(key, value, 0.0, 1e9);
+    } else if (key == "exh_limit") {
+      request.options.exhaustive_pos_limit =
+          static_cast<std::size_t>(require_long(key, value, 0, 62));
+    } else if (key == "load_aware") {
+      request.options.model.load_aware = require_long(key, value, 0, 1) != 0;
+    } else if (key == "deadline_ms") {
+      request.deadline = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(
+                             require_long(key, value, 0, 86'400'000));
+    } else {
+      throw ProtocolError("unknown submit key '" + key + "'");
+    }
+  }
+
+  if (corpus.empty() == !inline_blif)
+    throw ProtocolError("submit needs exactly one of corpus=<name> or "
+                        "blif=inline");
+  return command;
+}
+
+Command parse_submit(const std::vector<std::string>& tokens,
+                     const LineSource& next_line) {
+  // blif=inline means a body follows regardless of whether the header
+  // parses, so on a header error the body must still be consumed — else the
+  // connection desynchronizes and BLIF lines get answered as commands.
+  const bool inline_requested =
+      std::find(tokens.begin(), tokens.end(), "blif=inline") != tokens.end();
+
+  Command command;
+  std::string corpus;
+  bool inline_blif = false;
+  try {
+    command = parse_submit_header(tokens, corpus, inline_blif);
+  } catch (const ProtocolError&) {
+    if (inline_requested) {
+      try {
+        (void)read_blif_body(next_line);
+      } catch (const ProtocolError&) {
+        // Input ended mid-body: the header error is the one worth reporting.
+      }
+    }
+    throw;
+  }
+
+  if (inline_blif) {
+    const std::string text = read_blif_body(next_line);
+    try {
+      command.request.network =
+          std::make_shared<const Network>(blif::read_string(text));
+    } catch (const std::exception& e) {
+      throw ProtocolError(std::string("BLIF parse failed: ") + e.what());
+    }
+  } else {
+    try {
+      command.request.network = std::make_shared<const Network>(
+          generate_benchmark(paper_spec(corpus)));
+    } catch (const std::exception& e) {
+      throw ProtocolError(std::string("corpus lookup failed: ") + e.what());
+    }
+  }
+  return command;
+}
+
+void append_number(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    out += "null";
+    return;
+  }
+  char buffer[32];
+  const auto result = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  out.append(buffer, result.ptr);
+}
+
+void append_field(std::string& out, std::string_view key, double value,
+                  bool comma = true) {
+  out += '"';
+  out += key;
+  out += "\":";
+  append_number(out, value);
+  if (comma) out += ',';
+}
+
+void append_field(std::string& out, std::string_view key, std::size_t value,
+                  bool comma = true) {
+  out += '"';
+  out += key;
+  out += "\":";
+  out += std::to_string(value);
+  if (comma) out += ',';
+}
+
+void append_field(std::string& out, std::string_view key, bool value,
+                  bool comma = true) {
+  out += '"';
+  out += key;
+  out += "\":";
+  out += value ? "true" : "false";
+  if (comma) out += ',';
+}
+
+void append_field(std::string& out, std::string_view key,
+                  std::string_view value, bool comma = true) {
+  out += '"';
+  out += key;
+  out += "\":";
+  append_json_string(out, value);
+  if (comma) out += ',';
+}
+
+void append_report(std::string& out, const FlowReport& report) {
+  out += "\"report\":{";
+  append_field(out, "circuit", std::string_view(report.circuit));
+  append_field(out, "mode", to_string(report.mode));
+  append_field(out, "pis", report.pis);
+  append_field(out, "pos", report.pos);
+  append_field(out, "latches", report.latches);
+  append_field(out, "synth_gates", report.synth_gates);
+  append_field(out, "block_gates", report.block_gates);
+  append_field(out, "boundary_inverters", report.boundary_inverters);
+  append_field(out, "cells", report.cells);
+  append_field(out, "area", report.area);
+  append_field(out, "est_power", report.est_power);
+  append_field(out, "sim_power", report.sim_power);
+  out += "\"sim_breakdown\":{";
+  append_field(out, "domino_block", report.sim_breakdown.domino_block);
+  append_field(out, "input_inverters", report.sim_breakdown.input_inverters);
+  append_field(out, "output_inverters", report.sim_breakdown.output_inverters);
+  append_field(out, "clock_load", report.sim_breakdown.clock_load,
+               /*comma=*/false);
+  out += "},";
+  append_field(out, "critical_delay", report.critical_delay);
+  append_field(out, "timing_met", report.timing_met);
+  append_field(out, "resize_moves", report.resize_moves);
+  std::string assignment;
+  assignment.reserve(report.assignment.size());
+  for (const Phase phase : report.assignment)
+    assignment += phase == Phase::kPositive ? '+' : '-';
+  append_field(out, "assignment", std::string_view(assignment));
+  append_field(out, "negative_outputs", report.negative_outputs);
+  append_field(out, "search_evaluations", report.search_evaluations);
+  append_field(out, "used_exact_bdd", report.used_exact_bdd);
+  append_field(out, "equivalence_ok", report.equivalence_ok);
+  append_field(out, "seconds", report.seconds, /*comma=*/false);
+  out += '}';
+}
+
+void append_telemetry(std::string& out, const ServerTelemetry& telemetry) {
+  out += "\"telemetry\":{";
+  append_field(out, "cache_hit", telemetry.cache_hit);
+  out += "\"stage_builds\":{";
+  append_field(out, "synth", telemetry.rebuilt.synth_builds);
+  append_field(out, "probs", telemetry.rebuilt.prob_builds);
+  append_field(out, "context", telemetry.rebuilt.context_builds);
+  append_field(out, "assign", telemetry.rebuilt.assign_searches);
+  append_field(out, "map", telemetry.rebuilt.map_runs);
+  append_field(out, "measure", telemetry.rebuilt.measure_runs,
+               /*comma=*/false);
+  out += "},";
+  append_field(out, "queue_seconds", telemetry.queue_seconds);
+  append_field(out, "service_seconds", telemetry.service_seconds,
+               /*comma=*/false);
+  out += '}';
+}
+
+}  // namespace
+
+std::optional<Command> read_command(const LineSource& next_line) {
+  for (;;) {
+    const auto line = next_line();
+    if (!line) return std::nullopt;
+    const std::vector<std::string> tokens = split_tokens(*line);
+    if (tokens.empty()) continue;  // blank line / keep-alive
+
+    const std::string& verb = tokens[0];
+    if (verb == "submit") return parse_submit(tokens, next_line);
+    if (verb == "stats" || verb == "ping" || verb == "quit") {
+      if (tokens.size() != 1)
+        throw ProtocolError("'" + verb + "' takes no arguments");
+      Command command;
+      command.kind = verb == "stats"  ? CommandKind::kStats
+                     : verb == "ping" ? CommandKind::kPing
+                                      : CommandKind::kQuit;
+      return command;
+    }
+    throw ProtocolError("unknown command '" + verb +
+                        "' (submit|stats|ping|quit)");
+  }
+}
+
+std::optional<Command> read_command(std::istream& in) {
+  return read_command([&in]() -> std::optional<std::string> {
+    std::string line;
+    if (!std::getline(in, line)) return std::nullopt;
+    return line;
+  });
+}
+
+void append_json_string(std::string& out, std::string_view text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string format_response(const ServerResponse& response) {
+  std::string out = "{";
+  append_field(out, "ok", response.status == ServerStatus::kOk);
+  append_field(out, "status", to_string(response.status),
+               /*comma=*/response.status == ServerStatus::kOk);
+  if (response.status == ServerStatus::kOk) {
+    append_report(out, response.report);
+    out += ',';
+    append_telemetry(out, response.telemetry);
+  } else if (!response.error_message.empty()) {
+    out += ',';
+    append_field(out, "error", std::string_view(response.error_message),
+                 /*comma=*/false);
+  }
+  out += '}';
+  return out;
+}
+
+std::string format_stats(const ServerCore::Stats& stats,
+                         const SessionCache& cache) {
+  std::string out = "{";
+  append_field(out, "ok", true);
+  out += "\"server\":{";
+  append_field(out, "submitted", stats.submitted);
+  append_field(out, "accepted", stats.accepted);
+  append_field(out, "completed", stats.completed);
+  append_field(out, "rejected_queue_full", stats.rejected_queue_full);
+  append_field(out, "rejected_deadline", stats.rejected_deadline);
+  append_field(out, "rejected_shutdown", stats.rejected_shutdown);
+  append_field(out, "errors", stats.errors);
+  append_field(out, "queued_now", stats.queued_now);
+  append_field(out, "running_now", stats.running_now, /*comma=*/false);
+  out += "},";
+  out += "\"cache\":{";
+  append_field(out, "size", cache.size());
+  append_field(out, "capacity", cache.capacity());
+  append_field(out, "hits", cache.hits());
+  append_field(out, "misses", cache.misses());
+  append_field(out, "evictions", cache.evictions());
+  append_field(out, "invalidations", cache.invalidations(), /*comma=*/false);
+  out += "}}";
+  return out;
+}
+
+std::string format_pong() { return R"({"ok":true,"pong":true})"; }
+
+std::string format_error(std::string_view message) {
+  std::string out = "{";
+  append_field(out, "ok", false);
+  append_field(out, "status", std::string_view("bad_request"));
+  append_field(out, "error", message, /*comma=*/false);
+  out += '}';
+  return out;
+}
+
+namespace {
+
+/// Position just past `"key":`, or npos.
+std::size_t value_pos(const std::string& json, const std::string& key) {
+  const std::string needle = '"' + key + "\":";
+  const std::size_t at = json.find(needle);
+  return at == std::string::npos ? std::string::npos : at + needle.size();
+}
+
+}  // namespace
+
+std::optional<double> find_number(const std::string& json,
+                                  const std::string& key) {
+  const std::size_t at = value_pos(json, key);
+  if (at == std::string::npos) return std::nullopt;
+  const char* begin = json.c_str() + at;
+  char* end = nullptr;
+  const double value = std::strtod(begin, &end);
+  if (end == begin) return std::nullopt;
+  return value;
+}
+
+std::optional<std::string> find_string(const std::string& json,
+                                       const std::string& key) {
+  std::size_t at = value_pos(json, key);
+  if (at == std::string::npos || at >= json.size() || json[at] != '"')
+    return std::nullopt;
+  ++at;
+  std::string out;
+  while (at < json.size() && json[at] != '"') {
+    if (json[at] == '\\' && at + 1 < json.size()) {
+      ++at;
+      switch (json[at]) {
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        default: out += json[at];
+      }
+    } else {
+      out += json[at];
+    }
+    ++at;
+  }
+  if (at >= json.size()) return std::nullopt;
+  return out;
+}
+
+std::optional<bool> find_bool(const std::string& json, const std::string& key) {
+  const std::size_t at = value_pos(json, key);
+  if (at == std::string::npos) return std::nullopt;
+  if (json.compare(at, 4, "true") == 0) return true;
+  if (json.compare(at, 5, "false") == 0) return false;
+  return std::nullopt;
+}
+
+}  // namespace dominosyn::protocol

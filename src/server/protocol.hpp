@@ -1,0 +1,89 @@
+/// \file protocol.hpp
+/// The dominod wire protocol: line-delimited text requests, one-line JSON
+/// responses.  Transport-independent — the same parser/formatter serves the
+/// POSIX socket transport (server/transport.hpp), the blocking client
+/// (server/client.hpp), and in-process tests.  docs/protocol.md specifies
+/// the format with examples.
+///
+/// Requests (one command per line, `key=value` tokens):
+///
+///   submit corpus=<name> [circuit=<key>] [mode=...] [options...]
+///   submit blif=inline [circuit=<key>] [...]      # BLIF body follows, up
+///                                                 # to and including `.end`
+///   stats
+///   ping
+///   quit
+///
+/// Submit options: mode=allpos|ma|mp|exhaustive, threads=N, pi_prob=F,
+/// sim_steps=N, sim_warmup=N, sim_seed=N, clock=F, exh_limit=N,
+/// load_aware=0|1, deadline_ms=N.
+///
+/// Every response is a single JSON line with an "ok" field; submit responses
+/// carry the full FlowReport plus serving telemetry (cache hit, stage
+/// rebuilds, queue/service seconds).  Doubles are emitted shortest-round-trip
+/// (std::to_chars), so a client parsing them back gets bit-identical values.
+
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "server/core.hpp"
+
+namespace dominosyn::protocol {
+
+/// Malformed request text (unknown command, bad key/value, truncated BLIF).
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Pulls the next input line (without terminator); std::nullopt = end of
+/// input.  Lets the parser read multi-line bodies (inline BLIF) from any
+/// transport.
+using LineSource = std::function<std::optional<std::string>()>;
+
+enum class CommandKind : std::uint8_t { kSubmit, kStats, kPing, kQuit };
+
+struct Command {
+  CommandKind kind = CommandKind::kPing;
+  /// Populated for kSubmit: the parsed network (owned), key, options and
+  /// deadline, ready for ServerCore::submit.
+  ServerRequest request;
+};
+
+/// Reads one command (skipping blank lines); std::nullopt at end of input.
+/// Throws ProtocolError on malformed input — the connection loop reports it
+/// with format_error and keeps the connection alive.
+[[nodiscard]] std::optional<Command> read_command(const LineSource& next_line);
+/// Stream adapter for the above (tests, stdin-driven runs).
+[[nodiscard]] std::optional<Command> read_command(std::istream& in);
+
+// -- responses (single JSON line, no trailing newline) ------------------------
+
+[[nodiscard]] std::string format_response(const ServerResponse& response);
+[[nodiscard]] std::string format_stats(const ServerCore::Stats& stats,
+                                       const SessionCache& cache);
+[[nodiscard]] std::string format_pong();
+[[nodiscard]] std::string format_error(std::string_view message);
+
+/// Appends `text` as a quoted JSON string with escaping.
+void append_json_string(std::string& out, std::string_view text);
+
+// -- minimal response scanners ------------------------------------------------
+// The responses are machine-generated flat JSON with unique key names, so a
+// positional scan for `"key":` is sufficient for the client tool and tests;
+// this is NOT a general JSON parser.
+
+[[nodiscard]] std::optional<double> find_number(const std::string& json,
+                                                const std::string& key);
+[[nodiscard]] std::optional<std::string> find_string(const std::string& json,
+                                                     const std::string& key);
+[[nodiscard]] std::optional<bool> find_bool(const std::string& json,
+                                            const std::string& key);
+
+}  // namespace dominosyn::protocol

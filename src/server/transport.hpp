@@ -1,0 +1,79 @@
+/// \file transport.hpp
+/// POSIX socket transport for the dominod serving core.
+///
+/// `SocketServer` binds a listening socket — a UNIX-domain path or a TCP
+/// address — and runs one accept loop plus one thread per connection.  Each
+/// connection speaks the line protocol of server/protocol.hpp: commands in,
+/// one JSON line out per command.  Protocol errors answer with a JSON error
+/// line and keep the connection; `quit` or EOF closes it.  All flow work
+/// happens inside the shared `ServerCore`, so its admission and per-circuit
+/// single-flight govern every connection collectively.
+///
+/// `stop()` closes the listener and live connections, joins the connection
+/// threads, and returns; the core itself is owned (and drained) by the
+/// caller.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/core.hpp"
+
+namespace dominosyn {
+
+struct TransportConfig {
+  /// Non-empty: listen on this UNIX-domain socket path (unlinked on bind and
+  /// on stop).  Takes precedence over TCP.
+  std::string unix_path;
+  /// TCP listen address; port 0 picks an ephemeral port (see port()).
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  int backlog = 16;
+};
+
+class SocketServer {
+ public:
+  /// Binds and starts the accept loop.  Throws std::runtime_error on bind /
+  /// listen failure.  `core` must outlive this object.
+  SocketServer(ServerCore& core, TransportConfig config);
+  ~SocketServer();
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// The bound TCP port (resolved when 0 was requested); 0 for UNIX sockets.
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] const std::string& unix_path() const noexcept {
+    return config_.unix_path;
+  }
+
+  /// Closes listener + connections, joins the accept loop and waits for
+  /// every connection thread to finish.  Idempotent; also run by the
+  /// destructor.
+  void stop();
+
+ private:
+  void accept_loop(int listen_fd);
+  void serve_connection(int fd);
+
+  ServerCore& core_;
+  TransportConfig config_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+
+  std::mutex mutex_;
+  std::condition_variable connections_cv_;
+  bool stopping_ = false;
+  std::vector<int> connection_fds_;
+  /// Connection threads are detached (a long-running daemon must not
+  /// accumulate joinable zombies); this counts live ones so stop() can
+  /// drain them.
+  std::size_t active_connections_ = 0;
+  std::thread accept_thread_;
+};
+
+}  // namespace dominosyn

@@ -87,4 +87,48 @@ void ThreadPool::parallel_for(std::size_t count,
   }
 }
 
+bool TaskQueue::push(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return false;
+    tasks_.push_back(std::move(task));
+  }
+  ready_cv_.notify_one();
+  return true;
+}
+
+std::optional<TaskQueue::Task> TaskQueue::pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ready_cv_.wait(lock, [&] { return closed_ || !tasks_.empty(); });
+  if (tasks_.empty()) return std::nullopt;
+  Task task = std::move(tasks_.front());
+  tasks_.pop_front();
+  return task;
+}
+
+void TaskQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  ready_cv_.notify_all();
+}
+
+std::size_t TaskQueue::drain() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t dropped = tasks_.size();
+  tasks_.clear();
+  return dropped;
+}
+
+std::size_t TaskQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tasks_.size();
+}
+
+bool TaskQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
 }  // namespace dominosyn

@@ -1,11 +1,16 @@
 /// \file thread_pool.hpp
-/// Small persistent worker pool for the deterministic parallel searches.
+/// Small persistent worker pool for the deterministic parallel searches,
+/// plus the closeable task queue the serving layer's workers drain.
 ///
 /// The searches partition work by *index* (exhaustive shard, annealing
 /// restart, speculative descent candidate), compute into per-index slots,
 /// and merge sequentially afterwards — so results never depend on thread
 /// count or scheduling, only on the index space.  parallel_for() is the
 /// one primitive that workflow needs.
+///
+/// Long-running services (server/core.hpp) instead need push/pop task
+/// handoff between producers and dedicated workers; TaskQueue provides that
+/// without entangling it with the fork-join pool.
 
 #pragma once
 
@@ -13,9 +18,11 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -64,6 +71,39 @@ class ThreadPool {
   std::exception_ptr error_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
+};
+
+/// Closeable multi-producer / multi-consumer queue of deferred tasks — the
+/// handoff primitive between request producers and dedicated service workers.
+/// Unbounded by itself; admission bounding is the producer's policy (the
+/// serving core counts queued work across its per-key lanes, which this
+/// queue cannot see).
+class TaskQueue {
+ public:
+  using Task = std::function<void()>;
+
+  /// Enqueues a task; returns false (dropping the task) once closed.
+  bool push(Task task);
+
+  /// Blocks for the next task; std::nullopt once the queue is closed *and*
+  /// drained — the worker-loop termination signal.
+  [[nodiscard]] std::optional<Task> pop();
+
+  /// Rejects future pushes and wakes all poppers.  Already-queued tasks are
+  /// still handed out (drain-then-stop); call drain() first to discard them.
+  void close();
+
+  /// Discards queued tasks without running them; returns how many.
+  std::size_t drain();
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] bool closed() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable ready_cv_;
+  std::deque<Task> tasks_;
+  bool closed_ = false;
 };
 
 }  // namespace dominosyn

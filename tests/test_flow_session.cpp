@@ -220,9 +220,10 @@ TEST(FlowBatch, SharesOneContextPerCircuitAcrossModes) {
   batch.cache = &cache;
   (void)run_flow_batch(jobs, batch);
 
-  // One acquisition per circuit group; both modes ride the held session.
+  // One lease per job: the first job of a circuit misses, every later one
+  // lands on the hot session (2 modes per circuit).
   EXPECT_EQ(cache.misses(), specs.size());
-  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.hits(), specs.size());
   for (const BenchSpec& spec : specs) {
     const auto session = cache.peek(spec.name);
     ASSERT_NE(session, nullptr) << spec.name;
@@ -236,7 +237,7 @@ TEST(FlowBatch, SharesOneContextPerCircuitAcrossModes) {
   // entirely from the hot sessions — no stage is ever rebuilt.
   (void)run_flow_batch(jobs, batch);
   EXPECT_EQ(cache.misses(), specs.size());
-  EXPECT_EQ(cache.hits(), specs.size());
+  EXPECT_EQ(cache.hits(), jobs.size() + specs.size());
   for (const BenchSpec& spec : specs) {
     const auto session = cache.peek(spec.name);
     ASSERT_NE(session, nullptr) << spec.name;
@@ -247,9 +248,9 @@ TEST(FlowBatch, SharesOneContextPerCircuitAcrossModes) {
 }
 
 TEST(FlowBatch, TinyCacheStillCorrectUnderEviction) {
-  // Capacity 1 with two concurrent circuit groups: each group's insertion
-  // evicts the other's entry mid-batch.  The held per-group session keeps
-  // its stages regardless, and the reports stay exact.
+  // An external capacity-1 cache with two interleaved circuits: entries are
+  // evicted and rebuilt between jobs (the private-cache path would resize
+  // instead).  Thrashing costs stage rebuilds, never exactness.
   const std::vector<BenchSpec> specs = {session_spec(61), session_spec(62, 8)};
   std::vector<Network> nets;
   nets.reserve(specs.size());
@@ -268,13 +269,53 @@ TEST(FlowBatch, TinyCacheStillCorrectUnderEviction) {
     }
   }
 
+  SessionCache tiny(1);
   BatchOptions batch;
   batch.num_threads = 2;
-  batch.cache_capacity = 1;
+  batch.cache = &tiny;
   const std::vector<FlowReport> reports = run_flow_batch(jobs, batch);
   for (std::size_t i = 0; i < reports.size(); ++i) {
     SCOPED_TRACE("job=" + std::to_string(i));
     expect_reports_identical(reports[i], sequential[i]);
+  }
+}
+
+TEST(FlowBatch, PrivateCacheNeverThrashesWithinOneBatch) {
+  // More circuits than the default private-cache capacity: the batch sizes
+  // its cache to the sweep, so every circuit's staged prefix is still built
+  // exactly once (the old per-group frontend guaranteed this by holding
+  // sessions; the serving path guarantees it by capacity).
+  std::vector<BenchSpec> specs;
+  for (std::uint64_t seed = 90; seed < 102; ++seed)
+    specs.push_back(session_spec(seed));
+  std::vector<Network> nets;
+  nets.reserve(specs.size());
+  for (const BenchSpec& spec : specs) nets.push_back(generate_benchmark(spec));
+
+  std::vector<FlowJob> jobs;
+  for (const Network& net : nets) {
+    for (const PhaseMode mode : {PhaseMode::kMinArea, PhaseMode::kMinPower}) {
+      FlowJob job;
+      job.network = &net;
+      job.options = fast_options();
+      job.options.mode = mode;
+      jobs.push_back(job);
+    }
+  }
+  ASSERT_GT(specs.size(), BatchOptions{}.cache_capacity);
+
+  SessionCache probe(specs.size());  // mirror of what the batch does inside
+  BatchOptions batch;
+  batch.num_threads = 2;
+  batch.cache = &probe;
+  (void)run_flow_batch(jobs, batch);
+  EXPECT_EQ(probe.evictions(), 0u);
+  for (const BenchSpec& spec : specs) {
+    const auto session = probe.peek(spec.name);
+    ASSERT_NE(session, nullptr) << spec.name;
+    EXPECT_EQ(session->stats().synth_builds, 1u) << spec.name;
+    EXPECT_EQ(session->stats().prob_builds, 1u) << spec.name;
+    EXPECT_EQ(session->stats().context_builds, 1u) << spec.name;
   }
 }
 
@@ -313,6 +354,87 @@ TEST(SessionCache, RevalidatesOnChangedNetworkAndOptions) {
   // Same key, changed network: the session is replaced wholesale.
   const auto swapped = cache.acquire("ckt", net_b, options);
   EXPECT_NE(swapped.get(), first.get());
+  EXPECT_EQ(cache.invalidations(), 1u);
+}
+
+/// Small sequential network for fingerprint-sensitivity checks.  The knobs
+/// change exactly one aspect each, leaving everything else identical.
+Network fingerprint_net(bool rename_po = false, bool rewire_latches = false,
+                        bool or_gate = false) {
+  Network net;
+  net.set_name("fp");
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId l0 = net.add_latch("l0");
+  const NodeId l1 = net.add_latch("l1");
+  const NodeId g = or_gate ? net.add_or(a, b) : net.add_and(a, b);
+  const NodeId h = net.add_and(g, l0);
+  net.set_latch_input(l0, rewire_latches ? h : g);
+  net.set_latch_input(l1, rewire_latches ? g : h);
+  net.add_po(rename_po ? "f_renamed" : "f", h);
+  net.validate();
+  return net;
+}
+
+TEST(NetworkFingerprint, StableAcrossIdenticalConstruction) {
+  EXPECT_EQ(network_fingerprint(fingerprint_net()),
+            network_fingerprint(fingerprint_net()));
+}
+
+TEST(NetworkFingerprint, SensitiveToPortRenames) {
+  // Port names are part of a circuit's serving identity: a renamed PO must
+  // not be served from the old key's cached stages.
+  EXPECT_NE(network_fingerprint(fingerprint_net()),
+            network_fingerprint(fingerprint_net(/*rename_po=*/true)));
+}
+
+TEST(NetworkFingerprint, SensitiveToLatchRewiring) {
+  EXPECT_NE(network_fingerprint(fingerprint_net()),
+            network_fingerprint(fingerprint_net(/*rename_po=*/false,
+                                                /*rewire_latches=*/true)));
+}
+
+TEST(NetworkFingerprint, SensitiveToGateKindChanges) {
+  EXPECT_NE(network_fingerprint(fingerprint_net()),
+            network_fingerprint(fingerprint_net(/*rename_po=*/false,
+                                                /*rewire_latches=*/false,
+                                                /*or_gate=*/true)));
+}
+
+TEST(SessionCache, RevalidationRebuildsExactlyTheStaleStages) {
+  const Network net = generate_benchmark(session_spec(71));
+  FlowOptions options = fast_options();
+
+  SessionCache cache(4);
+  const auto session = cache.acquire("ckt", net, options);
+  (void)session->report(PhaseMode::kMinPower);
+  const FlowSession::Stats baseline = session->stats();
+
+  // Changed sim settings: revalidation re-runs only the measurement.
+  options.sim.steps = 512;
+  const auto resim = cache.acquire("ckt", net, options);
+  ASSERT_EQ(resim.get(), session.get());
+  (void)resim->report(PhaseMode::kMinPower);
+  EXPECT_EQ(resim->stats().assign_searches, baseline.assign_searches);
+  EXPECT_EQ(resim->stats().map_runs, baseline.map_runs);
+  EXPECT_EQ(resim->stats().measure_runs, baseline.measure_runs + 1);
+
+  // A clock target: mapping + measurement rebuild, the search is kept.
+  options.clock_period = 1e6;
+  const auto reclock = cache.acquire("ckt", net, options);
+  ASSERT_EQ(reclock.get(), session.get());
+  (void)reclock->report(PhaseMode::kMinPower);
+  EXPECT_EQ(reclock->stats().assign_searches, baseline.assign_searches);
+  EXPECT_EQ(reclock->stats().map_runs, baseline.map_runs + 1);
+  EXPECT_EQ(reclock->stats().measure_runs, baseline.measure_runs + 2);
+
+  // A renamed port changes the fingerprint: the whole session is replaced
+  // even though the logic is untouched.
+  const auto renamed =
+      cache.acquire("fpkey", fingerprint_net(), options);
+  const auto replaced =
+      cache.acquire("fpkey", fingerprint_net(/*rename_po=*/true), options);
+  EXPECT_NE(replaced.get(), renamed.get());
   EXPECT_EQ(cache.invalidations(), 1u);
 }
 

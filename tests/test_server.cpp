@@ -1,0 +1,542 @@
+/// Tests for the dominod serving subsystem (src/server/):
+///  * concurrent clients submitting the same circuit get bit-identical
+///    reports to single-threaded run_flow, and provably share one session
+///    (stage-build counters sum to a single staged pipeline),
+///  * per-key single-flight: a blocked hot key does not stall distinct
+///    circuits, and SessionCache::lease serializes same-key holders,
+///  * admission: over-capacity requests are rejected cleanly, expired
+///    deadlines are rejected without running, shutdown drains in-flight
+///    work (and non-drain shutdown cancels queued work cleanly),
+///  * the wire protocol parses/formats round-trip, and a UNIX-socket
+///    daemon serves real clients end to end.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "benchgen/benchgen.hpp"
+#include "blif/blif.hpp"
+#include "server/client.hpp"
+#include "server/core.hpp"
+#include "server/protocol.hpp"
+#include "server/transport.hpp"
+
+namespace dominosyn {
+namespace {
+
+BenchSpec server_spec(std::uint64_t seed, std::size_t pos = 6) {
+  BenchSpec spec;
+  spec.name = "srv" + std::to_string(seed) + "_" + std::to_string(pos);
+  spec.num_pis = 10;
+  spec.num_pos = pos;
+  spec.gate_target = 90;
+  spec.seed = seed;
+  return spec;
+}
+
+FlowOptions fast_options(PhaseMode mode = PhaseMode::kMinPower) {
+  FlowOptions options;
+  options.mode = mode;
+  options.sim.steps = 400;
+  options.sim.warmup = 8;
+  return options;
+}
+
+ServerRequest make_request(const Network& net, const FlowOptions& options,
+                           std::string key = "") {
+  ServerRequest request;
+  request.circuit = std::move(key);
+  request.network = std::make_shared<const Network>(net);
+  request.options = options;
+  return request;
+}
+
+/// Bit-identical comparison of every deterministic FlowReport field.
+void expect_reports_identical(const FlowReport& a, const FlowReport& b) {
+  EXPECT_EQ(a.circuit, b.circuit);
+  EXPECT_EQ(a.mode, b.mode);
+  EXPECT_EQ(a.synth_gates, b.synth_gates);
+  EXPECT_EQ(a.block_gates, b.block_gates);
+  EXPECT_EQ(a.cells, b.cells);
+  EXPECT_EQ(a.area, b.area);
+  EXPECT_EQ(a.est_power, b.est_power);
+  EXPECT_EQ(a.sim_power, b.sim_power);
+  EXPECT_EQ(a.sim_breakdown.domino_block, b.sim_breakdown.domino_block);
+  EXPECT_EQ(a.sim_breakdown.clock_load, b.sim_breakdown.clock_load);
+  EXPECT_EQ(a.critical_delay, b.critical_delay);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.negative_outputs, b.negative_outputs);
+  EXPECT_EQ(a.search_evaluations, b.search_evaluations);
+  EXPECT_EQ(a.equivalence_ok, b.equivalence_ok);
+}
+
+void wait_until(const std::function<bool()>& done) {
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (!done()) {
+    ASSERT_LT(std::chrono::steady_clock::now(), give_up) << "condition timeout";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+TEST(ServerCore, ConcurrentSameCircuitSharesOneSession) {
+  const Network net = generate_benchmark(server_spec(71, /*pos=*/8));
+  const FlowReport ma_ref = run_flow(net, fast_options(PhaseMode::kMinArea));
+  const FlowReport mp_ref = run_flow(net, fast_options(PhaseMode::kMinPower));
+
+  ServerConfig config;
+  config.num_workers = 4;
+  config.queue_capacity = 64;
+  ServerCore core(config);
+
+  // 8 client threads hammer one circuit with alternating modes.
+  constexpr std::size_t kClients = 8;
+  std::vector<std::future<ServerResponse>> futures(kClients);
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (std::size_t i = 0; i < kClients; ++i)
+      clients.emplace_back([&, i] {
+        const PhaseMode mode =
+            i % 2 == 0 ? PhaseMode::kMinArea : PhaseMode::kMinPower;
+        futures[i] = core.submit(make_request(net, fast_options(mode)));
+      });
+    for (std::thread& client : clients) client.join();
+  }
+
+  FlowSession::Stats total;
+  std::size_t cold = 0;
+  for (std::size_t i = 0; i < kClients; ++i) {
+    ServerResponse response = futures[i].get();
+    ASSERT_EQ(response.status, ServerStatus::kOk) << response.error_message;
+    expect_reports_identical(response.report,
+                             i % 2 == 0 ? ma_ref : mp_ref);
+    total.synth_builds += response.telemetry.rebuilt.synth_builds;
+    total.prob_builds += response.telemetry.rebuilt.prob_builds;
+    total.context_builds += response.telemetry.rebuilt.context_builds;
+    total.assign_searches += response.telemetry.rebuilt.assign_searches;
+    total.map_runs += response.telemetry.rebuilt.map_runs;
+    total.measure_runs += response.telemetry.rebuilt.measure_runs;
+    cold += response.telemetry.cache_hit ? 0 : 1;
+  }
+
+  // All eight requests rode ONE session: the staged prefix was built once,
+  // each mode's search/map/measure once (MP seeds off the cached MA stage).
+  EXPECT_EQ(total.synth_builds, 1u);
+  EXPECT_EQ(total.prob_builds, 1u);
+  EXPECT_EQ(total.context_builds, 1u);
+  EXPECT_EQ(total.assign_searches, 2u);
+  EXPECT_EQ(total.map_runs, 2u);
+  EXPECT_EQ(total.measure_runs, 2u);
+  EXPECT_EQ(cold, 1u);
+
+  const auto session = core.cache().peek(net.name());
+  ASSERT_NE(session, nullptr);
+  EXPECT_EQ(session->stats().synth_builds, 1u);
+  EXPECT_EQ(session->stats().prob_builds, 1u);
+  EXPECT_EQ(session->stats().context_builds, 1u);
+  EXPECT_EQ(core.stats().completed, kClients);
+}
+
+TEST(ServerCore, BlockedHotKeyDoesNotStallOtherCircuits) {
+  const Network hot = generate_benchmark(server_spec(72));
+  const Network other = generate_benchmark(server_spec(73, /*pos=*/5));
+
+  ServerConfig config;
+  config.num_workers = 2;
+  ServerCore core(config);
+
+  // Park the hot circuit's key behind an externally held lease.
+  SessionCache::Lease hold =
+      core.cache().lease(hot.name(), hot, fast_options());
+  auto blocked = core.submit(make_request(hot, fast_options()));
+  wait_until([&] { return core.stats().running_now >= 1; });
+
+  // The other circuit flows straight through the second worker.
+  auto free_flowing = core.submit(make_request(other, fast_options()));
+  ASSERT_EQ(free_flowing.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready);
+  EXPECT_EQ(free_flowing.get().status, ServerStatus::kOk);
+  EXPECT_EQ(blocked.wait_for(std::chrono::seconds(0)),
+            std::future_status::timeout);
+
+  hold.release();
+  EXPECT_EQ(blocked.get().status, ServerStatus::kOk);
+}
+
+TEST(ServerCore, AdmissionRejectsOverCapacityCleanly) {
+  const Network net = generate_benchmark(server_spec(74));
+  ServerConfig config;
+  config.num_workers = 1;
+  config.queue_capacity = 2;
+  ServerCore core(config);
+
+  SessionCache::Lease hold = core.cache().lease(net.name(), net, fast_options());
+  auto running = core.submit(make_request(net, fast_options()));
+  // Wait until the worker picked it up so it no longer occupies the queue.
+  wait_until([&] { return core.stats().running_now == 1; });
+
+  auto queued1 = core.submit(make_request(net, fast_options()));
+  auto queued2 = core.submit(make_request(net, fast_options()));
+  auto rejected = core.submit(make_request(net, fast_options()));
+
+  // The over-capacity submit resolves immediately, without running anything.
+  ASSERT_EQ(rejected.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  ServerResponse over = rejected.get();
+  EXPECT_EQ(over.status, ServerStatus::kRejectedQueueFull);
+  EXPECT_FALSE(over.error_message.empty());
+  EXPECT_EQ(core.stats().rejected_queue_full, 1u);
+
+  hold.release();
+  EXPECT_EQ(running.get().status, ServerStatus::kOk);
+  EXPECT_EQ(queued1.get().status, ServerStatus::kOk);
+  EXPECT_EQ(queued2.get().status, ServerStatus::kOk);
+  EXPECT_EQ(core.stats().completed, 3u);
+  EXPECT_EQ(core.stats().accepted, 3u);
+  EXPECT_EQ(core.stats().submitted, 4u);
+}
+
+TEST(ServerCore, ExpiredDeadlineRejectedWithoutRunning) {
+  const Network net = generate_benchmark(server_spec(75));
+  ServerCore core(ServerConfig{});
+
+  ServerRequest late = make_request(net, fast_options());
+  late.deadline = std::chrono::steady_clock::now() -
+                  std::chrono::milliseconds(1);
+  ServerResponse response = core.submit(std::move(late)).get();
+  EXPECT_EQ(response.status, ServerStatus::kRejectedDeadline);
+  EXPECT_EQ(core.stats().rejected_deadline, 1u);
+  // Nothing was built: the request never reached the cache.
+  EXPECT_EQ(core.cache().size(), 0u);
+  EXPECT_EQ(core.cache().misses(), 0u);
+
+  // A generous deadline passes untouched.
+  ServerRequest fine = make_request(net, fast_options());
+  fine.deadline = std::chrono::steady_clock::now() + std::chrono::minutes(5);
+  EXPECT_EQ(core.submit(std::move(fine)).get().status, ServerStatus::kOk);
+}
+
+TEST(ServerCore, ShutdownDrainsInFlightWork) {
+  const Network net_a = generate_benchmark(server_spec(76));
+  const Network net_b = generate_benchmark(server_spec(77, /*pos=*/5));
+
+  ServerConfig config;
+  config.num_workers = 2;
+  ServerCore core(config);
+  std::vector<std::future<ServerResponse>> futures;
+  for (int round = 0; round < 2; ++round)
+    for (const Network* net : {&net_a, &net_b})
+      futures.push_back(core.submit(make_request(*net, fast_options())));
+
+  core.shutdown(/*drain=*/true);
+  for (auto& future : futures)
+    EXPECT_EQ(future.get().status, ServerStatus::kOk);
+  EXPECT_EQ(core.stats().completed, futures.size());
+
+  // Post-shutdown submissions resolve immediately with a clean rejection.
+  ServerResponse after = core.submit(make_request(net_a, fast_options())).get();
+  EXPECT_EQ(after.status, ServerStatus::kRejectedShutdown);
+}
+
+TEST(ServerCore, NonDrainShutdownCancelsQueuedWork) {
+  const Network net = generate_benchmark(server_spec(78));
+  ServerConfig config;
+  config.num_workers = 1;
+  ServerCore core(config);
+
+  SessionCache::Lease hold = core.cache().lease(net.name(), net, fast_options());
+  auto running = core.submit(make_request(net, fast_options()));
+  wait_until([&] { return core.stats().running_now == 1; });
+  auto queued = core.submit(make_request(net, fast_options()));
+
+  std::thread stopper([&] { core.shutdown(/*drain=*/false); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  hold.release();
+  stopper.join();
+
+  // Running work always finishes; queued work is rejected, not dropped.
+  EXPECT_EQ(running.get().status, ServerStatus::kOk);
+  EXPECT_EQ(queued.get().status, ServerStatus::kRejectedShutdown);
+}
+
+TEST(ServerCore, FlowErrorsPropagateWithOriginalType) {
+  // 22 POs exceed even the explicit-exhaustive cap
+  // (max(exhaustive_pos_limit, kDefaultExhaustiveLimit) = 20): the search
+  // refuses up front, before any work.
+  const Network net = generate_benchmark(server_spec(79, /*pos=*/22));
+  FlowOptions options = fast_options(PhaseMode::kExhaustivePower);
+  options.exhaustive_pos_limit = 10;
+
+  ServerCore core(ServerConfig{});
+  ServerResponse response = core.submit(make_request(net, options)).get();
+  ASSERT_EQ(response.status, ServerStatus::kError);
+  EXPECT_FALSE(response.error_message.empty());
+  ASSERT_NE(response.error, nullptr);
+  EXPECT_THROW(std::rethrow_exception(response.error), ExhaustiveLimitError);
+  EXPECT_EQ(core.stats().errors, 1u);
+
+  // And through the batch frontend, the original exception type surfaces.
+  FlowJob job;
+  job.network = &net;
+  job.options = options;
+  EXPECT_THROW((void)run_flow_batch(std::span<const FlowJob>(&job, 1), {}),
+               ExhaustiveLimitError);
+}
+
+TEST(ServerCore, NullNetworkThrows) {
+  ServerCore core(ServerConfig{});
+  ServerRequest request;
+  EXPECT_THROW((void)core.submit(std::move(request)), std::invalid_argument);
+}
+
+TEST(SessionCacheLease, SerializesSameKeyHolders) {
+  const Network net = generate_benchmark(server_spec(80));
+  SessionCache cache(4);
+
+  std::vector<int> events;
+  std::atomic<bool> held{false};
+  std::thread first([&] {
+    SessionCache::Lease lease = cache.lease("k", net, fast_options());
+    events.push_back(1);
+    held.store(true);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    events.push_back(2);
+  });
+  while (!held.load()) std::this_thread::yield();
+
+  // Blocks until the first holder releases; the event order proves it.
+  SessionCache::Lease second = cache.lease("k", net, fast_options());
+  events.push_back(3);
+  first.join();
+  EXPECT_EQ(events, (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(second.cache_hit());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(SessionCacheLease, DistinctKeysDoNotBlock) {
+  const Network net_a = generate_benchmark(server_spec(81));
+  const Network net_b = generate_benchmark(server_spec(82, /*pos=*/5));
+  SessionCache cache(4);
+
+  SessionCache::Lease hold = cache.lease("a", net_a, fast_options());
+  auto other = std::async(std::launch::async, [&] {
+    SessionCache::Lease lease = cache.lease("b", net_b, fast_options());
+    return lease.session().circuit();
+  });
+  ASSERT_EQ(other.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready);
+  EXPECT_EQ(other.get(), net_b.name());
+}
+
+TEST(SessionCacheLease, PinsEntryAgainstEviction) {
+  const Network net_a = generate_benchmark(server_spec(83));
+  const Network net_b = generate_benchmark(server_spec(84, /*pos=*/5));
+  const Network net_c = generate_benchmark(server_spec(85, /*pos=*/7));
+  SessionCache cache(1);
+
+  SessionCache::Lease hold = cache.lease("a", net_a, fast_options());
+  // Over capacity, but "a" is pinned by the held lease: the cache bulges
+  // instead of evicting it, so a concurrent same-key lease still lands on
+  // the same slot.
+  SessionCache::Lease lease_b = cache.lease("b", net_b, fast_options());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_NE(cache.peek("a"), nullptr);
+
+  hold.release();
+  lease_b.release();
+  // Next lease shrinks the cache back within capacity.
+  SessionCache::Lease lease_c = cache.lease("c", net_c, fast_options());
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.evictions(), 2u);
+  EXPECT_EQ(cache.peek("a"), nullptr);
+  EXPECT_EQ(cache.peek("b"), nullptr);
+  EXPECT_NE(cache.peek("c"), nullptr);
+}
+
+TEST(Protocol, ParsesSubmitWithCorpus) {
+  std::istringstream in("submit corpus=frg1 mode=ma threads=2 sim_steps=128\n");
+  const auto command = protocol::read_command(in);
+  ASSERT_TRUE(command.has_value());
+  ASSERT_EQ(command->kind, protocol::CommandKind::kSubmit);
+  ASSERT_NE(command->request.network, nullptr);
+  EXPECT_EQ(command->request.network->name(), "frg1");
+  EXPECT_EQ(command->request.options.mode, PhaseMode::kMinArea);
+  EXPECT_EQ(command->request.options.num_threads, 2u);
+  EXPECT_EQ(command->request.options.sim.steps, 128u);
+  EXPECT_FALSE(command->request.deadline.has_value());
+}
+
+TEST(Protocol, ParsesSubmitWithInlineBlif) {
+  std::istringstream in(
+      "submit blif=inline mode=mp deadline_ms=60000\n"
+      ".model proto_tiny\n"
+      ".inputs a b\n"
+      ".outputs f\n"
+      ".names a b f\n"
+      "11 1\n"
+      ".end\n"
+      "ping\n");
+  auto command = protocol::read_command(in);
+  ASSERT_TRUE(command.has_value());
+  ASSERT_EQ(command->kind, protocol::CommandKind::kSubmit);
+  ASSERT_NE(command->request.network, nullptr);
+  EXPECT_EQ(command->request.network->name(), "proto_tiny");
+  EXPECT_EQ(command->request.network->num_pis(), 2u);
+  EXPECT_TRUE(command->request.deadline.has_value());
+
+  // The parser consumed exactly the BLIF body: the next command survives.
+  command = protocol::read_command(in);
+  ASSERT_TRUE(command.has_value());
+  EXPECT_EQ(command->kind, protocol::CommandKind::kPing);
+  EXPECT_FALSE(protocol::read_command(in).has_value());
+}
+
+TEST(Protocol, BadInlineSubmitHeaderStillConsumesBody) {
+  // A header error must not leave the BLIF body in the stream — otherwise
+  // the connection desynchronizes and body lines get parsed as commands.
+  std::istringstream in(
+      "submit blif=inline mode=bogus\n"
+      ".model t\n.inputs a\n.outputs f\n.names a f\n1 1\n.end\n"
+      "ping\n");
+  EXPECT_THROW((void)protocol::read_command(in), protocol::ProtocolError);
+  const auto next = protocol::read_command(in);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->kind, protocol::CommandKind::kPing);
+  EXPECT_FALSE(protocol::read_command(in).has_value());
+}
+
+TEST(Protocol, RejectsMalformedRequests) {
+  const auto parse = [](const std::string& text) {
+    std::istringstream in(text);
+    return protocol::read_command(in);
+  };
+  EXPECT_THROW((void)parse("explode\n"), protocol::ProtocolError);
+  EXPECT_THROW((void)parse("submit\n"), protocol::ProtocolError);
+  EXPECT_THROW((void)parse("submit corpus=frg1 blif=inline\n"),
+               protocol::ProtocolError);
+  EXPECT_THROW((void)parse("submit corpus=frg1 mode=fastest\n"),
+               protocol::ProtocolError);
+  EXPECT_THROW((void)parse("submit corpus=frg1 threads=a\n"),
+               protocol::ProtocolError);
+  EXPECT_THROW((void)parse("submit blif=inline\n.model t\n"),
+               protocol::ProtocolError);  // body without .end
+  EXPECT_THROW((void)parse("ping pong\n"), protocol::ProtocolError);
+  // Blank lines are keep-alives, not errors.
+  EXPECT_FALSE(parse("\n\n").has_value());
+}
+
+TEST(Protocol, ResponseRoundTripsThroughScanners) {
+  ServerResponse response;
+  response.status = ServerStatus::kOk;
+  response.report.circuit = "quote\"me";
+  response.report.mode = PhaseMode::kMinPower;
+  response.report.cells = 42;
+  response.report.sim_power = 123.4567890123456789;
+  response.report.assignment = {Phase::kPositive, Phase::kNegative};
+  response.telemetry.cache_hit = true;
+  response.telemetry.rebuilt.assign_searches = 2;
+  response.telemetry.queue_seconds = 0.25;
+
+  const std::string json = protocol::format_response(response);
+  EXPECT_EQ(protocol::find_bool(json, "ok"), true);
+  EXPECT_EQ(protocol::find_string(json, "status"), "ok");
+  EXPECT_EQ(protocol::find_string(json, "circuit"), "quote\"me");
+  EXPECT_EQ(protocol::find_string(json, "mode"), "min-power");
+  EXPECT_EQ(protocol::find_string(json, "assignment"), "+-");
+  EXPECT_EQ(protocol::find_number(json, "cells"), 42.0);
+  // Shortest-round-trip doubles: the parsed value is bit-identical.
+  EXPECT_EQ(protocol::find_number(json, "sim_power"),
+            response.report.sim_power);
+  EXPECT_EQ(protocol::find_bool(json, "cache_hit"), true);
+  EXPECT_EQ(protocol::find_number(json, "assign"), 2.0);
+
+  ServerResponse rejected;
+  rejected.status = ServerStatus::kRejectedQueueFull;
+  rejected.error_message = "admission queue at capacity (4)";
+  const std::string rejection = protocol::format_response(rejected);
+  EXPECT_EQ(protocol::find_bool(rejection, "ok"), false);
+  EXPECT_EQ(protocol::find_string(rejection, "status"), "rejected_queue_full");
+  EXPECT_EQ(protocol::find_string(rejection, "error"),
+            "admission queue at capacity (4)");
+}
+
+TEST(Transport, UnixSocketServesRealClients) {
+  const std::string blif_text =
+      ".model sock_tiny\n"
+      ".inputs a b c\n"
+      ".outputs f g\n"
+      ".names a b f\n11 1\n"
+      ".names b c g\n00 1\n"
+      ".end\n";
+  const Network net = blif::read_string(blif_text);
+  // Mirror exactly what the wire command sets: defaults + mode + sim_steps.
+  FlowOptions options;
+  options.mode = PhaseMode::kMinArea;
+  options.sim.steps = 128;
+  const FlowReport reference = run_flow(net, options);
+
+  ServerConfig config;
+  config.num_workers = 2;
+  ServerCore core(config);
+  TransportConfig transport;
+  transport.unix_path = testing::TempDir() + "dominod_test.sock";
+  SocketServer server(core, transport);
+
+  Client client = Client::connect_unix(transport.unix_path);
+  EXPECT_TRUE(client.ping());
+
+  const std::string command = "submit blif=inline mode=ma sim_steps=128";
+  const Client::SubmitSummary cold = client.submit(command, blif_text);
+  ASSERT_TRUE(cold.ok) << cold.raw;
+  EXPECT_EQ(cold.circuit, "sock_tiny");
+  EXPECT_EQ(cold.mode, "min-area");
+  EXPECT_EQ(cold.cells, reference.cells);
+  EXPECT_EQ(cold.sim_power, reference.sim_power);  // bit-identical over the wire
+  EXPECT_EQ(cold.est_power, reference.est_power);
+  EXPECT_FALSE(cold.cache_hit);
+
+  // A second client hits the hot session.
+  Client second = Client::connect_unix(transport.unix_path);
+  const Client::SubmitSummary hot = second.submit(command, blif_text);
+  ASSERT_TRUE(hot.ok) << hot.raw;
+  EXPECT_TRUE(hot.cache_hit);
+  EXPECT_EQ(hot.sim_power, reference.sim_power);
+
+  // Malformed input answers with an error line and keeps the connection.
+  const std::string bad = client.request("explode");
+  EXPECT_EQ(protocol::find_bool(bad, "ok"), false);
+  EXPECT_TRUE(client.ping());
+
+  const std::string stats = client.request("stats");
+  EXPECT_EQ(protocol::find_bool(stats, "ok"), true);
+  EXPECT_EQ(protocol::find_number(stats, "completed"), 2.0);
+  EXPECT_EQ(protocol::find_number(stats, "hits"), 1.0);
+  EXPECT_EQ(protocol::find_number(stats, "misses"), 1.0);
+
+  server.stop();
+  core.shutdown();
+  EXPECT_EQ(core.stats().completed, 2u);
+}
+
+TEST(Transport, TcpLoopbackRoundTrip) {
+  ServerCore core(ServerConfig{});
+  TransportConfig transport;  // ephemeral 127.0.0.1 port
+  SocketServer server(core, transport);
+  ASSERT_NE(server.port(), 0);
+
+  Client client = Client::connect_tcp("127.0.0.1", server.port());
+  EXPECT_TRUE(client.ping());
+  const std::string stats = client.request("stats");
+  EXPECT_EQ(protocol::find_bool(stats, "ok"), true);
+}
+
+}  // namespace
+}  // namespace dominosyn

@@ -1,0 +1,152 @@
+/// \file domino_cli.cpp
+/// Blocking command-line client for a running dominod daemon.
+///
+/// Usage:
+///   domino_cli --unix /tmp/dominod.sock --corpus frg1 --mode mp
+///   domino_cli --host 127.0.0.1 --port 7117 --blif circuit.blif --raw
+///   domino_cli --unix /tmp/dominod.sock --stats
+///
+/// Submits one circuit (by corpus name or BLIF file), prints the report
+/// summary with serving telemetry — or the raw JSON line with --raw.
+/// --repeat N re-submits N times, showing the cold→hot cache transition.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "server/client.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+void usage(const char* program) {
+  std::cerr
+      << "usage: " << program
+      << " (--unix PATH | --host A --port N) <action> [options]\n"
+      << "actions:\n"
+      << "  --corpus NAME    submit a generated paper circuit (e.g. frg1)\n"
+      << "  --blif FILE      submit a BLIF file inline\n"
+      << "  --stats          print server + cache statistics\n"
+      << "  --ping           protocol liveness check\n"
+      << "options:\n"
+      << "  --mode M         allpos|ma|mp|exhaustive (default mp)\n"
+      << "  --circuit KEY    session-cache key override\n"
+      << "  --threads N      per-request search threads (0 = hardware)\n"
+      << "  --sim-steps N    simulation steps\n"
+      << "  --sim-warmup N   simulation warmup steps\n"
+      << "  --pi-prob F      uniform PI signal probability\n"
+      << "  --clock F        resize-to-clock period\n"
+      << "  --deadline-ms N  reject if not started within N ms\n"
+      << "  --repeat N       submit N times (watch the cache heat up)\n"
+      << "  --raw            print raw JSON response lines\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dominosyn;
+
+  const auto flags = cli::FlagSet::parse(argc, argv);
+  if (!flags ||
+      !flags->only({"unix", "host", "port", "corpus", "blif", "stats", "ping",
+                    "mode", "circuit", "threads", "sim-steps", "sim-warmup",
+                    "pi-prob", "clock", "deadline-ms", "repeat", "raw",
+                    "help"})) {
+    usage(argv[0]);
+    return 2;
+  }
+  if (flags->has("help")) {
+    usage(argv[0]);
+    return 0;
+  }
+
+  const std::string unix_path = flags->get("unix");
+  const auto port = flags->get_long("port", 0, 1, 65535);
+  if (!port) return 2;
+  if (unix_path.empty() && !flags->has("port")) {
+    std::cerr << argv[0] << ": need --unix PATH or --host/--port\n";
+    return 2;
+  }
+
+  try {
+    Client client =
+        unix_path.empty()
+            ? Client::connect_tcp(flags->get("host", "127.0.0.1"),
+                                  static_cast<std::uint16_t>(*port))
+            : Client::connect_unix(unix_path);
+
+    if (flags->has("ping")) {
+      const bool ok = client.ping();
+      std::cout << (ok ? "pong" : "no response") << "\n";
+      return ok ? 0 : 1;
+    }
+    if (flags->has("stats")) {
+      std::cout << client.request("stats") << "\n";
+      return 0;
+    }
+
+    const std::string corpus = flags->get("corpus");
+    const std::string blif_path = flags->get("blif");
+    if (corpus.empty() == blif_path.empty()) {
+      std::cerr << argv[0]
+                << ": need exactly one of --corpus, --blif, --stats, --ping\n";
+      return 2;
+    }
+
+    std::string command = "submit";
+    std::string body;
+    if (!corpus.empty()) {
+      command += " corpus=" + corpus;
+    } else {
+      std::ifstream file(blif_path);
+      if (!file) {
+        std::cerr << argv[0] << ": cannot read " << blif_path << "\n";
+        return 1;
+      }
+      std::ostringstream text;
+      text << file.rdbuf();
+      body = text.str();
+      // The server reads the body up to `.end`; without one it would wait
+      // for more lines forever.
+      if (body.find(".end") == std::string::npos) body += ".end\n";
+      command += " blif=inline";
+    }
+    command += " mode=" + flags->get("mode", "mp");
+    if (flags->has("circuit")) command += " circuit=" + flags->get("circuit");
+    for (const auto& [flag, key] :
+         {std::pair{"threads", "threads"}, {"sim-steps", "sim_steps"},
+          {"sim-warmup", "sim_warmup"}, {"deadline-ms", "deadline_ms"}}) {
+      if (flags->has(flag)) command += std::string(" ") + key + "=" + flags->get(flag);
+    }
+    for (const auto& [flag, key] :
+         {std::pair{"pi-prob", "pi_prob"}, {"clock", "clock"}}) {
+      if (flags->has(flag)) command += std::string(" ") + key + "=" + flags->get(flag);
+    }
+
+    const auto repeat = flags->get_long("repeat", 1, 1, 1 << 20);
+    if (!repeat) return 2;
+    const bool raw = flags->has("raw");
+    for (long i = 0; i < *repeat; ++i) {
+      const Client::SubmitSummary summary = client.submit(command, body);
+      if (raw) {
+        std::cout << summary.raw << "\n";
+        continue;
+      }
+      if (!summary.ok) {
+        std::cerr << "rejected (" << summary.status << "): " << summary.error
+                  << "\n";
+        return 1;
+      }
+      std::cout << summary.circuit << " [" << summary.mode << "] cells="
+                << summary.cells << " sim_power=" << summary.sim_power
+                << " est_power=" << summary.est_power
+                << (summary.cache_hit ? " (cache hit," : " (cache miss,")
+                << " queue " << summary.queue_seconds * 1e3 << " ms, service "
+                << summary.service_seconds * 1e3 << " ms)\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << argv[0] << ": " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

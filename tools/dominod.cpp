@@ -1,0 +1,111 @@
+/// \file dominod.cpp
+/// The phase-assignment serving daemon: a SocketServer (UNIX or TCP) over
+/// one ServerCore with its hot SessionCache.
+///
+/// Usage:
+///   dominod --unix /tmp/dominod.sock [--workers N] [--queue N] [--cache N]
+///   dominod --port 7117 [--host 127.0.0.1] [...]
+///
+/// Knobs: --workers (0 = one per hardware thread) sizes the flow worker
+/// pool, --queue bounds admitted-but-not-started requests (over-capacity
+/// submits are rejected, not queued), --cache bounds the hot-session LRU.
+/// SIGINT/SIGTERM stop accepting, drain in-flight work, and exit.
+
+#include <csignal>
+#include <iostream>
+
+#include "server/core.hpp"
+#include "server/transport.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+void usage(const char* program) {
+  std::cerr
+      << "usage: " << program << " (--unix PATH | --port N [--host A])\n"
+      << "               [--workers N] [--queue N] [--cache N]\n"
+      << "  --unix PATH   listen on a UNIX-domain socket\n"
+      << "  --port N      listen on TCP (0 = ephemeral, printed on start)\n"
+      << "  --host A      TCP listen address (default 127.0.0.1)\n"
+      << "  --workers N   flow workers; 0 = one per hardware thread (default 0)\n"
+      << "  --queue N     admission queue capacity (default 64)\n"
+      << "  --cache N     hot-session LRU capacity (default 8)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dominosyn;
+
+  const auto flags = cli::FlagSet::parse(argc, argv);
+  if (!flags || !flags->only({"unix", "port", "host", "workers", "queue",
+                              "cache", "help"})) {
+    usage(argv[0]);
+    return 2;
+  }
+  if (flags->has("help")) {
+    usage(argv[0]);
+    return 0;
+  }
+
+  TransportConfig transport;
+  transport.unix_path = flags->get("unix");
+  transport.host = flags->get("host", "127.0.0.1");
+  const auto port = flags->get_long("port", 0, 0, 65535);
+  const auto workers = flags->get_long("workers", 0, 0, 1024);
+  const auto queue = flags->get_long("queue", 64, 1, 1 << 20);
+  const auto cache = flags->get_long("cache", 8, 1, 1 << 20);
+  if (!port || !workers || !queue || !cache) {
+    usage(argv[0]);
+    return 2;
+  }
+  if (transport.unix_path.empty() && !flags->has("port")) {
+    std::cerr << argv[0] << ": need --unix PATH or --port N\n";
+    usage(argv[0]);
+    return 2;
+  }
+  transport.port = static_cast<std::uint16_t>(*port);
+
+  ServerConfig config;
+  config.num_workers = static_cast<unsigned>(*workers);
+  config.queue_capacity = static_cast<std::size_t>(*queue);
+  config.cache_capacity = static_cast<std::size_t>(*cache);
+
+  // Block the shutdown signals before any thread exists, so every thread
+  // inherits the mask and sigwait below is the one consumer.
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  try {
+    ServerCore core(config);
+    SocketServer server(core, transport);
+    if (!transport.unix_path.empty())
+      std::cout << "dominod: listening on " << transport.unix_path;
+    else
+      std::cout << "dominod: listening on " << transport.host << ":"
+                << server.port();
+    std::cout << " (workers=" << core.num_workers()
+              << " queue=" << config.queue_capacity
+              << " cache=" << config.cache_capacity << ")" << std::endl;
+
+    int signal = 0;
+    sigwait(&signals, &signal);
+    std::cout << "dominod: signal " << signal
+              << ", draining in-flight work" << std::endl;
+    server.stop();
+    core.shutdown(/*drain=*/true);
+    const ServerCore::Stats stats = core.stats();
+    std::cout << "dominod: served " << stats.completed << "/"
+              << stats.submitted << " requests ("
+              << stats.rejected_queue_full + stats.rejected_deadline +
+                     stats.rejected_shutdown
+              << " rejected, " << stats.errors << " errors)" << std::endl;
+  } catch (const std::exception& e) {
+    std::cerr << "dominod: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
