@@ -6,6 +6,9 @@
 ///                  (a faithful local copy of the pre-engine search loop),
 ///   * incremental — EvalState::apply_flip/undo, O(|cone|) per trial,
 ///   * parallel   — incremental plus the thread-parallel search layer.
+/// The commit_path section isolates the §4.1 commit cost: the seed's
+/// from-scratch A walk + full K-queue rebuild vs the maintained averages +
+/// delta-rescored lazy-deletion heap (docs/commit_path.md).
 /// Also times a paper-style MA+MP sweep as back-to-back monolithic run_flow
 /// calls vs one run_flow_batch over shared FlowSessions (the staged-API
 /// amortization win), and measures in-process ServerCore throughput —
@@ -13,11 +16,13 @@
 /// over a cold vs hot SessionCache.  Emits JSON so future PRs can track the
 /// perf trajectory.
 ///
-/// Usage: micro_incremental [num_threads] [gate_target] [num_pos]
+/// Usage: micro_incremental [num_threads] [gate_target] [num_pos] [sweep_steps]
 ///   num_threads  0 = one per hardware thread (default), 1 = sequential
 ///   gate_target  synthesis gate budget of the main circuit (default 2000)
 ///   num_pos      outputs of the main circuit (default 48; >= 32 keeps the
 ///                acceptance scenario)
+///   sweep_steps  simulation steps of the MA+MP sweep / serving jobs
+///                (default 256; the nightly long-run raises this)
 
 #include <algorithm>
 #include <iostream>
@@ -178,14 +183,16 @@ int main(int argc, char** argv) {
   const auto threads_arg = cli::parse_long_arg(argc, argv, 1, 0, 0, 1024);
   const auto gates_arg = cli::parse_long_arg(argc, argv, 2, 2000, 1);
   const auto pos_arg = cli::parse_long_arg(argc, argv, 3, 48, 1);
-  if (!threads_arg || !gates_arg || !pos_arg) {
+  const auto steps_arg = cli::parse_long_arg(argc, argv, 4, 256, 1, 1 << 24);
+  if (!threads_arg || !gates_arg || !pos_arg || !steps_arg) {
     std::cerr << "usage: micro_incremental [num_threads 0..1024] "
-                 "[gate_target>=1] [num_pos>=1]\n";
+                 "[gate_target>=1] [num_pos>=1] [sweep_steps>=1]\n";
     return 2;
   }
   const unsigned num_threads = static_cast<unsigned>(*threads_arg);
   const std::size_t gate_target = static_cast<std::size_t>(*gates_arg);
   const std::size_t num_pos = static_cast<std::size_t>(*pos_arg);
+  const std::size_t sweep_steps = static_cast<std::size_t>(*steps_arg);
 
   const Network net = make_circuit("inc", gate_target, num_pos);
   const std::vector<double> pi_probs(net.num_pis(), 0.5);
@@ -247,6 +254,85 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // -- per-commit cost: seed rebuild vs incremental delta update --------------
+  // Replays the two generations of commit work over real data structures.
+  // Seed: a from-scratch A walk over every PO cone plus a full re-score +
+  // re-sort of all surviving pairs.  Incremental: refresh the two flipped
+  // outputs' averages from the EvalContext table, re-score only the pairs
+  // touching them, and push the changed keys into a binary heap.
+  const std::size_t cp_pairs = net.num_pos() * (net.num_pos() - 1) / 2;
+  std::vector<std::pair<std::size_t, std::size_t>> cp_candidates;
+  cp_candidates.reserve(cp_pairs);
+  for (std::size_t i = 0; i < net.num_pos(); ++i)
+    for (std::size_t j = i + 1; j < net.num_pos(); ++j)
+      cp_candidates.emplace_back(i, j);
+  std::vector<double> cp_cone(net.num_pos());
+  for (std::size_t i = 0; i < net.num_pos(); ++i)
+    cp_cone[i] = static_cast<double>(overlap.cone_size(i));
+  std::vector<double> cp_avg =
+      evaluator.cone_average_probs(incremental.assignment);
+  const auto cp_score = [&](std::size_t i, std::size_t j) {
+    double best = std::numeric_limits<double>::infinity();
+    const double o = overlap.overlap(i, j);
+    for (const bool fi : {false, true}) {
+      const double ai = fi ? 1.0 - cp_avg[i] : cp_avg[i];
+      for (const bool fj : {false, true}) {
+        const double aj = fj ? 1.0 - cp_avg[j] : cp_avg[j];
+        best = std::min(best,
+                        cp_cone[i] * ai + cp_cone[j] * aj + 0.5 * o * (ai + aj));
+      }
+    }
+    return best;
+  };
+
+  const std::size_t cold_reps = 50;
+  std::vector<std::pair<double, std::size_t>> cp_queue;
+  stopwatch.restart();
+  for (std::size_t rep = 0; rep < cold_reps; ++rep) {
+    cp_avg = evaluator.cone_average_probs(incremental.assignment);
+    cp_queue.clear();
+    for (std::size_t c = 0; c < cp_candidates.size(); ++c)
+      cp_queue.emplace_back(cp_score(cp_candidates[c].first,
+                                     cp_candidates[c].second), c);
+    std::sort(cp_queue.begin(), cp_queue.end());
+    sink += cp_queue.front().first;
+  }
+  const double cold_commit_seconds = stopwatch.seconds() / cold_reps;
+
+  std::vector<std::vector<std::uint32_t>> cp_pairs_of_output(net.num_pos());
+  for (std::size_t c = 0; c < cp_candidates.size(); ++c) {
+    cp_pairs_of_output[cp_candidates[c].first].push_back(
+        static_cast<std::uint32_t>(c));
+    cp_pairs_of_output[cp_candidates[c].second].push_back(
+        static_cast<std::uint32_t>(c));
+  }
+  EvalState cp_state(evaluator.context(), incremental.assignment);
+  std::vector<std::pair<double, std::size_t>> cp_heap(cp_queue);
+  std::make_heap(cp_heap.begin(), cp_heap.end(), std::greater<>{});
+  const std::size_t inc_reps = 20000;
+  stopwatch.restart();
+  for (std::size_t rep = 0; rep < inc_reps; ++rep) {
+    // A commit flips at most two outputs; walk distinct pairs per rep.
+    const std::size_t oi = rep % net.num_pos();
+    const std::size_t oj = (rep + 1 + rep / net.num_pos()) % net.num_pos();
+    for (const std::size_t output : {oi, oj}) {
+      cp_avg[output] = cp_state.cone_average(output);
+      for (const std::uint32_t c : cp_pairs_of_output[output]) {
+        cp_heap.emplace_back(cp_score(cp_candidates[c].first,
+                                      cp_candidates[c].second), c);
+        std::push_heap(cp_heap.begin(), cp_heap.end(), std::greater<>{});
+      }
+    }
+    if (cp_heap.size() > cp_pairs * 2) {
+      // Lazy deletion keeps the real heap near the live-candidate count;
+      // mirror that by periodically dropping the replay's stale tail.
+      cp_heap.resize(cp_pairs);
+      std::make_heap(cp_heap.begin(), cp_heap.end(), std::greater<>{});
+    }
+  }
+  const double incremental_commit_seconds = stopwatch.seconds() / inc_reps;
+  sink += cp_heap.front().first;
+
   // -- exhaustive 2^P sharding (secondary circuit) ----------------------------
   const Network small = make_circuit("exh", 600, 14);
   const AssignmentEvaluator small_eval(
@@ -301,7 +387,7 @@ int main(int argc, char** argv) {
     for (const PhaseMode mode : {PhaseMode::kMinArea, PhaseMode::kMinPower}) {
       FlowJob job;
       job.network = &job_net;
-      job.options.sim.steps = 256;
+      job.options.sim.steps = sweep_steps;
       job.options.sim.warmup = 8;
       job.options.mode = mode;
       sweep_jobs.push_back(std::move(job));
@@ -422,6 +508,7 @@ int main(int argc, char** argv) {
             << "  },\n"
             << "  \"minpower_search\": {\n"
             << "    \"trials\": " << incremental.trials << ",\n"
+            << "    \"commits\": " << incremental.commits << ",\n"
             << "    \"final_power\": " << incremental.final_power << ",\n"
             << "    \"full_reeval_seconds\": " << full_search_seconds
             << ",\n"
@@ -433,6 +520,26 @@ int main(int argc, char** argv) {
             << full_search_seconds / incremental_search_seconds << ",\n"
             << "    \"speedup_parallel\": "
             << full_search_seconds / parallel_search_seconds << "\n"
+            << "  },\n"
+            << "  \"commit_path\": {\n"
+            << "    \"commits\": " << incremental.commits << ",\n"
+            << "    \"candidate_pairs\": " << cp_pairs << ",\n"
+            << "    \"commit_rescore_pairs\": "
+            << incremental.commit_rescore_pairs << ",\n"
+            << "    \"avg_update_nodes\": " << incremental.avg_update_nodes
+            << ",\n"
+            << "    \"cold_commit_seconds\": " << cold_commit_seconds << ",\n"
+            << "    \"incremental_commit_seconds\": "
+            << incremental_commit_seconds << ",\n"
+            << "    \"speedup_per_commit\": "
+            << cold_commit_seconds / incremental_commit_seconds << ",\n"
+            << "    \"commits_per_second\": "
+            << static_cast<double>(incremental.commits) /
+                   incremental_search_seconds << ",\n"
+            << "    \"end_to_end_mp_seconds\": " << incremental_search_seconds
+            << ",\n"
+            << "    \"end_to_end_mp_speedup_vs_seed\": "
+            << full_search_seconds / incremental_search_seconds << "\n"
             << "  },\n"
             << "  \"exhaustive_search\": {\n"
             << "    \"circuit\": {\"name\": \"" << small.name()
@@ -455,6 +562,7 @@ int main(int argc, char** argv) {
             << "  \"batched_sweep\": {\n"
             << "    \"circuits\": " << sweep_nets.size() << ",\n"
             << "    \"jobs\": " << sweep_jobs.size() << ",\n"
+            << "    \"sim_steps\": " << sweep_steps << ",\n"
             << "    \"monolithic_seconds\": " << sweep_monolithic_seconds
             << ",\n"
             << "    \"batch_seconds\": " << sweep_batch_seconds << ",\n"

@@ -41,7 +41,8 @@ int main(int argc, char** argv) {
 
   TextTable table;
   table.header({"Ckt", "#PIs", "#POs", "clock", "MA Size", "MA Pwr", "MP Size",
-                "MP Pwr", "%AreaPen", "%PwrSav", "met", "sec"});
+                "MP Pwr", "%AreaPen", "%PwrSav", "MP trials", "MP commits",
+                "met", "sec"});
 
   double sum_area_pen = 0.0, sum_pwr_sav = 0.0;
   std::size_t rows = 0;
@@ -76,11 +77,13 @@ int main(int argc, char** argv) {
                std::to_string(ma.cells), fmt(ma.sim_power, 2),
                std::to_string(mp.cells), fmt(mp.sim_power, 2),
                fmt_pct(area_pen), fmt_pct(pwr_sav),
+               std::to_string(mp.search_evaluations),
+               std::to_string(mp.search_commits),
                (ma.timing_met && mp.timing_met) ? "yes" : "NO",
                fmt(watch.seconds(), 1)});
   }
   table.row({"Average", "", "", "", "", "", "", "", fmt_pct(sum_area_pen / rows),
-             fmt_pct(sum_pwr_sav / rows), "", ""});
+             fmt_pct(sum_pwr_sav / rows), "", "", "", ""});
   table.print(std::cout);
 
   std::cout << "\nPaper (Table 2): average area penalty 8.6%, average power "

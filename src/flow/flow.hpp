@@ -96,6 +96,13 @@ struct FlowReport {
   PhaseAssignment assignment;
   std::size_t negative_outputs = 0;
   std::size_t search_evaluations = 0;
+  /// Min-power commit-path telemetry (zero for the other modes and for the
+  /// auto-exhaustive path): accepted candidates, pairs re-scored on commits
+  /// under kCostFunction guidance, and cone gate instances covered by the
+  /// A_i refreshes those commits required (see MinPowerResult).
+  std::size_t search_commits = 0;
+  std::size_t commit_rescore_pairs = 0;
+  std::size_t avg_update_nodes = 0;
   bool used_exact_bdd = true;
   bool equivalence_ok = true;
   double seconds = 0.0;

@@ -218,6 +218,9 @@ const FlowSession::AssignStage& FlowSession::assign(PhaseMode mode) {
           min_power_assignment(eval, cone_overlap(), minpower);
       stage.assignment = search.assignment;
       stage.search_evaluations = search.trials + seed_evals;
+      stage.search_commits = search.commits;
+      stage.commit_rescore_pairs = search.commit_rescore_pairs;
+      stage.avg_update_nodes = search.avg_update_nodes;
       break;
     }
     case PhaseMode::kExhaustivePower: {
@@ -313,6 +316,9 @@ FlowReport FlowSession::report(PhaseMode mode) {
   report.assignment = assigned.assignment;
   report.negative_outputs = assigned.negative_outputs;
   report.search_evaluations = assigned.search_evaluations;
+  report.search_commits = assigned.search_commits;
+  report.commit_rescore_pairs = assigned.commit_rescore_pairs;
+  report.avg_update_nodes = assigned.avg_update_nodes;
   report.est_power = assigned.cost.power.total();
   report.block_gates = assigned.cost.domino_gates;
   report.boundary_inverters =

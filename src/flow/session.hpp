@@ -57,6 +57,11 @@ class FlowSession {
     /// kMinPower starts from [15]'s result (matches FlowReport).
     std::size_t search_evaluations = 0;
     std::size_t negative_outputs = 0;
+    /// Min-power commit-path telemetry (see MinPowerResult); zero for other
+    /// modes and for the auto-exhaustive kMinPower path.
+    std::size_t search_commits = 0;
+    std::size_t commit_rescore_pairs = 0;
+    std::size_t avg_update_nodes = 0;
   };
 
   /// Result of domino synthesis + technology mapping (+ optional resize).

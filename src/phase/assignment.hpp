@@ -102,8 +102,22 @@ class AssignmentEvaluator {
   [[nodiscard]] AssignmentCost evaluate(const PhaseAssignment& phases) const;
 
   /// Per-output average instance signal probability A_i of the paper (§4.1):
-  /// the mean switching probability of the gate instances implementing
-  /// output i under `phases`.  Outputs with empty cones get 0.5.
+  /// the mean switching probability of the AND/OR gate instances implementing
+  /// output i under `phases` (a node demanded in both polarities inside one
+  /// cone contributes both instances).
+  ///
+  /// Convention: an output whose cone contains *no* AND/OR instance — a
+  /// direct PI/latch/constant wire, or a buffer/NOT-only chain (inverters are
+  /// absorbed into the boundary, so such a cone realizes zero domino gates) —
+  /// reports A_i = 0.5.  The neutral value keeps the §4.1 cost function
+  /// K = |Di|·Ai + |Dj|·Aj + ½·O(i,j)·(Ai+Aj) well-defined without biasing
+  /// pair selection: |Di| = 0 multiplies the average away, and Property 4.1
+  /// maps 0.5 to itself, so both phases of a gate-free output score
+  /// identically.  EvalState::cone_average_probs() (phase/eval.hpp) follows
+  /// the same convention bit for bit.
+  ///
+  /// This is the from-scratch reference walk, O(Σ|cone|) per call; searches
+  /// should read the maintained EvalState::cone_average_probs() instead.
   [[nodiscard]] std::vector<double> cone_average_probs(
       const PhaseAssignment& phases) const;
 

@@ -63,6 +63,81 @@ EvalContext::EvalContext(const Network& net, std::vector<double> node_probs,
     const auto [node, parity] = resolve_not_chain(net, latch.input, false);
     latch_roots_.push_back({node, parity});
   }
+
+  build_cone_index();
+}
+
+void EvalContext::build_cone_index() {
+  // Per-output cone instance lists + both-phase averages.  The walk mirrors
+  // AssignmentEvaluator::cone_average_probs exactly — same DFS structure,
+  // same per-(node, polarity) visited set, same discovery order — so the
+  // sums below reproduce its floating-point results bit for bit.  The
+  // negative-phase walk of the same output visits the identical node
+  // sequence with every polarity flipped (the initial parity flips, and
+  // each edge XORs the propagated polarity either way), which is why one
+  // positive-phase list and a key^1 re-read cover both phases.
+  const std::size_t n = kinds_.size();
+  const std::size_t num_pos = po_roots_.size();
+  cone_begin_.assign(num_pos + 1, 0);
+  cone_avg_.assign(num_pos * 2, 0.5);
+  std::vector<std::uint8_t> visited(n, 0);  // bit 1: pos seen, 2: neg, 4: node recorded
+  std::vector<InstanceKey> stack;
+  std::vector<NodeId> touched;
+  std::vector<std::uint32_t> node_outputs_count(n + 1, 0);
+  std::vector<std::pair<NodeId, std::uint32_t>> membership;  // (node, output)
+
+  for (std::size_t i = 0; i < num_pos; ++i) {
+    const auto record = [&](InstanceKey key) {
+      const NodeId node = key >> 1;
+      const std::uint8_t bit = (key & 1) != 0 ? 2 : 1;
+      if ((visited[node] & bit) != 0) return;
+      if (visited[node] == 0) touched.push_back(node);
+      visited[node] |= bit;
+      const NodeKind kind = kinds_[node];
+      if (kind == NodeKind::kAnd || kind == NodeKind::kOr) {
+        cone_insts_.push_back(key);
+        if ((visited[node] & 4) == 0) {
+          visited[node] |= 4;
+          membership.emplace_back(node, static_cast<std::uint32_t>(i));
+        }
+        stack.push_back(key);
+      }
+    };
+    record(instance_key(po_roots_[i].node, po_roots_[i].parity));
+    while (!stack.empty()) {
+      const InstanceKey key = stack.back();
+      stack.pop_back();
+      const std::uint32_t pol = key & 1;
+      for (const InstanceKey edge : gate_edges(key >> 1)) record(edge ^ pol);
+    }
+    for (const NodeId id : touched) visited[id] = 0;
+    touched.clear();
+    cone_begin_[i + 1] = static_cast<std::uint32_t>(cone_insts_.size());
+
+    const std::size_t count = cone_begin_[i + 1] - cone_begin_[i];
+    if (count > 0) {
+      // Left-to-right accumulation in discovery order, matching the
+      // reference walk; the negative sum reads the Property 4.1 duals.
+      double sum_pos = 0.0, sum_neg = 0.0;
+      for (std::uint32_t at = cone_begin_[i]; at < cone_begin_[i + 1]; ++at) {
+        sum_pos += inst_prob_[cone_insts_[at]];
+        sum_neg += inst_prob_[cone_insts_[at] ^ 1u];
+      }
+      cone_avg_[i * 2] = sum_pos / static_cast<double>(count);
+      cone_avg_[i * 2 + 1] = sum_neg / static_cast<double>(count);
+    }
+  }
+
+  // Invert: node → outputs whose cone contains it (either polarity).
+  // Iterating memberships in output order fills each node's slice ascending.
+  for (const auto& [node, output] : membership) ++node_outputs_count[node + 1];
+  cone_out_begin_.assign(n + 1, 0);
+  for (std::size_t id = 1; id <= n; ++id)
+    cone_out_begin_[id] = cone_out_begin_[id - 1] + node_outputs_count[id];
+  cone_out_.resize(cone_out_begin_[n]);
+  std::vector<std::uint32_t> slot(cone_out_begin_.begin(),
+                                  cone_out_begin_.end() - 1);
+  for (const auto& [node, output] : membership) cone_out_[slot[node]++] = output;
 }
 
 EvalState::Leaf EvalState::combine(const Leaf& a, const Leaf& b) noexcept {
@@ -333,6 +408,19 @@ AssignmentCost EvalState::cost() const {
 }
 
 double EvalState::power_total() const { return cost().power.total(); }
+
+double EvalState::cone_average(std::size_t output) const {
+  if (output >= phases_.size())
+    throw std::runtime_error("EvalState::cone_average: output out of range");
+  return ctx_->cone_average(output, phases_[output] == Phase::kNegative);
+}
+
+std::vector<double> EvalState::cone_average_probs() const {
+  std::vector<double> result(phases_.size());
+  for (std::size_t i = 0; i < phases_.size(); ++i)
+    result[i] = ctx_->cone_average(i, phases_[i] == Phase::kNegative);
+  return result;
+}
 
 PolarityDemand EvalState::demand() const {
   PolarityDemand result;

@@ -19,6 +19,16 @@
 ///    power/area sums.  apply_flip(output) / undo() update the state in
 ///    O(|cone(output)| · log nodes).
 ///
+/// The context also owns the §4.1 commit-path precomputation: per-output cone
+/// instance lists (with polarity), a node→outputs inverted index, and both
+/// phase values of the per-output average switching probability A_i.  The
+/// from-scratch A_i walk reads only the walked output's own phase, so A_i has
+/// exactly two possible values; precomputing both with the reference walk's
+/// summation order makes EvalState::cone_average_probs() an O(#POs) gather
+/// that is bit-identical to AssignmentEvaluator::cone_average_probs() — and
+/// turns the min-power search's per-commit A refresh from O(P·|circuit|)
+/// into O(1) per flipped output.
+///
 /// Exactness: power components are kept in a fixed-shape binary summation
 /// tree whose internal nodes are always recomputed as left + right.  The
 /// root therefore depends only on the *current* leaf values — never on the
@@ -101,7 +111,45 @@ class EvalContext {
             edges_.data() + edge_begin_[node + 1]};
   }
 
+  // -- §4.1 commit-path precomputation ----------------------------------------
+
+  /// AND/OR instances of output i's positive-phase cone, in the exact DFS
+  /// discovery order of AssignmentEvaluator::cone_average_probs.  The
+  /// negative-phase cone is the same sequence with every polarity bit
+  /// flipped (Property 4.1), so one list serves both phases.
+  [[nodiscard]] std::span<const InstanceKey> cone_instances(std::size_t i) const {
+    return {cone_insts_.data() + cone_begin_[i],
+            cone_insts_.data() + cone_begin_[i + 1]};
+  }
+
+  /// Gate-instance count of output i's cone (|D_i| over instances; a node
+  /// reached in both polarities counts twice, exactly as the reference walk
+  /// averages it).
+  [[nodiscard]] std::size_t cone_gate_count(std::size_t i) const {
+    return cone_begin_[i + 1] - cone_begin_[i];
+  }
+
+  /// Precomputed per-output average instance probability A_i of §4.1 for
+  /// output i implemented in the given phase.  Computed once with the
+  /// reference walk's summation order, so it is bit-identical to what
+  /// AssignmentEvaluator::cone_average_probs reports for that phase.
+  /// Outputs whose cone holds no AND/OR instance (direct wires, NOT-only
+  /// cones, constants) read 0.5 — see cone_average_probs in assignment.hpp.
+  [[nodiscard]] double cone_average(std::size_t i, bool negative) const {
+    return cone_avg_[i * 2 + (negative ? 1 : 0)];
+  }
+
+  /// Inverted cone index: the outputs whose cone contains gate `node` (in
+  /// either polarity), ascending.  Empty for non-gates.  This is the
+  /// node→outputs map the incremental commit path and overlap-aware pruning
+  /// consult to find the cones a structural change can affect.
+  [[nodiscard]] std::span<const std::uint32_t> cone_outputs(NodeId node) const {
+    return {cone_out_.data() + cone_out_begin_[node],
+            cone_out_.data() + cone_out_begin_[node + 1]};
+  }
+
  private:
+  void build_cone_index();
   const Network* net_;
   std::vector<double> probs_;
   PowerModelConfig config_;
@@ -112,6 +160,11 @@ class EvalContext {
   std::vector<Resolved> latch_roots_;
   std::vector<std::uint32_t> edge_begin_;  ///< CSR offsets into edges_
   std::vector<InstanceKey> edges_;
+  std::vector<std::uint32_t> cone_begin_;  ///< CSR offsets into cone_insts_
+  std::vector<InstanceKey> cone_insts_;    ///< positive-phase cone instances
+  std::vector<double> cone_avg_;           ///< 2 per output: A_i⁺, A_i⁻
+  std::vector<std::uint32_t> cone_out_begin_;  ///< CSR offsets into cone_out_
+  std::vector<std::uint32_t> cone_out_;        ///< node → containing outputs
 };
 
 /// Mutable incremental evaluation state over a shared EvalContext.
@@ -165,6 +218,18 @@ class EvalState {
   /// Current polarity demand, derived from the reference counts (equals
   /// AssignmentEvaluator::demand(assignment())).
   [[nodiscard]] PolarityDemand demand() const;
+
+  /// §4.1 average cone probability A_i of one output under the current
+  /// assignment, in O(1).  A_i depends only on output i's own phase (the
+  /// reference walk never reads another output's phase), so the value is a
+  /// lookup into the context's precomputed per-phase table — maintained
+  /// across apply_flip/undo/set_assignment at no per-flip cost, and
+  /// bit-identical to the from-scratch walk by construction.
+  [[nodiscard]] double cone_average(std::size_t output) const;
+
+  /// All A_i under the current assignment, in O(#POs).  Bit-identical to
+  /// AssignmentEvaluator::cone_average_probs(assignment()).
+  [[nodiscard]] std::vector<double> cone_average_probs() const;
 
  private:
   /// Power components of one instance slot; summed component-wise through

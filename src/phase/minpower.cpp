@@ -14,10 +14,21 @@
 /// final polish descent can speculatively evaluate the remaining flips of a
 /// sweep across threads; the committed trajectory (and the reported trial
 /// count) is identical to the sequential first-improvement sweep.
+///
+/// Commits are as cheap as trials: A_i depends only on output i's own phase
+/// (both values precomputed in EvalContext with the reference walk's
+/// summation order), so a commit refreshes the averages of just the flipped
+/// outputs in O(1) each, re-scores only the candidate pairs touching them,
+/// and fixes the K-queue — a lazy-deletion binary min-heap on (K, candidate
+/// index), the same lexicographic order the seed's full re-sort produced —
+/// with O(Δ · log C) pushes instead of an O(P·|circuit| + C·log C) rebuild.
 
 #include <algorithm>
+#include <bit>
 #include <limits>
+#include <queue>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "phase/eval.hpp"
@@ -30,6 +41,44 @@ namespace dominosyn {
 namespace {
 
 constexpr double kImprovementEps = 1e-12;
+
+/// Fenwick-tree order-statistic set over candidate indices [0, n): erase and
+/// "k-th live index in ascending order" in O(log n).  Replaces the seed's
+/// O(candidates) scans — kRandom's nth-live-candidate walk and kMeasureAll's
+/// restart-from-zero first-live loop — while picking the exact same
+/// candidate, so rng-driven trajectories are unchanged.
+class LiveCandidateSet {
+ public:
+  explicit LiveCandidateSet(std::size_t n) : n_(n), tree_(n + 1, 1) {
+    tree_[0] = 0;
+    for (std::size_t i = 1; i <= n; ++i) {
+      const std::size_t parent = i + (i & (~i + 1));
+      if (parent <= n) tree_[parent] += tree_[i];
+    }
+  }
+
+  void erase(std::size_t index) {
+    for (std::size_t i = index + 1; i <= n_; i += i & (~i + 1)) --tree_[i];
+  }
+
+  /// k-th (0-based) live index in ascending index order.
+  [[nodiscard]] std::size_t nth(std::size_t k) const {
+    std::size_t pos = 0;
+    std::size_t need = k + 1;
+    for (std::size_t step = std::bit_floor(n_); step > 0; step >>= 1) {
+      const std::size_t next = pos + step;
+      if (next <= n_ && tree_[next] < need) {
+        pos = next;
+        need -= tree_[next];
+      }
+    }
+    return pos;  // 1-based position pos+1 holds the k-th live index
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<std::size_t> tree_;
+};
 
 }  // namespace
 
@@ -78,11 +127,13 @@ MinPowerResult min_power_assignment(const AssignmentEvaluator& evaluator,
   for (std::size_t i = 0; i < num_pos; ++i)
     for (std::size_t j = i + 1; j < num_pos; ++j) candidates.emplace_back(i, j);
 
-  // Precompute |Di| and O(i,j); A is refreshed on every commit.
+  // Precompute |Di| and O(i,j).  The averages come from the EvalContext's
+  // per-phase table (bit-identical to the from-scratch walk); a commit
+  // refreshes only the flipped outputs' entries.
   std::vector<double> cone_size(num_pos);
   for (std::size_t i = 0; i < num_pos; ++i)
     cone_size[i] = static_cast<double>(overlap.cone_size(i));
-  std::vector<double> avg = evaluator.cone_average_probs(result.assignment);
+  std::vector<double> avg = state.cone_average_probs();
 
   // Best (K, flips) for one pair under the current averages.
   struct Scored {
@@ -106,24 +157,40 @@ MinPowerResult min_power_assignment(const AssignmentEvaluator& evaluator,
     return best;
   };
 
-  // K only changes when a commit changes the averages, so keep candidates in
-  // a sorted queue and rebuild it on commit instead of rescanning all pairs
-  // every iteration (the naive loop is O(P^4) for P outputs).
-  std::vector<std::pair<double, std::size_t>> queue;  // (K, candidate index)
+  // K only changes when a commit changes a flipped output's average, so keep
+  // candidates in a lazy-deletion binary min-heap on (K, candidate index) —
+  // the lexicographic order the seed's sorted-queue rebuild produced.  An
+  // entry is stale iff its candidate was consumed or its key no longer
+  // equals current_k.  Invariant: every live candidate has exactly one entry
+  // whose key equals its current_k, so the heap top always yields the
+  // globally cheapest live (K, pair) without ever rebuilding.
   std::vector<bool> consumed(candidates.size(), false);
-  const auto rebuild_queue = [&] {
-    queue.clear();
+  std::vector<double> current_k(candidates.size());
+  using HeapEntry = std::pair<double, std::size_t>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+  // Candidate pairs touching each output — the K entries a flip invalidates.
+  std::vector<std::vector<std::uint32_t>> pairs_of_output;
+  // Last commit that re-scored a candidate, so a two-output commit scores
+  // pairs containing both flipped outputs once.
+  std::vector<std::uint32_t> rescored_at(candidates.size(), 0);
+  std::uint32_t commit_id = 0;
+
+  if (options.guidance == GuidanceMode::kCostFunction) {
+    pairs_of_output.resize(num_pos);
+    std::vector<HeapEntry> entries;
+    entries.reserve(candidates.size());
     for (std::size_t c = 0; c < candidates.size(); ++c) {
-      if (consumed[c]) continue;
-      queue.emplace_back(score_pair(candidates[c].first, candidates[c].second).k,
-                         c);
+      const auto [i, j] = candidates[c];
+      pairs_of_output[i].push_back(static_cast<std::uint32_t>(c));
+      pairs_of_output[j].push_back(static_cast<std::uint32_t>(c));
+      current_k[c] = score_pair(i, j).k;
+      entries.emplace_back(current_k[c], c);
     }
-    std::sort(queue.begin(), queue.end());
-  };
+    heap = decltype(heap)(std::greater<>{}, std::move(entries));  // O(C) make_heap
+  }
 
   Rng rng(options.seed);
-  if (options.guidance == GuidanceMode::kCostFunction) rebuild_queue();
-  std::size_t queue_head = 0;
+  LiveCandidateSet live(candidates.size());
   std::size_t remaining = candidates.size();
 
   while (remaining > 0) {
@@ -133,13 +200,13 @@ MinPowerResult min_power_assignment(const AssignmentEvaluator& evaluator,
 
     switch (options.guidance) {
       case GuidanceMode::kCostFunction: {
-        while (queue_head < queue.size() && consumed[queue[queue_head].second])
-          ++queue_head;
-        if (queue_head >= queue.size()) {
-          rebuild_queue();
-          queue_head = 0;
+        for (;;) {
+          const auto [k, c] = heap.top();
+          heap.pop();
+          if (consumed[c] || k != current_k[c]) continue;  // stale entry
+          pick = c;
+          break;
         }
-        pick = queue[queue_head].second;
         const auto [i, j] = candidates[pick];
         const Scored scored = score_pair(i, j);
         flip_i = scored.flip_i;
@@ -147,19 +214,14 @@ MinPowerResult min_power_assignment(const AssignmentEvaluator& evaluator,
         break;
       }
       case GuidanceMode::kRandom: {
-        std::size_t nth = rng.below(remaining);
-        for (pick = 0; pick < candidates.size(); ++pick) {
-          if (consumed[pick]) continue;
-          if (nth-- == 0) break;
-        }
+        pick = live.nth(rng.below(remaining));
         flip_i = rng.bernoulli(0.5);
         flip_j = rng.bernoulli(0.5);
         break;
       }
       case GuidanceMode::kMeasureAll: {
         // Oracle baseline: take the first live pair, measure all four combos.
-        for (pick = 0; consumed[pick]; ++pick) {
-        }
+        pick = live.nth(0);
         double best_power = std::numeric_limits<double>::infinity();
         const auto [i, j] = candidates[pick];
         for (const bool fi : {false, true})
@@ -184,12 +246,38 @@ MinPowerResult min_power_assignment(const AssignmentEvaluator& evaluator,
     ++result.trials;
     consumed[pick] = true;
     --remaining;
+    live.erase(pick);
     if (trial_cost.power.total() < result.final_power - kImprovementEps) {
       commit(trial_cost);
-      avg = evaluator.cone_average_probs(result.assignment);
+      ++commit_id;
+      // A_i changed only at the flipped outputs (a commit always flips at
+      // least one: a no-flip trial cannot improve).  Refresh those entries
+      // from the maintained state and re-score exactly the surviving pairs
+      // that touch them.
+      std::size_t changed[2];
+      std::size_t num_changed = 0;
+      if (flip_i) changed[num_changed++] = i;
+      if (flip_j) changed[num_changed++] = j;
+      for (std::size_t at = 0; at < num_changed; ++at) {
+        const std::size_t output = changed[at];
+        avg[output] = state.cone_average(output);
+        result.avg_update_nodes +=
+            state.context().cone_gate_count(output);
+      }
       if (options.guidance == GuidanceMode::kCostFunction) {
-        rebuild_queue();
-        queue_head = 0;
+        for (std::size_t at = 0; at < num_changed; ++at) {
+          for (const std::uint32_t c : pairs_of_output[changed[at]]) {
+            if (consumed[c] || rescored_at[c] == commit_id) continue;
+            rescored_at[c] = commit_id;
+            ++result.commit_rescore_pairs;
+            const double k =
+                score_pair(candidates[c].first, candidates[c].second).k;
+            if (k != current_k[c]) {
+              current_k[c] = k;
+              heap.emplace(k, c);
+            }
+          }
+        }
       }
     } else {
       while (applied-- > 0) state.undo();

@@ -124,6 +124,16 @@ struct MinPowerResult {
   double final_power = 0.0;
   std::size_t trials = 0;         ///< candidate measurements
   std::size_t commits = 0;        ///< accepted candidates
+  /// Commit-path telemetry.  `commit_rescore_pairs` counts the candidate
+  /// pairs whose cost function K was recomputed on commits under
+  /// kCostFunction guidance — the delta-updated K-queue re-scores only the
+  /// pairs touching a flipped output (≤ 2·(P-1) per commit), where the seed
+  /// rebuilt and re-sorted every surviving pair.  `avg_update_nodes` totals
+  /// the cone gate instances covered by the A_i refreshes those pairwise
+  /// commits required — the O(|cone|) bound an explicit delta walk would
+  /// touch; the maintained per-phase averages make each refresh O(1).
+  std::size_t commit_rescore_pairs = 0;
+  std::size_t avg_update_nodes = 0;
 };
 
 /// The paper's minimum-power phase assignment heuristic (§4.1).

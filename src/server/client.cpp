@@ -133,6 +133,12 @@ Client::SubmitSummary Client::submit(const std::string& command,
       protocol::find_number(json, "queue_seconds").value_or(0.0);
   summary.service_seconds =
       protocol::find_number(json, "service_seconds").value_or(0.0);
+  summary.search_commits = static_cast<std::size_t>(
+      protocol::find_number(json, "search_commits").value_or(0));
+  summary.commit_rescore_pairs = static_cast<std::size_t>(
+      protocol::find_number(json, "commit_rescore_pairs").value_or(0));
+  summary.avg_update_nodes = static_cast<std::size_t>(
+      protocol::find_number(json, "avg_update_nodes").value_or(0));
   return summary;
 }
 

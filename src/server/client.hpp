@@ -48,6 +48,10 @@ class Client {
     bool cache_hit = false;
     double queue_seconds = 0.0;
     double service_seconds = 0.0;
+    /// Min-power commit-path counters of the served report (0 otherwise).
+    std::size_t search_commits = 0;
+    std::size_t commit_rescore_pairs = 0;
+    std::size_t avg_update_nodes = 0;
     std::string raw;  ///< the full response line
   };
 

@@ -122,7 +122,12 @@ void ServerCore::process(const std::string& key,
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     switch (response.status) {
-      case ServerStatus::kOk: ++stats_.completed; break;
+      case ServerStatus::kOk:
+        ++stats_.completed;
+        stats_.search_commits += response.report.search_commits;
+        stats_.commit_rescore_pairs += response.report.commit_rescore_pairs;
+        stats_.avg_update_nodes += response.report.avg_update_nodes;
+        break;
       case ServerStatus::kRejectedDeadline: ++stats_.rejected_deadline; break;
       case ServerStatus::kRejectedShutdown: ++stats_.rejected_shutdown; break;
       case ServerStatus::kError: ++stats_.errors; break;

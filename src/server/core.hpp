@@ -117,6 +117,13 @@ class ServerCore {
     std::size_t errors = 0;
     std::size_t queued_now = 0;   ///< admitted, not yet started
     std::size_t running_now = 0;  ///< currently executing
+    /// Aggregated min-power commit-path telemetry of the served reports
+    /// (FlowReport::search_commits / commit_rescore_pairs / avg_update_nodes
+    /// summed over kOk responses) — the fleet-level view of the incremental
+    /// commit path's amortization.
+    std::size_t search_commits = 0;
+    std::size_t commit_rescore_pairs = 0;
+    std::size_t avg_update_nodes = 0;
   };
 
   explicit ServerCore(ServerConfig config = {});

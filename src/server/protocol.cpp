@@ -257,6 +257,9 @@ void append_report(std::string& out, const FlowReport& report) {
   append_field(out, "assignment", std::string_view(assignment));
   append_field(out, "negative_outputs", report.negative_outputs);
   append_field(out, "search_evaluations", report.search_evaluations);
+  append_field(out, "search_commits", report.search_commits);
+  append_field(out, "commit_rescore_pairs", report.commit_rescore_pairs);
+  append_field(out, "avg_update_nodes", report.avg_update_nodes);
   append_field(out, "used_exact_bdd", report.used_exact_bdd);
   append_field(out, "equivalence_ok", report.equivalence_ok);
   append_field(out, "seconds", report.seconds, /*comma=*/false);
@@ -368,7 +371,11 @@ std::string format_stats(const ServerCore::Stats& stats,
   append_field(out, "rejected_shutdown", stats.rejected_shutdown);
   append_field(out, "errors", stats.errors);
   append_field(out, "queued_now", stats.queued_now);
-  append_field(out, "running_now", stats.running_now, /*comma=*/false);
+  append_field(out, "running_now", stats.running_now);
+  append_field(out, "search_commits", stats.search_commits);
+  append_field(out, "commit_rescore_pairs", stats.commit_rescore_pairs);
+  append_field(out, "avg_update_nodes", stats.avg_update_nodes,
+               /*comma=*/false);
   out += "},";
   out += "\"cache\":{";
   append_field(out, "size", cache.size());

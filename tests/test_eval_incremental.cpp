@@ -200,6 +200,381 @@ TEST(Incremental, SetAssignmentJumpsAndCopiesAreIndependent) {
   expect_cost_identical(copy.cost(), evaluator.evaluate(all_positive(net)));
 }
 
+TEST_P(IncrementalEquivalence, ConeAveragesMatchFromScratchWalk) {
+  // The commit-path contract: EvalState::cone_average_probs() must stay
+  // bit-exact with the from-scratch AssignmentEvaluator walk through any
+  // apply_flip / undo / set_assignment history.
+  const std::uint64_t seed = GetParam();
+  BenchSpec spec;
+  spec.name = "avg";
+  spec.num_pis = 9;
+  spec.num_pos = 8;
+  spec.num_latches = seed % 2 == 0 ? 2 : 0;
+  spec.gate_target = 90;
+  spec.seed = seed * 31 + 5;
+  const Network net = generate_benchmark(spec);
+  const AssignmentEvaluator evaluator =
+      make_evaluator(net, {}, seed % 3 == 0 ? 0.75 : 0.5);
+
+  Rng rng(seed + 7);
+  EvalState state(evaluator.context(), all_positive(net));
+  for (int step = 0; step < 80; ++step) {
+    const std::size_t roll = rng.below(10);
+    if (roll < 6) {
+      state.apply_flip(rng.below(net.num_pos()));
+    } else if (roll < 8 && state.history_depth() > 0) {
+      state.undo();
+    } else {
+      PhaseAssignment jump(net.num_pos());
+      for (auto& p : jump)
+        p = rng.bernoulli(0.5) ? Phase::kNegative : Phase::kPositive;
+      state.set_assignment(jump);
+    }
+    const std::vector<double> reference =
+        evaluator.cone_average_probs(state.assignment());
+    const std::vector<double> maintained = state.cone_average_probs();
+    ASSERT_EQ(maintained.size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i)
+      EXPECT_EQ(maintained[i], reference[i]) << "output " << i;
+    for (std::size_t i = 0; i < reference.size(); ++i)
+      EXPECT_EQ(state.cone_average(i), reference[i]);
+  }
+}
+
+TEST(ConeAverages, InvertedConeIndexMatchesOverlapCones) {
+  // EvalContext::cone_outputs must agree with the independently computed
+  // ConeOverlap cone sets: node n is in cone(i) iff i is in cone_outputs(n).
+  BenchSpec spec;
+  spec.name = "inv";
+  spec.num_pis = 8;
+  spec.num_pos = 7;
+  spec.gate_target = 80;
+  spec.seed = 13;
+  const Network net = generate_benchmark(spec);
+  const AssignmentEvaluator evaluator = make_evaluator(net, {});
+  const EvalContext& ctx = *evaluator.context();
+  const ConeOverlap overlap(net);
+
+  std::size_t total_memberships = 0;
+  for (std::size_t i = 0; i < net.num_pos(); ++i) {
+    for (const NodeId node : overlap.cone(i)) {
+      if (net.kind(node) == NodeKind::kNot) continue;  // absorbed into edges
+      const auto outputs = ctx.cone_outputs(node);
+      EXPECT_TRUE(std::find(outputs.begin(), outputs.end(), i) != outputs.end())
+          << "node " << node << " missing output " << i;
+      ++total_memberships;
+    }
+  }
+  std::size_t index_memberships = 0;
+  for (NodeId id = 0; id < net.num_nodes(); ++id) {
+    const auto outputs = ctx.cone_outputs(id);
+    EXPECT_TRUE(std::is_sorted(outputs.begin(), outputs.end()));
+    index_memberships += outputs.size();
+  }
+  EXPECT_EQ(index_memberships, total_memberships);
+}
+
+TEST(ConeAverages, GateFreeConesPinNeutralHalf) {
+  // The documented convention (assignment.hpp): outputs whose cone realizes
+  // no AND/OR instance — wires, buffer/NOT-only chains, constants — report
+  // A_i = 0.5 in both phases, from the walk and the maintained state alike.
+  Network net;
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId g = net.add_and(a, b);
+  net.add_po("wire", a);                                  // direct PI wire
+  net.add_po("inv", net.add_not(a));                      // NOT-only cone
+  net.add_po("buf", net.add_not(net.add_not(a)));         // buffer chain
+  net.add_po("const", Network::const0());                 // constant driver
+  net.add_po("f", g);                                     // one real gate
+
+  const AssignmentEvaluator evaluator = make_evaluator(net, {}, 0.3);
+  EvalState state(evaluator.context(), all_positive(net));
+  // Walk all 32 assignments in Gray order; the gate-free outputs must pin
+  // 0.5 under every phase combination.
+  for (std::uint64_t code = 0;; ++code) {
+    const std::vector<double> reference =
+        evaluator.cone_average_probs(state.assignment());
+    const std::vector<double> maintained = state.cone_average_probs();
+    for (std::size_t i = 0; i < 4; ++i) {
+      EXPECT_EQ(reference[i], 0.5) << "output " << i;
+      EXPECT_EQ(maintained[i], 0.5) << "output " << i;
+    }
+    // The real gate's cone averages the AND's probability (p = 0.09) in the
+    // positive phase and its Property 4.1 dual in the negative phase.
+    const double p_and = 0.3 * 0.3;
+    EXPECT_EQ(reference[4],
+              state.assignment()[4] == Phase::kPositive ? p_and : 1.0 - p_and);
+    EXPECT_EQ(maintained[4], reference[4]);
+    if (code + 1 >= (1ULL << net.num_pos())) break;
+    state.apply_flip(static_cast<std::size_t>(std::countr_zero(code + 1)));
+  }
+}
+
+namespace reference_seed {
+
+/// Verbatim copy of the pre-incremental-commit-path min_power_assignment
+/// (§4.1 loop with from-scratch A refreshes, full sorted-queue rebuilds on
+/// commit, and the O(candidates) linear candidate scans), kept as the
+/// bit-identity oracle for the delta-updated K-queue implementation.  Only
+/// the sequential polish descent is reproduced (thread-count independence of
+/// the parallel descent is covered elsewhere).
+MinPowerResult min_power(const AssignmentEvaluator& evaluator,
+                         const ConeOverlap& overlap,
+                         const MinPowerOptions& options) {
+  constexpr double kImprovementEps = 1e-12;
+  const Network& net = evaluator.network();
+  const std::size_t num_pos = net.num_pos();
+
+  MinPowerResult result;
+  result.assignment = options.initial.empty() ? all_positive(net) : options.initial;
+  EvalState state(evaluator.context(), result.assignment);
+  result.cost = state.cost();
+  result.initial_power = result.cost.power.total();
+  result.final_power = result.initial_power;
+
+  const auto measure_flips = [&state](std::size_t i, bool flip_i, std::size_t j,
+                                      bool flip_j) {
+    unsigned applied = 0;
+    if (flip_i) { state.apply_flip(i); ++applied; }
+    if (flip_j) { state.apply_flip(j); ++applied; }
+    const AssignmentCost cost = state.cost();
+    while (applied-- > 0) state.undo();
+    return cost;
+  };
+  const auto commit = [&](const AssignmentCost& cost) {
+    result.assignment = state.assignment();
+    result.cost = cost;
+    result.final_power = cost.power.total();
+    ++result.commits;
+  };
+
+  if (num_pos < 2) return result;
+
+  std::vector<std::pair<std::size_t, std::size_t>> candidates;
+  for (std::size_t i = 0; i < num_pos; ++i)
+    for (std::size_t j = i + 1; j < num_pos; ++j) candidates.emplace_back(i, j);
+
+  std::vector<double> cone_size(num_pos);
+  for (std::size_t i = 0; i < num_pos; ++i)
+    cone_size[i] = static_cast<double>(overlap.cone_size(i));
+  std::vector<double> avg = evaluator.cone_average_probs(result.assignment);
+
+  struct Scored {
+    double k = 0.0;
+    bool flip_i = false;
+    bool flip_j = false;
+  };
+  const auto score_pair = [&](std::size_t i, std::size_t j) {
+    Scored best;
+    best.k = std::numeric_limits<double>::infinity();
+    const double o = overlap.overlap(i, j);
+    for (const bool fi : {false, true}) {
+      const double ai = fi ? 1.0 - avg[i] : avg[i];
+      for (const bool fj : {false, true}) {
+        const double aj = fj ? 1.0 - avg[j] : avg[j];
+        const double k =
+            cone_size[i] * ai + cone_size[j] * aj + 0.5 * o * (ai + aj);
+        if (k < best.k) best = Scored{k, fi, fj};
+      }
+    }
+    return best;
+  };
+
+  std::vector<std::pair<double, std::size_t>> queue;
+  std::vector<bool> consumed(candidates.size(), false);
+  const auto rebuild_queue = [&] {
+    queue.clear();
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      if (consumed[c]) continue;
+      queue.emplace_back(score_pair(candidates[c].first, candidates[c].second).k,
+                         c);
+    }
+    std::sort(queue.begin(), queue.end());
+  };
+
+  Rng rng(options.seed);
+  if (options.guidance == GuidanceMode::kCostFunction) rebuild_queue();
+  std::size_t queue_head = 0;
+  std::size_t remaining = candidates.size();
+
+  while (remaining > 0) {
+    std::size_t pick = 0;
+    bool flip_i = false;
+    bool flip_j = false;
+
+    switch (options.guidance) {
+      case GuidanceMode::kCostFunction: {
+        while (queue_head < queue.size() && consumed[queue[queue_head].second])
+          ++queue_head;
+        if (queue_head >= queue.size()) {
+          rebuild_queue();
+          queue_head = 0;
+        }
+        pick = queue[queue_head].second;
+        const auto [i, j] = candidates[pick];
+        const Scored scored = score_pair(i, j);
+        flip_i = scored.flip_i;
+        flip_j = scored.flip_j;
+        break;
+      }
+      case GuidanceMode::kRandom: {
+        std::size_t nth = rng.below(remaining);
+        for (pick = 0; pick < candidates.size(); ++pick) {
+          if (consumed[pick]) continue;
+          if (nth-- == 0) break;
+        }
+        flip_i = rng.bernoulli(0.5);
+        flip_j = rng.bernoulli(0.5);
+        break;
+      }
+      case GuidanceMode::kMeasureAll: {
+        for (pick = 0; consumed[pick]; ++pick) {
+        }
+        double best_power = std::numeric_limits<double>::infinity();
+        const auto [i, j] = candidates[pick];
+        for (const bool fi : {false, true})
+          for (const bool fj : {false, true}) {
+            const double power = measure_flips(i, fi, j, fj).power.total();
+            ++result.trials;
+            if (power < best_power) {
+              best_power = power;
+              flip_i = fi;
+              flip_j = fj;
+            }
+          }
+        break;
+      }
+    }
+
+    const auto [i, j] = candidates[pick];
+    unsigned applied = 0;
+    if (flip_i) { state.apply_flip(i); ++applied; }
+    if (flip_j) { state.apply_flip(j); ++applied; }
+    const AssignmentCost trial_cost = state.cost();
+    ++result.trials;
+    consumed[pick] = true;
+    --remaining;
+    if (trial_cost.power.total() < result.final_power - kImprovementEps) {
+      commit(trial_cost);
+      avg = evaluator.cone_average_probs(result.assignment);
+      if (options.guidance == GuidanceMode::kCostFunction) {
+        rebuild_queue();
+        queue_head = 0;
+      }
+    } else {
+      while (applied-- > 0) state.undo();
+    }
+  }
+
+  if (options.polish_descent) {
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      for (std::size_t i = 0; i < num_pos; ++i) {
+        state.apply_flip(i);
+        const AssignmentCost trial_cost = state.cost();
+        ++result.trials;
+        if (trial_cost.power.total() < result.final_power - kImprovementEps) {
+          commit(trial_cost);
+          improved = true;
+        } else {
+          state.undo();
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace reference_seed
+
+TEST(MinPower, DeltaQueueMatchesSeedReferenceLoop) {
+  // The incremental commit path must reproduce the seed loop's trajectory —
+  // assignment, power, trials, commits — bit for bit, for every guidance
+  // mode, with and without the polish descent.
+  for (const std::uint64_t circuit_seed : {3u, 27u}) {
+    BenchSpec spec;
+    spec.name = "seedref";
+    spec.num_pis = 11;
+    spec.num_pos = 13;
+    spec.gate_target = 130;
+    spec.seed = circuit_seed;
+    const Network net = generate_benchmark(spec);
+    const AssignmentEvaluator evaluator = make_evaluator(net, {}, 0.55);
+    const ConeOverlap overlap(net);
+
+    for (const GuidanceMode mode :
+         {GuidanceMode::kCostFunction, GuidanceMode::kMeasureAll,
+          GuidanceMode::kRandom}) {
+      for (const bool polish : {false, true}) {
+        MinPowerOptions options;
+        options.guidance = mode;
+        options.polish_descent = polish;
+        options.seed = 5 + circuit_seed;
+        options.num_threads = 1;
+        const MinPowerResult expected =
+            reference_seed::min_power(evaluator, overlap, options);
+        const MinPowerResult actual =
+            min_power_assignment(evaluator, overlap, options);
+        EXPECT_EQ(actual.assignment, expected.assignment)
+            << "mode " << static_cast<int>(mode) << " polish " << polish;
+        EXPECT_EQ(actual.final_power, expected.final_power);
+        EXPECT_EQ(actual.initial_power, expected.initial_power);
+        EXPECT_EQ(actual.trials, expected.trials);
+        EXPECT_EQ(actual.commits, expected.commits);
+        expect_cost_identical(actual.cost, expected.cost);
+      }
+    }
+  }
+}
+
+TEST(MinPower, CommitsRescoreOnlyPairsTouchingFlippedOutputs) {
+  // The counter proof that commits no longer trigger full rebuilds: a commit
+  // flips at most two outputs, and the pairs whose K depends on them number
+  // at most 2·(P-1)-1 — far below the full candidate set the seed re-scored
+  // and re-sorted on every commit.
+  BenchSpec spec;
+  spec.name = "rescore";
+  spec.num_pis = 11;
+  spec.num_pos = 14;
+  spec.gate_target = 140;
+  spec.seed = 8;
+  const Network net = generate_benchmark(spec);
+  const AssignmentEvaluator evaluator = make_evaluator(net, {}, 0.6);
+  const ConeOverlap overlap(net);
+  const std::size_t num_pos = net.num_pos();
+  const std::size_t all_pairs = num_pos * (num_pos - 1) / 2;
+
+  MinPowerOptions options;
+  options.num_threads = 1;
+  const MinPowerResult result =
+      min_power_assignment(evaluator, overlap, options);
+  ASSERT_GT(result.commits, 0u);
+
+  // Per commit: at most 2 outputs flip; each touches P-1 pairs, minus the
+  // consumed pair itself and the double-counted (i, j) pair.
+  const std::size_t per_commit_bound = 2 * (num_pos - 1) - 1;
+  EXPECT_GT(result.commit_rescore_pairs, 0u);
+  EXPECT_LE(result.commit_rescore_pairs, result.commits * per_commit_bound);
+  // A full rebuild would have re-scored ~all surviving pairs per commit.
+  EXPECT_LT(result.commit_rescore_pairs, result.commits * all_pairs / 2);
+
+  // A_i refreshes cover only the flipped outputs' cones.
+  std::size_t max_cone = 0;
+  for (std::size_t i = 0; i < num_pos; ++i)
+    max_cone = std::max(max_cone,
+                        evaluator.context()->cone_gate_count(i));
+  EXPECT_GT(result.avg_update_nodes, 0u);
+  EXPECT_LE(result.avg_update_nodes, result.commits * 2 * max_cone);
+
+  // Non-cost-function guidance never re-scores pairs.
+  options.guidance = GuidanceMode::kRandom;
+  const MinPowerResult random =
+      min_power_assignment(evaluator, overlap, options);
+  EXPECT_EQ(random.commit_rescore_pairs, 0u);
+}
+
 TEST(Search, ExhaustiveMatchesReferenceScan) {
   BenchSpec spec;
   spec.name = "ref";
@@ -314,6 +689,9 @@ TEST(Search, ParallelMinPowerIsThreadCountIndependent) {
     EXPECT_EQ(result.final_power, base.final_power) << threads;
     EXPECT_EQ(result.trials, base.trials) << threads;
     EXPECT_EQ(result.commits, base.commits) << threads;
+    // Commit-path telemetry is part of the deterministic trajectory.
+    EXPECT_EQ(result.commit_rescore_pairs, base.commit_rescore_pairs) << threads;
+    EXPECT_EQ(result.avg_update_nodes, base.avg_update_nodes) << threads;
     expect_cost_identical(result.cost, base.cost);
   }
 }

@@ -72,6 +72,9 @@ void expect_reports_identical(const FlowReport& a, const FlowReport& b) {
   EXPECT_EQ(a.assignment, b.assignment);
   EXPECT_EQ(a.negative_outputs, b.negative_outputs);
   EXPECT_EQ(a.search_evaluations, b.search_evaluations);
+  EXPECT_EQ(a.search_commits, b.search_commits);
+  EXPECT_EQ(a.commit_rescore_pairs, b.commit_rescore_pairs);
+  EXPECT_EQ(a.avg_update_nodes, b.avg_update_nodes);
   EXPECT_EQ(a.equivalence_ok, b.equivalence_ok);
 }
 
@@ -141,6 +144,33 @@ TEST(ServerCore, ConcurrentSameCircuitSharesOneSession) {
   EXPECT_EQ(session->stats().prob_builds, 1u);
   EXPECT_EQ(session->stats().context_builds, 1u);
   EXPECT_EQ(core.stats().completed, kClients);
+}
+
+TEST(ServerCore, StatsAggregateCommitPathTelemetry) {
+  // A 12-PO circuit is above the auto-exhaustive threshold, so kMinPower
+  // runs the §4.1 heuristic and its commit-path counters surface in the
+  // report; server stats sum them over every kOk response (hot repeats
+  // included — the fleet-level cost view counts served work per response).
+  const Network net = generate_benchmark(server_spec(83, /*pos=*/12));
+  ServerCore core(ServerConfig{});
+
+  const ServerResponse cold =
+      core.submit(make_request(net, fast_options(PhaseMode::kMinPower))).get();
+  ASSERT_EQ(cold.status, ServerStatus::kOk) << cold.error_message;
+  EXPECT_GT(cold.report.search_commits, 0u);
+  EXPECT_GT(cold.report.commit_rescore_pairs, 0u);
+  EXPECT_GT(cold.report.avg_update_nodes, 0u);
+
+  const ServerResponse hot =
+      core.submit(make_request(net, fast_options(PhaseMode::kMinPower))).get();
+  ASSERT_EQ(hot.status, ServerStatus::kOk);
+  expect_reports_identical(hot.report, cold.report);
+
+  const ServerCore::Stats stats = core.stats();
+  EXPECT_EQ(stats.search_commits, 2 * cold.report.search_commits);
+  EXPECT_EQ(stats.commit_rescore_pairs, 2 * cold.report.commit_rescore_pairs);
+  EXPECT_EQ(stats.avg_update_nodes, 2 * cold.report.avg_update_nodes);
+  core.shutdown();
 }
 
 TEST(ServerCore, BlockedHotKeyDoesNotStallOtherCircuits) {
@@ -441,6 +471,9 @@ TEST(Protocol, ResponseRoundTripsThroughScanners) {
   response.report.cells = 42;
   response.report.sim_power = 123.4567890123456789;
   response.report.assignment = {Phase::kPositive, Phase::kNegative};
+  response.report.search_commits = 7;
+  response.report.commit_rescore_pairs = 91;
+  response.report.avg_update_nodes = 1234;
   response.telemetry.cache_hit = true;
   response.telemetry.rebuilt.assign_searches = 2;
   response.telemetry.queue_seconds = 0.25;
@@ -457,6 +490,9 @@ TEST(Protocol, ResponseRoundTripsThroughScanners) {
             response.report.sim_power);
   EXPECT_EQ(protocol::find_bool(json, "cache_hit"), true);
   EXPECT_EQ(protocol::find_number(json, "assign"), 2.0);
+  EXPECT_EQ(protocol::find_number(json, "search_commits"), 7.0);
+  EXPECT_EQ(protocol::find_number(json, "commit_rescore_pairs"), 91.0);
+  EXPECT_EQ(protocol::find_number(json, "avg_update_nodes"), 1234.0);
 
   ServerResponse rejected;
   rejected.status = ServerStatus::kRejectedQueueFull;
