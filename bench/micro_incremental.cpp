@@ -16,13 +16,22 @@
 /// over a cold vs hot SessionCache.  Emits JSON so future PRs can track the
 /// perf trajectory.
 ///
-/// Usage: micro_incremental [num_threads] [gate_target] [num_pos] [sweep_steps]
+/// The exhaustive_bb section measures the branch-and-bound exact search
+/// (docs/search.md) against the unpruned Gray walk on the main circuit
+/// family at growing output counts: evaluated-candidate counts pruned vs
+/// unpruned, wall time, bound tightness, and the largest P solved exactly
+/// within a wall-clock budget.
+///
+/// Usage: micro_incremental [num_threads] [gate_target] [num_pos]
+///                          [sweep_steps] [bb_budget_seconds]
 ///   num_threads  0 = one per hardware thread (default), 1 = sequential
 ///   gate_target  synthesis gate budget of the main circuit (default 2000)
 ///   num_pos      outputs of the main circuit (default 48; >= 32 keeps the
 ///                acceptance scenario)
 ///   sweep_steps  simulation steps of the MA+MP sweep / serving jobs
 ///                (default 256; the nightly long-run raises this)
+///   bb_budget_seconds  wall budget of the exhaustive_bb P-climb
+///                (default 20; the nightly long-run raises this)
 
 #include <algorithm>
 #include <iostream>
@@ -184,15 +193,18 @@ int main(int argc, char** argv) {
   const auto gates_arg = cli::parse_long_arg(argc, argv, 2, 2000, 1);
   const auto pos_arg = cli::parse_long_arg(argc, argv, 3, 48, 1);
   const auto steps_arg = cli::parse_long_arg(argc, argv, 4, 256, 1, 1 << 24);
-  if (!threads_arg || !gates_arg || !pos_arg || !steps_arg) {
+  const auto bb_budget_arg = cli::parse_long_arg(argc, argv, 5, 20, 1, 3600);
+  if (!threads_arg || !gates_arg || !pos_arg || !steps_arg || !bb_budget_arg) {
     std::cerr << "usage: micro_incremental [num_threads 0..1024] "
-                 "[gate_target>=1] [num_pos>=1] [sweep_steps>=1]\n";
+                 "[gate_target>=1] [num_pos>=1] [sweep_steps>=1] "
+                 "[bb_budget_seconds 1..3600]\n";
     return 2;
   }
   const unsigned num_threads = static_cast<unsigned>(*threads_arg);
   const std::size_t gate_target = static_cast<std::size_t>(*gates_arg);
   const std::size_t num_pos = static_cast<std::size_t>(*pos_arg);
   const std::size_t sweep_steps = static_cast<std::size_t>(*steps_arg);
+  const double bb_budget_seconds = static_cast<double>(*bb_budget_arg);
 
   const Network net = make_circuit("inc", gate_target, num_pos);
   const std::vector<double> pi_probs(net.num_pis(), 0.5);
@@ -366,6 +378,64 @@ int main(int argc, char** argv) {
     std::cerr << "FATAL: sharded exhaustive disagrees\n";
     return 1;
   }
+
+  // -- branch-and-bound exact search: pushing the tractable 2^P frontier ------
+  // The main circuit family (same PI count / gate budget / generator seed) at
+  // growing output counts.  Every level runs the pruned search; levels small
+  // enough for the unpruned Gray walk also run it, both for the wall-time
+  // comparison and as a bit-identity check.  The climb stops when the wall
+  // budget is spent — largest_tractable_pos is the headline number.
+  struct BbRun {
+    std::size_t pos = 0;
+    std::uint64_t unpruned = 0;
+    SearchResult result;
+    double bb_seconds = 0.0;
+    double gray_seconds = -1.0;  // < 0: not run
+  };
+  std::vector<BbRun> bb_runs;
+  Stopwatch bb_total;
+  for (const std::size_t bb_pos : {12u, 16u, 20u, 22u, 24u, 26u, 28u}) {
+    // Always measure the first levels (the acceptance scenario needs P=20);
+    // climb past them only while budget remains.
+    if (bb_pos > 20 && bb_total.seconds() >= bb_budget_seconds) break;
+    const Network bb_net = make_circuit("bb", gate_target, bb_pos);
+    const AssignmentEvaluator bb_eval(
+        bb_net,
+        signal_probabilities(bb_net, std::vector<double>(bb_net.num_pis(), 0.5)));
+    BbRun run;
+    run.pos = bb_pos;
+    run.unpruned = 1ULL << bb_pos;
+
+    ExhaustiveOptions bb_options;
+    bb_options.max_outputs = 28;
+    bb_options.num_threads = num_threads;
+    // Wall budget alone cannot stop a level mid-run, so cap each level's
+    // work in nodes too (~16x the default auto-select budget): a
+    // loose-bound circuit ends the climb instead of hanging the bench.
+    bb_options.node_budget = 1ULL << 25;
+    stopwatch.restart();
+    try {
+      run.result = exhaustive_min_power(bb_eval, bb_options);
+    } catch (const ExhaustiveBudgetError&) {
+      break;  // bound too loose at this size: the climb is over
+    }
+    run.bb_seconds = stopwatch.seconds();
+
+    if (bb_pos <= 16) {
+      ExhaustiveOptions gray_options = bb_options;
+      gray_options.algorithm = ExhaustiveAlgorithm::kGrayWalk;
+      stopwatch.restart();
+      const SearchResult gray = exhaustive_min_power(bb_eval, gray_options);
+      run.gray_seconds = stopwatch.seconds();
+      if (gray.assignment != run.result.assignment ||
+          gray.cost.power.total() != run.result.cost.power.total()) {
+        std::cerr << "FATAL: branch-and-bound disagrees with the Gray walk\n";
+        return 1;
+      }
+    }
+    bb_runs.push_back(std::move(run));
+  }
+  const double bb_elapsed_seconds = bb_total.seconds();
 
   // -- batched MA+MP sweep vs back-to-back monolithic run_flow ---------------
   // Each monolithic call re-synthesizes, re-extracts BDD probabilities and
@@ -558,6 +628,35 @@ int main(int argc, char** argv) {
             << "    \"speedup_parallel\": "
             << exhaustive_full_seconds / exhaustive_parallel_seconds
             << "\n"
+            << "  },\n"
+            << "  \"exhaustive_bb\": {\n"
+            << "    \"gate_target\": " << gate_target << ",\n"
+            << "    \"time_budget_seconds\": " << bb_budget_seconds << ",\n"
+            << "    \"elapsed_seconds\": " << bb_elapsed_seconds << ",\n"
+            << "    \"largest_tractable_pos\": "
+            << (bb_runs.empty() ? 0 : bb_runs.back().pos) << ",\n"
+            << "    \"runs\": [";
+  for (std::size_t i = 0; i < bb_runs.size(); ++i) {
+    const BbRun& run = bb_runs[i];
+    std::cout << (i == 0 ? "\n" : ",\n")
+              << "      {\"pos\": " << run.pos
+              << ", \"candidates_unpruned\": " << run.unpruned
+              << ", \"nodes_expanded\": " << run.result.nodes_expanded
+              << ", \"evaluated_candidates\": " << run.result.evaluations
+              << ", \"subtrees_pruned\": " << run.result.subtrees_pruned
+              << ", \"prune_factor\": "
+              << static_cast<double>(run.unpruned) /
+                     static_cast<double>(std::max<std::size_t>(
+                         run.result.nodes_expanded, 1))
+              << ", \"bound_tightness\": " << run.result.bound_tightness
+              << ", \"bb_seconds\": " << run.bb_seconds;
+    if (run.gray_seconds >= 0.0)
+      std::cout << ", \"gray_seconds\": " << run.gray_seconds
+                << ", \"speedup_vs_gray\": "
+                << run.gray_seconds / run.bb_seconds;
+    std::cout << "}";
+  }
+  std::cout << "\n    ]\n"
             << "  },\n"
             << "  \"batched_sweep\": {\n"
             << "    \"circuits\": " << sweep_nets.size() << ",\n"

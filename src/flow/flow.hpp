@@ -51,15 +51,23 @@ struct FlowOptions {
   /// guarantees MP never regresses below the MA baseline).  Ignored when
   /// minpower.initial is set explicitly.
   bool minpower_from_minarea = true;
-  /// In kMinPower mode, brute force all 2^P assignments when the output
+  /// In kMinPower mode, search all 2^P assignments exactly when the output
   /// count allows it — the paper's frg1 observation ("only 2^3 = 8 possible
   /// phase assignments"); pairwise moves cannot cross duplication barriers
   /// that a coordinated flip of 3+ overlapping outputs can.  The same value
   /// is passed to the search as its hard limit, so the flow's threshold and
   /// the search's refusal (ExhaustiveLimitError) can never disagree.  In
   /// kExhaustivePower mode the cap is max(exhaustive_pos_limit,
-  /// kDefaultExhaustiveLimit), since brute force was requested explicitly.
+  /// kDefaultPrunedExhaustiveLimit), since exact search was requested
+  /// explicitly.
   std::size_t exhaustive_pos_limit = 10;
+  /// Node budget of the kMinPower auto-exhaustive branch-and-bound (see
+  /// ExhaustiveOptions::node_budget): when the admissible bound is too loose
+  /// and the budget trips, the flow falls back to the §4.1 heuristic instead
+  /// of enumerating on.  0 = unlimited.  Explicit kExhaustivePower requests
+  /// always run unbudgeted — "exhaustive" must mean exact or throw.  The
+  /// min-area search's budget is MinAreaOptions::node_budget.
+  std::uint64_t exhaustive_node_budget = kDefaultExhaustiveNodeBudget;
   /// Worker threads for the phase-assignment searches (exhaustive-space
   /// sharding, concurrent annealing restarts, speculative polish descent).
   /// 1 = sequential, 0 = one per hardware thread.  Flow results are
@@ -103,6 +111,13 @@ struct FlowReport {
   std::size_t search_commits = 0;
   std::size_t commit_rescore_pairs = 0;
   std::size_t avg_update_nodes = 0;
+  /// Exhaustive branch-and-bound telemetry (zero when the assignment came
+  /// from the heuristic searches or the unpruned Gray walk): prefix-tree
+  /// nodes expanded, subtrees cut by the admissible bound, and the root
+  /// lower bound over the optimal cost (→1 = tight; see SearchResult).
+  std::size_t search_nodes_expanded = 0;
+  std::size_t search_subtrees_pruned = 0;
+  double search_bound_tightness = 0.0;
   bool used_exact_bdd = true;
   bool equivalence_ok = true;
   double seconds = 0.0;

@@ -40,6 +40,7 @@ bool same_seqprob(const SeqProbOptions& a, const SeqProbOptions& b) {
 
 bool same_minarea(const MinAreaOptions& a, const MinAreaOptions& b) {
   return a.seed == b.seed && a.exhaustive_limit == b.exhaustive_limit &&
+         a.node_budget == b.node_budget &&
          a.anneal_iterations == b.anneal_iterations && a.restarts == b.restarts;
 }
 
@@ -71,7 +72,8 @@ bool assign_inputs_equal(const FlowOptions& a, const FlowOptions& b) {
   return same_minarea(a.minarea, b.minarea) &&
          same_minpower(a.minpower, b.minpower) &&
          a.minpower_from_minarea == b.minpower_from_minarea &&
-         a.exhaustive_pos_limit == b.exhaustive_pos_limit;
+         a.exhaustive_pos_limit == b.exhaustive_pos_limit &&
+         a.exhaustive_node_budget == b.exhaustive_node_budget;
 }
 
 bool map_inputs_equal(const FlowOptions& a, const FlowOptions& b) {
@@ -179,6 +181,12 @@ const FlowSession::AssignStage& FlowSession::assign(PhaseMode mode) {
 
   AssignStage stage;
   stage.mode = mode;
+  const auto copy_search_telemetry = [&stage](const SearchResult& search) {
+    stage.search_evaluations = search.evaluations;
+    stage.search_nodes_expanded = search.nodes_expanded;
+    stage.search_subtrees_pruned = search.subtrees_pruned;
+    stage.search_bound_tightness = search.bound_tightness;
+  };
   switch (mode) {
     case PhaseMode::kAllPositive:
       stage.assignment = all_positive(net);
@@ -187,7 +195,7 @@ const FlowSession::AssignStage& FlowSession::assign(PhaseMode mode) {
     case PhaseMode::kMinArea: {
       const SearchResult search = min_area_assignment(eval, minarea);
       stage.assignment = search.assignment;
-      stage.search_evaluations = search.evaluations;
+      copy_search_telemetry(search);
       break;
     }
     case PhaseMode::kMinPower: {
@@ -195,15 +203,22 @@ const FlowSession::AssignStage& FlowSession::assign(PhaseMode mode) {
       // threshold and the limit passed to the search stay one value.
       const std::size_t auto_exhaustive_limit =
           std::min(options_.exhaustive_pos_limit, kMaxExhaustiveOutputs);
+      bool assigned_exactly = false;
       if (net.num_pos() <= auto_exhaustive_limit && net.num_pos() > 0) {
         ExhaustiveOptions exhaustive;
         exhaustive.max_outputs = auto_exhaustive_limit;
         exhaustive.num_threads = options_.num_threads;
-        const SearchResult search = exhaustive_min_power(eval, exhaustive);
-        stage.assignment = search.assignment;
-        stage.search_evaluations = search.evaluations;
-        break;
+        exhaustive.node_budget = options_.exhaustive_node_budget;
+        try {
+          const SearchResult search = exhaustive_min_power(eval, exhaustive);
+          stage.assignment = search.assignment;
+          copy_search_telemetry(search);
+          assigned_exactly = true;
+        } catch (const ExhaustiveBudgetError&) {
+          // Bound too loose within the work budget: fall back to §4.1.
+        }
       }
+      if (assigned_exactly) break;
       MinPowerOptions minpower = options_.minpower;
       minpower.num_threads = options_.num_threads;
       std::size_t seed_evals = 0;
@@ -226,11 +241,13 @@ const FlowSession::AssignStage& FlowSession::assign(PhaseMode mode) {
     case PhaseMode::kExhaustivePower: {
       ExhaustiveOptions exhaustive;
       exhaustive.max_outputs =
-          std::max(options_.exhaustive_pos_limit, kDefaultExhaustiveLimit);
+          std::max(options_.exhaustive_pos_limit, kDefaultPrunedExhaustiveLimit);
       exhaustive.num_threads = options_.num_threads;
+      // Explicitly-requested exact search runs unbudgeted: a silent
+      // heuristic fallback would betray the mode's contract.
       const SearchResult search = exhaustive_min_power(eval, exhaustive);
       stage.assignment = search.assignment;
-      stage.search_evaluations = search.evaluations;
+      copy_search_telemetry(search);
       break;
     }
   }
@@ -319,6 +336,9 @@ FlowReport FlowSession::report(PhaseMode mode) {
   report.search_commits = assigned.search_commits;
   report.commit_rescore_pairs = assigned.commit_rescore_pairs;
   report.avg_update_nodes = assigned.avg_update_nodes;
+  report.search_nodes_expanded = assigned.search_nodes_expanded;
+  report.search_subtrees_pruned = assigned.search_subtrees_pruned;
+  report.search_bound_tightness = assigned.search_bound_tightness;
   report.est_power = assigned.cost.power.total();
   report.block_gates = assigned.cost.domino_gates;
   report.boundary_inverters =

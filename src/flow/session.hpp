@@ -62,6 +62,11 @@ class FlowSession {
     std::size_t search_commits = 0;
     std::size_t commit_rescore_pairs = 0;
     std::size_t avg_update_nodes = 0;
+    /// Exhaustive branch-and-bound telemetry (see SearchResult); zero when
+    /// the assignment came from a heuristic search or the Gray walk.
+    std::size_t search_nodes_expanded = 0;
+    std::size_t search_subtrees_pruned = 0;
+    double search_bound_tightness = 0.0;
   };
 
   /// Result of domino synthesis + technology mapping (+ optional resize).

@@ -65,6 +65,7 @@ EvalContext::EvalContext(const Network& net, std::vector<double> node_probs,
   }
 
   build_cone_index();
+  build_bound_index();
 }
 
 void EvalContext::build_cone_index() {
@@ -140,6 +141,133 @@ void EvalContext::build_cone_index() {
   for (const auto& [node, output] : membership) cone_out_[slot[node]++] = output;
 }
 
+void EvalContext::build_bound_index() {
+  // Admissible per-instance / per-output cost floors for the branch-and-bound
+  // exhaustive search (docs/search.md).  Everything here must be a *lower*
+  // bound on what the instance contributes whenever it is realized, under
+  // any assignment — over-crediting would let the search prune the optimum.
+  const std::size_t n = kinds_.size();
+  const std::size_t keys = n * 2;
+  const std::size_t num_pos = po_roots_.size();
+
+  // (0) Is the model monotone at all?  Any negative coefficient lets a
+  // realized leaf lower the cost, which voids both the partial-state prefix
+  // anchor and every floor below; branch-and-bound callers check this flag
+  // and fall back to full enumeration.
+  bounds_admissible_ =
+      config_.gate_cap >= 0.0 && config_.inverter_cap >= 0.0 &&
+      config_.clock_cap_per_gate >= 0.0 &&
+      config_.domino_driven_inverter_edges >= 0.0 &&
+      config_.penalty.and_mult >= 0.0 && config_.penalty.or_mult >= 0.0 &&
+      config_.penalty.and_add >= 0.0 && config_.penalty.or_add >= 0.0 &&
+      (!config_.load_aware ||
+       (config_.wire_cap >= 0.0 && config_.pin_cap >= 0.0 &&
+        config_.po_cap >= 0.0));
+
+  // (1) Latch next-state demand: the permanent ref cascade of EvalState's
+  // constructor, as a per-instance mask.  Mirrors add_ref's DeMorgan edge
+  // polarity rule exactly.
+  latch_demand_.assign(keys, 0);
+  {
+    std::vector<InstanceKey> stack;
+    const auto mark = [&](InstanceKey key) {
+      if (latch_demand_[key] != 0) return;
+      latch_demand_[key] = 1;
+      stack.push_back(key);
+    };
+    for (const Resolved& root : latch_roots_)
+      mark(instance_key(root.node, root.parity));
+    while (!stack.empty()) {
+      const InstanceKey k = stack.back();
+      stack.pop_back();
+      const NodeId node = k >> 1;
+      const NodeKind kind = kinds_[node];
+      if (kind != NodeKind::kAnd && kind != NodeKind::kOr) continue;
+      const std::uint32_t pol = k & 1;
+      for (const InstanceKey edge : gate_edges(node)) mark(edge ^ pol);
+    }
+  }
+
+  gate_floor_.assign(keys, 0.0);
+  inverter_floor_.assign(num_pos, 0.0);
+  excl_power_.assign(num_pos * 2, 0.0);
+  excl_area_.assign(num_pos * 2, 0);
+  if (!bounds_admissible_) return;  // no positive floor is admissible
+
+  // (2) Which instances can be realized pinless?  Only a positive-phase PO
+  // root (demanded by the PO wire itself, loaded through po_refs); every
+  // other realization arrives through a consuming pin — a gate fanin edge,
+  // a latch input, or the shared output inverter of a negative PO.
+  std::vector<std::uint8_t> maybe_pinless(keys, 0);
+  for (const Resolved& root : po_roots_)
+    maybe_pinless[instance_key(root.node, root.parity)] = 1;
+
+  // (3) Per-instance power floor of a realized AND/OR instance.  With the
+  // structural load model the minimal cap attaches one pin (or, for a
+  // possible positive-phase root, one PO); without it the cap is the fixed
+  // gate_cap, so the leaf value is exact.
+  for (NodeId node = 0; node < n; ++node) {
+    const NodeKind kind = kinds_[node];
+    if (kind != NodeKind::kAnd && kind != NodeKind::kOr) continue;
+    for (const bool neg : {false, true}) {
+      const InstanceKey k = instance_key(node, neg);
+      const bool instance_is_and = (kind == NodeKind::kAnd) != neg;
+      const double mult = instance_is_and ? config_.penalty.and_mult
+                                          : config_.penalty.or_mult;
+      const double add = instance_is_and ? config_.penalty.and_add
+                                         : config_.penalty.or_add;
+      double cap = config_.gate_cap;
+      if (config_.load_aware) {
+        const double attach = maybe_pinless[k] != 0
+                                  ? std::min(config_.pin_cap, config_.po_cap)
+                                  : config_.pin_cap;
+        cap = config_.wire_cap + attach;
+      }
+      gate_floor_[k] = domino_switching(inst_prob_[k]) * cap * mult + add +
+                       config_.clock_cap_per_gate;
+    }
+  }
+
+  // (4) Per-output PO-inverter floor: what the shared boundary inverter of a
+  // negative-phase output contributes at its minimal load (one PO).
+  std::vector<std::uint32_t> root_count(keys, 0);  // sharers per root instance
+  for (std::size_t i = 0; i < num_pos; ++i) {
+    const Resolved& root = po_roots_[i];
+    if (root.node <= Network::const1() || is_source_kind(kinds_[root.node]))
+      continue;
+    ++root_count[instance_key(root.node, root.parity)];
+    const InstanceKey driver = instance_key(root.node, !root.parity);
+    const double cap = config_.load_aware
+                           ? config_.wire_cap + config_.po_cap
+                           : config_.inverter_cap;
+    inverter_floor_[i] =
+        config_.domino_driven_inverter_edges * inst_prob_[driver] * cap;
+  }
+
+  // (5) Exclusive per-output, per-phase bounds: floors of cone instances no
+  // other output's cone contains (inverted-index size 1) and no latch
+  // demands, plus the PO inverter when this output alone roots there.
+  for (std::size_t i = 0; i < num_pos; ++i) {
+    for (std::uint32_t at = cone_begin_[i]; at < cone_begin_[i + 1]; ++at) {
+      const InstanceKey key = cone_insts_[at];
+      const NodeId node = key >> 1;
+      if (cone_out_begin_[node + 1] - cone_out_begin_[node] != 1) continue;
+      for (const std::uint32_t neg : {0u, 1u}) {
+        const InstanceKey k = key ^ neg;
+        if (latch_demand_[k] != 0) continue;
+        excl_power_[i * 2 + neg] += gate_floor_[k];
+        excl_area_[i * 2 + neg] += 1;
+      }
+    }
+    const Resolved& root = po_roots_[i];
+    if (root.node > Network::const1() && !is_source_kind(kinds_[root.node]) &&
+        root_count[instance_key(root.node, root.parity)] == 1) {
+      excl_power_[i * 2 + 1] += inverter_floor_[i];
+      excl_area_[i * 2 + 1] += 1;
+    }
+  }
+}
+
 EvalState::Leaf EvalState::combine(const Leaf& a, const Leaf& b) noexcept {
   return {a.domino + b.domino, a.input_inv + b.input_inv,
           a.output_inv + b.output_inv};
@@ -147,10 +275,22 @@ EvalState::Leaf EvalState::combine(const Leaf& a, const Leaf& b) noexcept {
 
 EvalState::EvalState(std::shared_ptr<const EvalContext> context,
                      const PhaseAssignment& phases)
-    : ctx_(std::move(context)), phases_(phases) {
+    : EvalState(std::move(context), &phases) {}
+
+EvalState::EvalState(std::shared_ptr<const EvalContext> context, AllUnassigned)
+    : EvalState(std::move(context), nullptr) {}
+
+EvalState::EvalState(std::shared_ptr<const EvalContext> context,
+                     const PhaseAssignment* phases)
+    : ctx_(std::move(context)) {
   if (!ctx_) throw std::runtime_error("EvalState: null context");
-  if (phases_.size() != ctx_->num_outputs())
+  const std::size_t num_outputs = ctx_->num_outputs();
+  if (phases && phases->size() != num_outputs)
     throw std::runtime_error("EvalState: assignment size mismatch");
+  phases_ = phases ? *phases
+                   : PhaseAssignment(num_outputs, Phase::kPositive);
+  assigned_.assign(num_outputs, phases ? 1 : 0);
+  unassigned_ = phases ? 0 : num_outputs;
 
   const std::size_t keys = ctx_->num_instances();
   ref_.assign(keys, 0);
@@ -167,15 +307,39 @@ EvalState::EvalState(std::shared_ptr<const EvalContext> context,
     touch_pin(key, true);
     add_ref(key);
   }
-  for (std::size_t i = 0; i < phases_.size(); ++i)
-    add_output_refs(i, phases_[i]);
+  if (phases)
+    for (std::size_t i = 0; i < phases_.size(); ++i)
+      add_output_refs(i, phases_[i]);
   building_ = false;
   rebuild_tree();
+}
+
+void EvalState::assign_output(std::size_t output, Phase phase) {
+  if (output >= phases_.size())
+    throw std::runtime_error("EvalState::assign_output: output out of range");
+  if (assigned_[output] != 0)
+    throw std::runtime_error("EvalState::assign_output: already assigned");
+  assigned_[output] = 1;
+  --unassigned_;
+  phases_[output] = phase;
+  add_output_refs(output, phase);
+}
+
+void EvalState::withdraw_output(std::size_t output) {
+  if (output >= phases_.size())
+    throw std::runtime_error("EvalState::withdraw_output: output out of range");
+  if (assigned_[output] == 0)
+    throw std::runtime_error("EvalState::withdraw_output: not assigned");
+  assigned_[output] = 0;
+  ++unassigned_;
+  remove_output_refs(output, phases_[output]);
 }
 
 void EvalState::apply_flip(std::size_t output) {
   if (output >= phases_.size())
     throw std::runtime_error("EvalState::apply_flip: output out of range");
+  if (assigned_[output] == 0)
+    throw std::runtime_error("EvalState::apply_flip: output unassigned");
   const Phase old = phases_[output];
   const Phase flipped =
       old == Phase::kPositive ? Phase::kNegative : Phase::kPositive;
@@ -202,6 +366,13 @@ void EvalState::set_assignment(const PhaseAssignment& phases) {
   if (phases.size() != phases_.size())
     throw std::runtime_error("EvalState::set_assignment: size mismatch");
   for (std::size_t i = 0; i < phases.size(); ++i) {
+    if (assigned_[i] == 0) {  // partial state: jumping assigns the output
+      assigned_[i] = 1;
+      --unassigned_;
+      phases_[i] = phases[i];
+      add_output_refs(i, phases[i]);
+      continue;
+    }
     if (phases[i] == phases_[i]) continue;
     phases_[i] = phases[i];
     add_output_refs(i, phases[i]);

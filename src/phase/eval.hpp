@@ -148,8 +148,60 @@ class EvalContext {
             cone_out_.data() + cone_out_begin_[node + 1]};
   }
 
+  // -- branch-and-bound admissible bounds (docs/search.md) --------------------
+
+  /// True when every power-model coefficient is non-negative, which is what
+  /// makes the cost monotone in demand and the floors below admissible.  A
+  /// degenerate (negative-coefficient) model breaks both — a realized leaf
+  /// can *lower* the cost — so branch-and-bound callers must fall back to
+  /// full enumeration when this is false.
+  [[nodiscard]] bool bounds_admissible() const noexcept {
+    return bounds_admissible_;
+  }
+
+  /// True when the instance is demanded by a latch next-state root
+  /// (transitively): such instances are realized under *every* phase
+  /// assignment, so admissible per-output bounds must never credit them.
+  [[nodiscard]] bool latch_demanded(InstanceKey key) const noexcept {
+    return latch_demand_[key] != 0;
+  }
+
+  /// Admissible power floor of one *realized* AND/OR instance: its §4.2 leaf
+  /// contribution under the smallest structural load any realization can
+  /// carry (an internal instance is pinned by its consumer at least once;
+  /// only a positive-phase PO root can be pinless, paying po_cap instead),
+  /// plus the per-gate precharge-clock load.  Zero for non-gate instances —
+  /// and zero throughout for degenerate (negative-coefficient) power
+  /// configurations, where no positive floor is admissible.
+  [[nodiscard]] double gate_power_floor(InstanceKey key) const noexcept {
+    return gate_floor_[key];
+  }
+
+  /// Admissible power floor of the shared PO-boundary inverter that output i
+  /// creates in negative phase; 0 when the output cannot own one (source or
+  /// constant root).  Outputs sharing a root instance all report the same
+  /// floor — consumers must divide by the sharer count to stay admissible.
+  [[nodiscard]] double output_inverter_floor(std::size_t i) const noexcept {
+    return inverter_floor_[i];
+  }
+
+  /// Per-output, per-phase *exclusive* cost-contribution bounds: the summed
+  /// floors of the cone instances that no other output's cone contains in
+  /// either polarity (the shared-node correction, read off the inverted cone
+  /// index) and that no latch demands.  Assigning output i the given phase
+  /// realizes at least this much power / this many cells regardless of every
+  /// other output's phase — the admissible per-output minima the
+  /// branch-and-bound suffix bounds are built from (min over both phases).
+  [[nodiscard]] double exclusive_power_bound(std::size_t i, bool negative) const noexcept {
+    return excl_power_[i * 2 + (negative ? 1 : 0)];
+  }
+  [[nodiscard]] std::size_t exclusive_area_bound(std::size_t i, bool negative) const noexcept {
+    return excl_area_[i * 2 + (negative ? 1 : 0)];
+  }
+
  private:
   void build_cone_index();
+  void build_bound_index();
   const Network* net_;
   std::vector<double> probs_;
   PowerModelConfig config_;
@@ -165,6 +217,12 @@ class EvalContext {
   std::vector<double> cone_avg_;           ///< 2 per output: A_i⁺, A_i⁻
   std::vector<std::uint32_t> cone_out_begin_;  ///< CSR offsets into cone_out_
   std::vector<std::uint32_t> cone_out_;        ///< node → containing outputs
+  bool bounds_admissible_ = true;              ///< power model monotone/nonneg
+  std::vector<std::uint8_t> latch_demand_;     ///< instance realized by latches
+  std::vector<double> gate_floor_;             ///< per-instance power floor
+  std::vector<double> inverter_floor_;         ///< per-output PO-inverter floor
+  std::vector<double> excl_power_;             ///< 2 per output: excl. floor sum
+  std::vector<std::uint32_t> excl_area_;       ///< 2 per output: excl. cell count
 };
 
 /// Mutable incremental evaluation state over a shared EvalContext.
@@ -188,8 +246,37 @@ class EvalState {
   EvalState(std::shared_ptr<const EvalContext> context,
             const PhaseAssignment& phases);
 
+  /// Tag selecting the partial constructor below.
+  struct AllUnassigned {};
+
+  /// Constructs a *partial* state: only the permanent latch next-state
+  /// demand is realized and every primary output starts unassigned,
+  /// contributing no demand, loads or boundary inverters.  cost() of a
+  /// partial state is a certified lower bound on the cost of any completion:
+  /// demand is monotone (assigning an output only adds refs/pins/PO loads,
+  /// every leaf is monotone in them, and floating-point addition through the
+  /// fixed-shape summation tree preserves that monotonicity) — the anchor
+  /// the branch-and-bound prefix costs build on.  assignment() reads
+  /// kPositive placeholders for unassigned outputs.
+  EvalState(std::shared_ptr<const EvalContext> context, AllUnassigned);
+
   [[nodiscard]] const EvalContext& context() const noexcept { return *ctx_; }
   [[nodiscard]] const PhaseAssignment& assignment() const noexcept { return phases_; }
+
+  /// Assigns one currently-unassigned output (throws if already assigned) /
+  /// withdraws one currently-assigned output (throws if not), each in
+  /// O(|cone(output)|·log nodes).  Because a state with the same demand
+  /// reports bit-identical costs regardless of the operation sequence that
+  /// reached it, a fully-assigned partial state costs exactly what a fresh
+  /// EvalState built from the same assignment costs.  Neither operation is
+  /// recorded in the undo history.
+  void assign_output(std::size_t output, Phase phase);
+  void withdraw_output(std::size_t output);
+  [[nodiscard]] bool output_assigned(std::size_t output) const {
+    return assigned_[output] != 0;
+  }
+  /// Outputs currently unassigned (0 for states built fully assigned).
+  [[nodiscard]] std::size_t unassigned_outputs() const noexcept { return unassigned_; }
 
   /// Flips the phase of one primary output in O(|cone(output)| · log nodes).
   void apply_flip(std::size_t output);
@@ -249,8 +336,13 @@ class EvalState {
   void refresh_leaf(InstanceKey key);
   void rebuild_tree();
 
+  EvalState(std::shared_ptr<const EvalContext> context,
+            const PhaseAssignment* phases);
+
   std::shared_ptr<const EvalContext> ctx_;
   PhaseAssignment phases_;
+  std::vector<std::uint8_t> assigned_;  ///< per-output: demand contributed
+  std::size_t unassigned_ = 0;
   std::vector<std::uint32_t> ref_;
   std::vector<std::uint32_t> pins_;
   std::vector<std::uint32_t> po_refs_;

@@ -1,19 +1,32 @@
 /// \file minarea.cpp
 /// Minimum-area phase assignment (the baseline of ref [15]): minimize the
 /// standard-cell count of the inverter-free realization.  Also hosts the
-/// exhaustive 2^P searches shared with the min-power flow.
+/// exact 2^P searches shared with the min-power flow.
 ///
-/// Both paths run on the incremental engine: the exhaustive search walks the
-/// assignment space in Gray-code order (adjacent codes differ in one output,
-/// so each candidate costs one O(|cone|) flip) sharded across threads, and
-/// the annealing restarts run concurrently.  Every result — including the
-/// per-restart random trajectories — is identical for any thread count.
+/// The exact search is a branch-and-bound enumeration of the assignment
+/// prefix tree (docs/search.md): the prefix cost is the exact cost of a
+/// *partial* EvalState (unassigned outputs contribute nothing, and demand is
+/// monotone, so it lower-bounds every completion), the suffix bound is a
+/// per-depth sum of admissible per-output minima built from the
+/// EvalContext's cost floors and inverted cone index, and subtrees whose
+/// bound cannot beat the incumbent are cut.  Workers own disjoint subtrees
+/// and exchange the incumbent through one atomic best cost, so pruning
+/// tightens globally while the returned (cost, code) pair stays bit-identical
+/// to the unpruned Gray-code walk's first-minimum-in-code-order rule at
+/// every thread count.  The Gray walk itself remains available as the
+/// reference algorithm (ExhaustiveAlgorithm::kGrayWalk); annealing restarts
+/// run concurrently as before.
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cmath>
 #include <limits>
+#include <memory>
+#include <mutex>
+#include <numeric>
 #include <string>
+#include <unordered_map>
 
 #include "phase/eval.hpp"
 #include "phase/search.hpp"
@@ -29,6 +42,15 @@ ExhaustiveLimitError::ExhaustiveLimitError(std::size_t num_outputs,
                          std::to_string(limit) + " (2^P candidates)"),
       num_outputs_(num_outputs),
       limit_(limit) {}
+
+ExhaustiveBudgetError::ExhaustiveBudgetError(std::uint64_t nodes_expanded,
+                                             std::uint64_t budget)
+    : std::runtime_error("exhaustive search: node budget of " +
+                         std::to_string(budget) + " exhausted after " +
+                         std::to_string(nodes_expanded) +
+                         " expansions (bound too loose)"),
+      nodes_expanded_(nodes_expanded),
+      budget_(budget) {}
 
 namespace {
 
@@ -46,32 +68,33 @@ double metric_of(const EvalState& state, bool by_power) {
                   : static_cast<double>(state.area_cells());
 }
 
-SearchResult exhaustive_by(const AssignmentEvaluator& evaluator, bool by_power,
-                           const ExhaustiveOptions& options) {
+/// Best candidate seen so far: compared (metric, code) lexicographically so
+/// ties resolve to the seed scan's first-in-code-order winner.
+struct ChunkBest {
+  double metric = std::numeric_limits<double>::infinity();
+  std::uint64_t code = std::numeric_limits<std::uint64_t>::max();
+};
+
+bool better(const ChunkBest& a, const ChunkBest& b) {
+  return a.metric < b.metric || (a.metric == b.metric && a.code < b.code);
+}
+
+std::uint64_t code_of(const PhaseAssignment& phases) {
+  std::uint64_t code = 0;
+  for (std::size_t i = 0; i < phases.size(); ++i)
+    if (phases[i] == Phase::kNegative) code |= 1ULL << i;
+  return code;
+}
+
+SearchResult exhaustive_gray(const AssignmentEvaluator& evaluator, bool by_power,
+                             const ExhaustiveOptions& options) {
   const std::size_t num_pos = evaluator.network().num_pos();
-  const std::size_t limit =
-      std::min(options.max_outputs, kMaxExhaustiveOutputs);
-  if (num_pos > limit) throw ExhaustiveLimitError(num_pos, limit);
-
   SearchResult best;
-  if (num_pos == 0) {
-    best.cost = evaluator.evaluate({});
-    best.evaluations = 1;
-    return best;
-  }
-
   const std::uint64_t total = 1ULL << num_pos;
   // A chunk walks positions [begin, end) of the Gray sequence (adjacent
   // positions differ in one output: one O(|cone|) flip each) but remembers
   // its best by the *assignment code* gray(position), so ties resolve to the
   // seed scan's first-in-code-order winner for any thread count.
-  struct ChunkBest {
-    double metric = std::numeric_limits<double>::infinity();
-    std::uint64_t code = std::numeric_limits<std::uint64_t>::max();
-  };
-  const auto better = [](const ChunkBest& a, const ChunkBest& b) {
-    return a.metric < b.metric || (a.metric == b.metric && a.code < b.code);
-  };
   ThreadPool pool(options.num_threads);
   const std::uint64_t num_chunks =
       std::min<std::uint64_t>(pool.size(), total);
@@ -110,6 +133,416 @@ SearchResult exhaustive_by(const AssignmentEvaluator& evaluator, bool by_power,
   best.cost = evaluator.evaluate(best.assignment);
   best.evaluations = total;
   return best;
+}
+
+// -- branch-and-bound enumeration (docs/search.md) ----------------------------
+
+/// Pruning uses a strict comparison against the incumbent, so a subtree is
+/// cut only when its lower bound provably exceeds the best cost — equal-cost
+/// subtrees always survive and the code tie-break stays exact.  For power
+/// metrics the suffix bound is rational arithmetic realized in doubles, so a
+/// relative slack absorbs the worst-case rounding of the fixed-shape
+/// summation tree (~n·eps, n = #instances) before it could over-bound; area
+/// bounds carry fractional owner splits through doubles too and share the
+/// slack.  The slack only *weakens* pruning, never correctness.
+constexpr double kBoundSlackRel = 1e-9;
+
+/// Branch order, preferred child phases and per-depth suffix bounds of one
+/// branch-and-bound run.  All of it is a pure function of the EvalContext
+/// and the metric, so the plan — and with it the returned result — is
+/// deterministic.
+struct BnbPlan {
+  std::vector<std::uint32_t> order;     ///< depth -> output branched there
+  std::vector<Phase> preferred;         ///< per output: first child's phase
+  /// suffix_bound[d]: admissible lower bound on what the outputs branched at
+  /// depths >= d add to any completion's cost, on top of the prefix cost.
+  std::vector<double> suffix_bound;
+  double base_metric = 0.0;             ///< all-unassigned partial cost
+  double root_bound = 0.0;              ///< base_metric + suffix_bound[0]
+};
+
+BnbPlan make_bnb_plan(const EvalContext& ctx, double base_metric,
+                      bool by_power) {
+  const std::size_t num_pos = ctx.num_outputs();
+  BnbPlan plan;
+  plan.base_metric = base_metric;
+
+  // Branch the largest cones first: they realize the bulk of the shared
+  // structure early, so the exact prefix cost approaches the completion cost
+  // high in the tree where a cut removes the most leaves.
+  plan.order.resize(num_pos);
+  std::iota(plan.order.begin(), plan.order.end(), 0u);
+  std::sort(plan.order.begin(), plan.order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              const std::size_t ca = ctx.cone_gate_count(a);
+              const std::size_t cb = ctx.cone_gate_count(b);
+              return ca != cb ? ca > cb : a < b;
+            });
+  std::vector<std::uint32_t> depth_of(num_pos);
+  for (std::size_t d = 0; d < num_pos; ++d) depth_of[plan.order[d]] = d;
+
+  const auto has_inverter = [&](std::size_t i) {
+    const EvalContext::Resolved& root = ctx.po_root(i);
+    return root.node > Network::const1() && !is_source_kind(ctx.kind(root.node));
+  };
+
+  // Preferred child phase: the cheaper one by the context's exclusive
+  // per-output bounds — the guaranteed cost of this output alone.  When
+  // exclusivity is blind (heavily shared cones score both phases equal,
+  // typically 0/0) fall back to the full-cone floor sums.  A pure
+  // search-order heuristic — correctness never depends on it; ties break
+  // positive.
+  plan.preferred.assign(num_pos, Phase::kPositive);
+  for (std::size_t i = 0; i < num_pos; ++i) {
+    double weight[2] = {0.0, 0.0};
+    if (by_power) {
+      weight[0] = ctx.exclusive_power_bound(i, false);
+      weight[1] = ctx.exclusive_power_bound(i, true);
+      if (weight[0] == weight[1]) {
+        weight[0] = weight[1] = 0.0;
+        for (const InstanceKey key : ctx.cone_instances(i)) {
+          weight[0] += ctx.gate_power_floor(key);
+          weight[1] += ctx.gate_power_floor(key ^ 1u);
+        }
+        if (has_inverter(i)) weight[1] += ctx.output_inverter_floor(i);
+      }
+    } else {
+      weight[0] = static_cast<double>(ctx.exclusive_area_bound(i, false));
+      weight[1] = static_cast<double>(ctx.exclusive_area_bound(i, true));
+    }
+    if (weight[1] < weight[0]) plan.preferred[i] = Phase::kNegative;
+  }
+
+  // PO-root sharing: outputs whose POs resolve to the same root instance
+  // share one boundary inverter; the fractional credit divides by the group
+  // size and buckets at the group's earliest branch depth.
+  struct RootGroup {
+    std::uint32_t count = 0;
+    std::uint32_t min_depth = 0;
+  };
+  std::unordered_map<InstanceKey, RootGroup> root_groups;
+  for (std::size_t i = 0; i < num_pos; ++i) {
+    if (!has_inverter(i)) continue;
+    const EvalContext::Resolved& root = ctx.po_root(i);
+    auto [it, inserted] =
+        root_groups.try_emplace(instance_key(root.node, root.parity));
+    RootGroup& group = it->second;
+    ++group.count;
+    group.min_depth = inserted ? depth_of[i]
+                               : std::min(group.min_depth, depth_of[i]);
+  }
+
+  // Earliest branch depth among each gate node's owning outputs.  An
+  // instance is creditable to the suffix starting at depth d only when
+  // *every* owner branches at >= d (no prefix output can have realized it,
+  // and no latch demands it); the credit splits 1/|owners| so the owners'
+  // summed credits never exceed the one realized instance.
+  const std::size_t n = ctx.num_nodes();
+  std::vector<std::uint32_t> min_owner_depth(n, 0);
+  for (NodeId node = 0; node < n; ++node) {
+    const auto owners = ctx.cone_outputs(node);
+    if (owners.empty()) continue;
+    std::uint32_t m = std::numeric_limits<std::uint32_t>::max();
+    for (const std::uint32_t o : owners) m = std::min(m, depth_of[o]);
+    min_owner_depth[node] = m;
+  }
+
+  // Per output and phase: bucket fractional credits by the depth they
+  // become suffix-creditable at, then suffix-accumulate and take the phase
+  // minimum — min_phase[i * (num_pos + 1) + d].
+  std::vector<double> min_phase(num_pos * (num_pos + 1), 0.0);
+  std::vector<double> bucket[2];
+  for (std::size_t i = 0; i < num_pos; ++i) {
+    bucket[0].assign(num_pos, 0.0);
+    bucket[1].assign(num_pos, 0.0);
+    for (const InstanceKey key : ctx.cone_instances(i)) {
+      const NodeId node = key >> 1;
+      const double share =
+          1.0 / static_cast<double>(ctx.cone_outputs(node).size());
+      const std::uint32_t at = min_owner_depth[node];
+      for (const std::uint32_t neg : {0u, 1u}) {
+        const InstanceKey k = key ^ neg;
+        if (ctx.latch_demanded(k)) continue;
+        bucket[neg][at] += (by_power ? ctx.gate_power_floor(k) : 1.0) * share;
+      }
+    }
+    if (has_inverter(i)) {
+      const EvalContext::Resolved& root = ctx.po_root(i);
+      const RootGroup& group =
+          root_groups.at(instance_key(root.node, root.parity));
+      bucket[1][group.min_depth] +=
+          (by_power ? ctx.output_inverter_floor(i) : 1.0) /
+          static_cast<double>(group.count);
+    }
+    double acc[2] = {0.0, 0.0};
+    for (std::size_t d = num_pos; d-- > 0;) {
+      acc[0] += bucket[0][d];
+      acc[1] += bucket[1][d];
+      min_phase[i * (num_pos + 1) + d] = std::min(acc[0], acc[1]);
+    }
+    // min_phase[..][num_pos] stays 0: nothing is creditable past the leaves.
+  }
+
+  plan.suffix_bound.assign(num_pos + 1, 0.0);
+  for (std::size_t d = 0; d <= num_pos; ++d) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < num_pos; ++i)
+      if (depth_of[i] >= d) sum += min_phase[i * (num_pos + 1) + d];
+    plan.suffix_bound[d] = sum;
+  }
+  plan.root_bound = base_metric + plan.suffix_bound[0];
+  return plan;
+}
+
+/// Cross-worker state: the atomic incumbent metric every worker prunes
+/// against, and the node-budget accounting.
+struct BnbShared {
+  std::atomic<double> incumbent;
+  std::atomic<std::uint64_t> expanded{0};
+  std::atomic<bool> budget_tripped{false};
+  std::uint64_t budget = 0;  ///< 0 = unlimited
+};
+
+void update_incumbent(std::atomic<double>& incumbent, double metric) {
+  double current = incumbent.load(std::memory_order_relaxed);
+  while (metric < current &&
+         !incumbent.compare_exchange_weak(current, metric,
+                                          std::memory_order_relaxed)) {
+  }
+}
+
+/// One worker's depth-first enumeration of the subtree(s) its task index
+/// selects.  The top `shard_depth` levels are fixed by the task bits (child
+/// 0 = the output's preferred phase); below them both children are explored.
+/// Counters follow a canonical-owner rule so prefix levels shared by many
+/// tasks are counted exactly once.
+class BnbWorker {
+ public:
+  BnbWorker(const EvalState& base, const BnbPlan& plan, bool by_power,
+            std::size_t shard_depth, BnbShared& shared)
+      : state_(base),
+        plan_(plan),
+        by_power_(by_power),
+        shard_depth_(shard_depth),
+        shared_(shared),
+        // Batch the shared-counter updates, but never so coarsely that a
+        // small budget could be overrun without ever being checked.
+        flush_limit_(shared.budget != 0
+                         ? std::min<std::uint64_t>(256, shared.budget)
+                         : 256) {}
+
+  void run(std::uint64_t task) {
+    task_ = task;
+    descend(0);
+    flush_expanded();
+  }
+
+  [[nodiscard]] const ChunkBest& best() const noexcept { return best_; }
+  [[nodiscard]] std::uint64_t pruned() const noexcept { return pruned_; }
+  [[nodiscard]] std::uint64_t leaves() const noexcept { return leaves_; }
+
+ private:
+  void flush_expanded() {
+    if (pending_expanded_ == 0) return;
+    const std::uint64_t total =
+        shared_.expanded.fetch_add(pending_expanded_,
+                                   std::memory_order_relaxed) +
+        pending_expanded_;
+    pending_expanded_ = 0;
+    if (shared_.budget != 0 && total > shared_.budget)
+      shared_.budget_tripped.store(true, std::memory_order_relaxed);
+  }
+
+  void descend(std::size_t depth) {
+    if (shared_.budget_tripped.load(std::memory_order_relaxed)) return;
+    if (depth == plan_.order.size()) {
+      ++leaves_;
+      const ChunkBest candidate{metric_of(state_, by_power_), code_};
+      if (better(candidate, best_)) best_ = candidate;
+      update_incumbent(shared_.incumbent, candidate.metric);
+      return;
+    }
+    const std::uint32_t output = plan_.order[depth];
+    const bool in_prefix = depth < shard_depth_;
+    for (int child = 0; child < 2; ++child) {
+      bool canonical = true;
+      if (in_prefix) {
+        const std::size_t shift = shard_depth_ - 1 - depth;
+        if (((task_ >> shift) & 1ULL) != static_cast<std::uint64_t>(child))
+          continue;  // another task owns this subtree
+        canonical = (task_ & ((1ULL << shift) - 1)) == 0;
+      }
+      const Phase preferred = plan_.preferred[output];
+      const Phase phase =
+          child == 0 ? preferred
+                     : (preferred == Phase::kPositive ? Phase::kNegative
+                                                      : Phase::kPositive);
+      state_.assign_output(output, phase);
+      if (phase == Phase::kNegative) code_ |= 1ULL << output;
+      if (canonical && ++pending_expanded_ >= flush_limit_) flush_expanded();
+
+      const double lb =
+          metric_of(state_, by_power_) + plan_.suffix_bound[depth + 1];
+      const double incumbent =
+          shared_.incumbent.load(std::memory_order_relaxed);
+      const double slack =
+          kBoundSlackRel * (std::abs(lb) + std::abs(incumbent));
+      if (lb - slack > incumbent) {
+        if (canonical) ++pruned_;
+      } else {
+        descend(depth + 1);
+      }
+
+      state_.withdraw_output(output);
+      code_ &= ~(1ULL << output);
+    }
+  }
+
+  EvalState state_;
+  const BnbPlan& plan_;
+  bool by_power_;
+  std::size_t shard_depth_;
+  BnbShared& shared_;
+  std::uint64_t task_ = 0;
+  std::uint64_t code_ = 0;
+  ChunkBest best_;
+  std::uint64_t pruned_ = 0;
+  std::uint64_t leaves_ = 0;
+  std::uint64_t pending_expanded_ = 0;
+  std::uint64_t flush_limit_ = 256;
+};
+
+SearchResult exhaustive_branch_and_bound(const AssignmentEvaluator& evaluator,
+                                         bool by_power,
+                                         const ExhaustiveOptions& options) {
+  const std::shared_ptr<const EvalContext>& ctx = evaluator.context();
+  const std::size_t num_pos = ctx->num_outputs();
+
+  EvalState base(ctx, EvalState::AllUnassigned{});
+  const BnbPlan plan = make_bnb_plan(*ctx, metric_of(base, by_power), by_power);
+
+  // Incumbent seed: the preferred-phase greedy assignment polished by a
+  // strict first-improvement single-flip descent.  Every evaluation here is
+  // an exact candidate, so seeding can only tighten pruning — it never
+  // changes the (metric, code) winner.
+  PhaseAssignment greedy(num_pos, Phase::kPositive);
+  for (std::size_t i = 0; i < num_pos; ++i) greedy[i] = plan.preferred[i];
+  EvalState seed_state(ctx, greedy);
+  std::size_t seed_evaluations = 1;
+  ChunkBest seed{metric_of(seed_state, by_power), code_of(greedy)};
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (std::size_t i = 0; i < num_pos; ++i) {
+      seed_state.apply_flip(i);
+      ++seed_evaluations;
+      const ChunkBest trial{metric_of(seed_state, by_power),
+                            seed.code ^ (1ULL << i)};
+      if (trial.metric < seed.metric) {
+        seed = trial;
+        improved = true;
+      } else {
+        seed_state.undo();
+      }
+    }
+  }
+
+  BnbShared shared;
+  shared.incumbent.store(seed.metric, std::memory_order_relaxed);
+  shared.budget = options.node_budget;
+
+  ThreadPool pool(options.num_threads);
+  // Shard the top levels into 4x-oversubscribed subtree tasks; the pool's
+  // dynamic index distribution absorbs the wildly uneven post-pruning
+  // subtree sizes.  Single-threaded runs use one task (shard depth 0), so
+  // their counters are exactly reproducible.
+  std::size_t shard_depth = 0;
+  if (pool.size() > 1) {
+    const unsigned want = pool.size() * 4;
+    shard_depth = std::min<std::size_t>(
+        {num_pos, 10, std::bit_width(std::bit_ceil(want) - 1u)});
+  }
+  const std::size_t num_tasks = std::size_t{1} << shard_depth;
+  // Workers are pooled and reused across tasks — their local bests and
+  // counters simply accumulate — so the O(instances) base-state copy
+  // happens at most once per pool thread, not once per oversubscribed
+  // task.  The final merge is a min over totally ordered (metric, code)
+  // pairs plus counter sums, both independent of which worker ran which
+  // task.
+  std::mutex worker_mutex;
+  std::vector<std::unique_ptr<BnbWorker>> workers;
+  std::vector<BnbWorker*> idle;
+  pool.parallel_for(num_tasks, [&](std::size_t task) {
+    BnbWorker* worker = nullptr;
+    {
+      const std::lock_guard<std::mutex> lock(worker_mutex);
+      if (!idle.empty()) {
+        worker = idle.back();
+        idle.pop_back();
+      }
+    }
+    if (worker == nullptr) {
+      auto fresh = std::make_unique<BnbWorker>(base, plan, by_power,
+                                               shard_depth, shared);
+      worker = fresh.get();
+      const std::lock_guard<std::mutex> lock(worker_mutex);
+      workers.push_back(std::move(fresh));
+    }
+    worker->run(task);
+    const std::lock_guard<std::mutex> lock(worker_mutex);
+    idle.push_back(worker);
+  });
+
+  const std::uint64_t expanded =
+      shared.expanded.load(std::memory_order_relaxed);
+  if (shared.budget_tripped.load(std::memory_order_relaxed))
+    throw ExhaustiveBudgetError(expanded, options.node_budget);
+
+  ChunkBest overall = seed;
+  SearchResult best;
+  best.evaluations = seed_evaluations;
+  for (const std::unique_ptr<BnbWorker>& worker : workers) {
+    if (better(worker->best(), overall)) overall = worker->best();
+    best.evaluations += static_cast<std::size_t>(worker->leaves());
+    best.subtrees_pruned += static_cast<std::size_t>(worker->pruned());
+  }
+  best.assignment = assignment_from_code(overall.code, num_pos);
+  best.cost = evaluator.evaluate(best.assignment);
+  best.nodes_expanded = static_cast<std::size_t>(expanded);
+  best.bound_tightness =
+      overall.metric > 0.0
+          ? plan.root_bound / overall.metric
+          : (plan.root_bound == overall.metric ? 1.0 : 0.0);
+  return best;
+}
+
+SearchResult exhaustive_by(const AssignmentEvaluator& evaluator, bool by_power,
+                           const ExhaustiveOptions& options) {
+  const std::size_t num_pos = evaluator.network().num_pos();
+  const std::size_t limit =
+      std::min(options.max_outputs, kMaxExhaustiveOutputs);
+  if (num_pos > limit) throw ExhaustiveLimitError(num_pos, limit);
+
+  if (num_pos == 0) {
+    SearchResult best;
+    best.cost = evaluator.evaluate({});
+    best.evaluations = 1;
+    return best;
+  }
+
+  // Degenerate (negative-coefficient) power models void the admissible
+  // bounds AND the partial-state prefix anchor, so branch-and-bound could
+  // prune the optimum — full enumeration is the only exact option there.
+  if (options.algorithm == ExhaustiveAlgorithm::kGrayWalk ||
+      !evaluator.context()->bounds_admissible()) {
+    const std::uint64_t total = 1ULL << num_pos;
+    // The unpruned walk's work is exactly 2^P, so the budget check is an
+    // up-front (and thus fully deterministic) refusal.
+    if (options.node_budget != 0 && total > options.node_budget)
+      throw ExhaustiveBudgetError(total, options.node_budget);
+    return exhaustive_gray(evaluator, by_power, options);
+  }
+  return exhaustive_branch_and_bound(evaluator, by_power, options);
 }
 
 }  // namespace
@@ -151,7 +584,13 @@ SearchResult min_area_assignment(const AssignmentEvaluator& evaluator,
     ExhaustiveOptions exhaustive;
     exhaustive.max_outputs = exhaustive_limit;
     exhaustive.num_threads = options.num_threads;
-    return exhaustive_min_area(evaluator, exhaustive);
+    exhaustive.node_budget = options.node_budget;
+    try {
+      return exhaustive_min_area(evaluator, exhaustive);
+    } catch (const ExhaustiveBudgetError&) {
+      // Bound too loose for this circuit: the budget capped the exact
+      // search's work near one annealing run's worth — fall through to it.
+    }
   }
 
   // Simulated annealing over single-output flips, with restarts and a final

@@ -7,14 +7,21 @@
 ///  * min_power_assignment — the paper's §4.1 heuristic: pairwise cost
 ///    function K built from cone sizes |D|, current average probabilities A
 ///    and overlaps O(i,j); greedy commit loop with measured power.
-///  * exhaustive_min_power — brute force over all 2^P assignments (the
-///    frg1 "only 8 assignments" observation).
+///  * exhaustive_min_power — exact search over all 2^P assignments (the
+///    frg1 "only 8 assignments" observation), by default as a
+///    branch-and-bound enumeration with admissible per-output lower bounds
+///    (docs/search.md); the unpruned Gray-code walk remains available as
+///    the reference algorithm.
 ///
 /// All searches run on the incremental engine (phase/eval.hpp): candidate
-/// moves cost O(|cone|) instead of O(network), the exhaustive searches walk
-/// the 2^P space in Gray-code order (one flip per candidate) and shard it
-/// across threads, and annealing restarts run concurrently.  Results are
-/// deterministic in the seed and independent of the thread count.
+/// moves cost O(|cone|) instead of O(network), the exhaustive searches
+/// shard the assignment space across threads (Gray-code chunks, or
+/// branch-and-bound subtrees exchanging the incumbent through an atomic
+/// best cost), and annealing restarts run concurrently.  Results are
+/// deterministic in the seed and independent of the thread count; for the
+/// pruned search only the *result* is — the work counters (nodes expanded,
+/// subtrees pruned) depend on when workers observe each other's incumbent,
+/// so they are reproducible only single-threaded.
 
 #pragma once
 
@@ -29,11 +36,48 @@ namespace dominosyn {
 struct SearchResult {
   PhaseAssignment assignment;
   AssignmentCost cost;
+  /// Candidates whose exact cost was computed: every Gray-walk position, or
+  /// the branch-and-bound leaves plus its incumbent-seeding evaluations.
   std::size_t evaluations = 0;
+  /// Branch-and-bound telemetry (zero for the Gray walk and annealing).
+  /// `nodes_expanded` counts prefix-tree nodes whose partial state was
+  /// built (the unit the node budget meters); `subtrees_pruned` counts
+  /// subtrees cut by the admissible bound; `bound_tightness` is the root
+  /// lower bound divided by the optimal cost (≤ 1, →1 = tight).  The
+  /// counters vary with worker timing when num_threads > 1 — only the
+  /// (cost, assignment) result is thread-count invariant.
+  std::size_t nodes_expanded = 0;
+  std::size_t subtrees_pruned = 0;
+  double bound_tightness = 0.0;
 };
 
-/// Hard cap applied when no explicit limit is given: 2^20 candidates.
+// -- exhaustive enumeration limits --------------------------------------------
+// Every exhaustive ceiling in the code base derives from the two named
+// constants below (plus the uint64 hard cap); callers clamp, never invent
+// their own numbers:
+//   * requested limits above kMaxExhaustiveOutputs are clamped to it by the
+//     searches themselves (min_area_assignment clamps likewise before
+//     comparing, so flow thresholds and search refusals can never disagree);
+//   * auto-selecting callers (min_area_assignment, the flow's kMinPower /
+//     kExhaustivePower paths) default to the *pruned* ceiling and rely on
+//     the node budget — not the limit — to bail out of loose-bound runs.
+
+/// Unpruned enumeration budget: the full-2^P Gray walk stays tractable up
+/// to this many outputs (2^20 candidates).
 inline constexpr std::size_t kDefaultExhaustiveLimit = 20;
+
+/// Branch-and-bound ceiling: with admissible per-output bounds the pruned
+/// enumeration is tractable past 2^20 — runs at P = 24–28 complete when the
+/// bound is tight, so pruned-mode callers default to this limit and let the
+/// node budget catch the loose-bound cases.
+inline constexpr std::size_t kDefaultPrunedExhaustiveLimit = 24;
+
+/// Default branch-and-bound work budget, in expanded prefix-tree nodes
+/// (each one O(|cone|) incremental work — the same unit as one Gray-walk
+/// candidate): about 2x the unpruned 2^20 walk.  When a pruned run trips
+/// the budget it throws ExhaustiveBudgetError and auto-selecting callers
+/// fall back to their heuristic (annealing / §4.1).
+inline constexpr std::uint64_t kDefaultExhaustiveNodeBudget = 1ULL << 21;
 
 /// Absolute ceiling on exhaustively enumerable outputs (the 2^P code space
 /// must fit uint64 arithmetic); larger requested limits are clamped here.
@@ -54,36 +98,76 @@ class ExhaustiveLimitError : public std::runtime_error {
   std::size_t limit_;
 };
 
-struct ExhaustiveOptions {
-  /// Refuse (with ExhaustiveLimitError) when #POs exceeds this.
-  std::size_t max_outputs = kDefaultExhaustiveLimit;
-  /// Worker threads sharding the 2^P space; 0 = one per hardware thread.
-  /// The result is identical for every value.
-  unsigned num_threads = 1;
+/// Thrown when an exhaustive search exceeds its node budget before proving
+/// optimality (the admissible bound was too loose for this circuit).
+/// Auto-selecting callers catch this and fall back to the heuristic search.
+/// With num_threads > 1 the trip point depends on worker timing (pruning
+/// tightens as the shared incumbent spreads), so budgets should carry
+/// margin; a search that *completes* returns the identical result at every
+/// thread count regardless.
+class ExhaustiveBudgetError : public std::runtime_error {
+ public:
+  ExhaustiveBudgetError(std::uint64_t nodes_expanded, std::uint64_t budget);
+  [[nodiscard]] std::uint64_t nodes_expanded() const noexcept { return nodes_expanded_; }
+  [[nodiscard]] std::uint64_t budget() const noexcept { return budget_; }
+
+ private:
+  std::uint64_t nodes_expanded_;
+  std::uint64_t budget_;
 };
 
-/// Brute force over all 2^P assignments, minimizing estimated power.
-/// Ties are broken towards the smallest assignment code (output i negative
-/// iff bit i set) — exactly the seed scan's first-minimum-in-code-order —
-/// so the result is thread-count independent.
+enum class ExhaustiveAlgorithm : std::uint8_t {
+  /// Prefix-tree enumeration pruned by admissible per-output lower bounds;
+  /// bit-identical (cost, assignment, tie-break) to the Gray walk.
+  kBranchAndBound,
+  /// The unpruned 2^P Gray-code walk — the reference implementation the
+  /// pruned search is verified against, and the faster choice only when
+  /// nothing prunes (it pays one flip per candidate instead of two).
+  kGrayWalk,
+};
+
+struct ExhaustiveOptions {
+  /// Refuse (with ExhaustiveLimitError) when #POs exceeds this; values
+  /// above kMaxExhaustiveOutputs are clamped to it.
+  std::size_t max_outputs = kDefaultPrunedExhaustiveLimit;
+  /// Worker threads sharding the space; 0 = one per hardware thread.
+  /// The result is identical for every value.
+  unsigned num_threads = 1;
+  ExhaustiveAlgorithm algorithm = ExhaustiveAlgorithm::kBranchAndBound;
+  /// Abort with ExhaustiveBudgetError after this many expanded nodes
+  /// (branch-and-bound) or when 2^P exceeds it outright (Gray walk).
+  /// 0 = unlimited.
+  std::uint64_t node_budget = 0;
+};
+
+/// Exact minimum-power assignment over all 2^P candidates.  Ties are broken
+/// towards the smallest assignment code (output i negative iff bit i set) —
+/// exactly the seed scan's first-minimum-in-code-order — so the result is
+/// thread-count independent for both algorithms.
 [[nodiscard]] SearchResult exhaustive_min_power(const AssignmentEvaluator& evaluator,
                                                 const ExhaustiveOptions& options);
 
-/// Brute force over all 2^P assignments, minimizing area.
+/// Exact minimum-area assignment over all 2^P candidates.
 [[nodiscard]] SearchResult exhaustive_min_area(const AssignmentEvaluator& evaluator,
                                                const ExhaustiveOptions& options);
 
 /// Convenience overloads with a bare output-count limit.
 [[nodiscard]] SearchResult exhaustive_min_power(
     const AssignmentEvaluator& evaluator,
-    std::size_t limit = kDefaultExhaustiveLimit);
+    std::size_t limit = kDefaultPrunedExhaustiveLimit);
 [[nodiscard]] SearchResult exhaustive_min_area(
     const AssignmentEvaluator& evaluator,
-    std::size_t limit = kDefaultExhaustiveLimit);
+    std::size_t limit = kDefaultPrunedExhaustiveLimit);
 
 struct MinAreaOptions {
   std::uint64_t seed = 1;
-  std::size_t exhaustive_limit = 16;  ///< use brute force when #POs <= this
+  /// Use exact branch-and-bound search when #POs <= this (clamped to
+  /// kMaxExhaustiveOutputs), falling back to annealing when the node budget
+  /// below trips instead.
+  std::size_t exhaustive_limit = kDefaultPrunedExhaustiveLimit;
+  /// Node budget of the exact search (see ExhaustiveOptions::node_budget);
+  /// 0 = unlimited (never fall back on work, only on the output count).
+  std::uint64_t node_budget = kDefaultExhaustiveNodeBudget;
   std::size_t anneal_iterations = 0;  ///< 0 = auto (scales with #POs)
   unsigned restarts = 2;
   /// Worker threads (exhaustive sharding / concurrent annealing restarts);

@@ -52,6 +52,11 @@ class Client {
     std::size_t search_commits = 0;
     std::size_t commit_rescore_pairs = 0;
     std::size_t avg_update_nodes = 0;
+    /// Exhaustive branch-and-bound counters of the served report (0 when
+    /// the assignment came from a heuristic search).
+    std::size_t search_nodes_expanded = 0;
+    std::size_t search_subtrees_pruned = 0;
+    double search_bound_tightness = 0.0;
     std::string raw;  ///< the full response line
   };
 

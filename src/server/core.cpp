@@ -127,6 +127,12 @@ void ServerCore::process(const std::string& key,
         stats_.search_commits += response.report.search_commits;
         stats_.commit_rescore_pairs += response.report.commit_rescore_pairs;
         stats_.avg_update_nodes += response.report.avg_update_nodes;
+        stats_.search_nodes_expanded += response.report.search_nodes_expanded;
+        stats_.search_subtrees_pruned += response.report.search_subtrees_pruned;
+        if (response.report.search_nodes_expanded > 0) {
+          ++stats_.exhaustive_searches;
+          stats_.bound_tightness_sum += response.report.search_bound_tightness;
+        }
         break;
       case ServerStatus::kRejectedDeadline: ++stats_.rejected_deadline; break;
       case ServerStatus::kRejectedShutdown: ++stats_.rejected_shutdown; break;

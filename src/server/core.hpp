@@ -124,6 +124,14 @@ class ServerCore {
     std::size_t search_commits = 0;
     std::size_t commit_rescore_pairs = 0;
     std::size_t avg_update_nodes = 0;
+    /// Aggregated exhaustive branch-and-bound telemetry: responses whose
+    /// assignment came from the pruned exact search, their expanded /
+    /// pruned node totals, and the summed bound-tightness ratios (divide by
+    /// exhaustive_searches for the fleet average).
+    std::size_t exhaustive_searches = 0;
+    std::size_t search_nodes_expanded = 0;
+    std::size_t search_subtrees_pruned = 0;
+    double bound_tightness_sum = 0.0;
   };
 
   explicit ServerCore(ServerConfig config = {});

@@ -260,6 +260,9 @@ void append_report(std::string& out, const FlowReport& report) {
   append_field(out, "search_commits", report.search_commits);
   append_field(out, "commit_rescore_pairs", report.commit_rescore_pairs);
   append_field(out, "avg_update_nodes", report.avg_update_nodes);
+  append_field(out, "search_nodes_expanded", report.search_nodes_expanded);
+  append_field(out, "search_subtrees_pruned", report.search_subtrees_pruned);
+  append_field(out, "search_bound_tightness", report.search_bound_tightness);
   append_field(out, "used_exact_bdd", report.used_exact_bdd);
   append_field(out, "equivalence_ok", report.equivalence_ok);
   append_field(out, "seconds", report.seconds, /*comma=*/false);
@@ -374,7 +377,11 @@ std::string format_stats(const ServerCore::Stats& stats,
   append_field(out, "running_now", stats.running_now);
   append_field(out, "search_commits", stats.search_commits);
   append_field(out, "commit_rescore_pairs", stats.commit_rescore_pairs);
-  append_field(out, "avg_update_nodes", stats.avg_update_nodes,
+  append_field(out, "avg_update_nodes", stats.avg_update_nodes);
+  append_field(out, "exhaustive_searches", stats.exhaustive_searches);
+  append_field(out, "search_nodes_expanded", stats.search_nodes_expanded);
+  append_field(out, "search_subtrees_pruned", stats.search_subtrees_pruned);
+  append_field(out, "bound_tightness_sum", stats.bound_tightness_sum,
                /*comma=*/false);
   out += "},";
   out += "\"cache\":{";

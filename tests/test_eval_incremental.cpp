@@ -605,17 +605,28 @@ TEST(Search, ExhaustiveMatchesReferenceScan) {
     }
   }
 
+  // Default algorithm: branch-and-bound, bit-identical to the scan but
+  // proving optimality with fewer exact evaluations.
   const SearchResult power = exhaustive_min_power(evaluator);
   EXPECT_EQ(power.cost.power.total(), best_power);
   EXPECT_EQ(power.assignment, best_power_phases);  // seed tie-break order
-  EXPECT_EQ(power.evaluations, 1ULL << net.num_pos());
+  EXPECT_LE(power.evaluations, 1ULL << net.num_pos());
+  EXPECT_GT(power.nodes_expanded, 0u);
   expect_cost_identical(power.cost, evaluator.evaluate(power.assignment));
 
   const SearchResult area = exhaustive_min_area(evaluator);
   EXPECT_EQ(area.cost.area_cells(), best_area);
-  // Area metrics are small integers, so ties are common — the Gray-walk
+  // Area metrics are small integers, so ties are common — the pruned
   // search must still return the seed scan's first winner.
   EXPECT_EQ(area.assignment, best_area_phases);
+
+  // The reference Gray walk visits every candidate exactly once.
+  ExhaustiveOptions gray;
+  gray.algorithm = ExhaustiveAlgorithm::kGrayWalk;
+  const SearchResult gray_power = exhaustive_min_power(evaluator, gray);
+  EXPECT_EQ(gray_power.assignment, best_power_phases);
+  EXPECT_EQ(gray_power.evaluations, 1ULL << net.num_pos());
+  expect_cost_identical(gray_power.cost, power.cost);
 }
 
 TEST(Search, ParallelExhaustiveIsThreadCountIndependent) {
@@ -628,6 +639,10 @@ TEST(Search, ParallelExhaustiveIsThreadCountIndependent) {
   const Network net = generate_benchmark(spec);
   const AssignmentEvaluator evaluator = make_evaluator(net, {}, 0.7);
 
+  // Branch-and-bound: the (cost, assignment) result is thread-count
+  // invariant by contract; the work counters are not (pruning depends on
+  // when workers observe the shared incumbent), so only the result is
+  // compared.
   ExhaustiveOptions sequential;
   sequential.num_threads = 1;
   const SearchResult base = exhaustive_min_power(evaluator, sequential);
@@ -637,7 +652,22 @@ TEST(Search, ParallelExhaustiveIsThreadCountIndependent) {
     const SearchResult result = exhaustive_min_power(evaluator, parallel);
     EXPECT_EQ(result.assignment, base.assignment) << threads;
     expect_cost_identical(result.cost, base.cost);
-    EXPECT_EQ(result.evaluations, base.evaluations);
+  }
+
+  // The Gray walk visits a fixed candidate set, so even its counter is
+  // identical for every thread count.
+  ExhaustiveOptions gray_sequential;
+  gray_sequential.algorithm = ExhaustiveAlgorithm::kGrayWalk;
+  gray_sequential.num_threads = 1;
+  const SearchResult gray_base = exhaustive_min_power(evaluator, gray_sequential);
+  EXPECT_EQ(gray_base.assignment, base.assignment);
+  for (const unsigned threads : {2u, 5u}) {
+    ExhaustiveOptions parallel = gray_sequential;
+    parallel.num_threads = threads;
+    const SearchResult result = exhaustive_min_power(evaluator, parallel);
+    EXPECT_EQ(result.assignment, gray_base.assignment) << threads;
+    expect_cost_identical(result.cost, gray_base.cost);
+    EXPECT_EQ(result.evaluations, gray_base.evaluations);
   }
 }
 
@@ -711,7 +741,7 @@ TEST(Search, ExhaustiveLimitErrorCarriesContext) {
     FAIL() << "expected ExhaustiveLimitError";
   } catch (const ExhaustiveLimitError& error) {
     EXPECT_EQ(error.num_outputs(), 25u);
-    EXPECT_EQ(error.limit(), kDefaultExhaustiveLimit);
+    EXPECT_EQ(error.limit(), kDefaultPrunedExhaustiveLimit);
     EXPECT_NE(std::string(error.what()).find("25"), std::string::npos);
   }
 }

@@ -75,6 +75,11 @@ void expect_reports_identical(const FlowReport& a, const FlowReport& b) {
   EXPECT_EQ(a.search_commits, b.search_commits);
   EXPECT_EQ(a.commit_rescore_pairs, b.commit_rescore_pairs);
   EXPECT_EQ(a.avg_update_nodes, b.avg_update_nodes);
+  // Branch-and-bound counters are timing-dependent across *runs*, but every
+  // response served from one cached assign stage reports the same values.
+  EXPECT_EQ(a.search_nodes_expanded, b.search_nodes_expanded);
+  EXPECT_EQ(a.search_subtrees_pruned, b.search_subtrees_pruned);
+  EXPECT_EQ(a.search_bound_tightness, b.search_bound_tightness);
   EXPECT_EQ(a.equivalence_ok, b.equivalence_ok);
 }
 
@@ -170,6 +175,38 @@ TEST(ServerCore, StatsAggregateCommitPathTelemetry) {
   EXPECT_EQ(stats.search_commits, 2 * cold.report.search_commits);
   EXPECT_EQ(stats.commit_rescore_pairs, 2 * cold.report.commit_rescore_pairs);
   EXPECT_EQ(stats.avg_update_nodes, 2 * cold.report.avg_update_nodes);
+  EXPECT_EQ(stats.exhaustive_searches, 0u);  // heuristic path: no pruning run
+
+  // A 6-PO circuit takes the auto-exhaustive branch-and-bound path; its
+  // pruning telemetry aggregates the same way (hot repeat served from the
+  // cached assign stage, so the counters double exactly).
+  const Network small = generate_benchmark(server_spec(84, /*pos=*/6));
+  const ServerResponse exact_cold =
+      core.submit(make_request(small, fast_options(PhaseMode::kMinPower))).get();
+  ASSERT_EQ(exact_cold.status, ServerStatus::kOk) << exact_cold.error_message;
+  EXPECT_GT(exact_cold.report.search_nodes_expanded, 0u);
+  EXPECT_GT(exact_cold.report.search_bound_tightness, 0.0);
+  const ServerResponse exact_hot =
+      core.submit(make_request(small, fast_options(PhaseMode::kMinPower))).get();
+  ASSERT_EQ(exact_hot.status, ServerStatus::kOk);
+  expect_reports_identical(exact_hot.report, exact_cold.report);
+
+  const ServerCore::Stats after = core.stats();
+  EXPECT_EQ(after.exhaustive_searches, 2u);
+  EXPECT_EQ(after.search_nodes_expanded,
+            2 * exact_cold.report.search_nodes_expanded);
+  EXPECT_EQ(after.search_subtrees_pruned,
+            2 * exact_cold.report.search_subtrees_pruned);
+  EXPECT_EQ(after.bound_tightness_sum,
+            2 * exact_cold.report.search_bound_tightness);
+
+  // The new counters ride the stats wire format.
+  const std::string stats_json = protocol::format_stats(after, core.cache());
+  EXPECT_EQ(protocol::find_number(stats_json, "exhaustive_searches"), 2.0);
+  EXPECT_EQ(protocol::find_number(stats_json, "search_nodes_expanded"),
+            static_cast<double>(after.search_nodes_expanded));
+  EXPECT_EQ(protocol::find_number(stats_json, "bound_tightness_sum"),
+            after.bound_tightness_sum);
   core.shutdown();
 }
 
@@ -296,10 +333,10 @@ TEST(ServerCore, NonDrainShutdownCancelsQueuedWork) {
 }
 
 TEST(ServerCore, FlowErrorsPropagateWithOriginalType) {
-  // 22 POs exceed even the explicit-exhaustive cap
-  // (max(exhaustive_pos_limit, kDefaultExhaustiveLimit) = 20): the search
-  // refuses up front, before any work.
-  const Network net = generate_benchmark(server_spec(79, /*pos=*/22));
+  // 25 POs exceed even the explicit-exhaustive cap
+  // (max(exhaustive_pos_limit, kDefaultPrunedExhaustiveLimit) = 24): the
+  // search refuses up front, before any work.
+  const Network net = generate_benchmark(server_spec(79, /*pos=*/25));
   FlowOptions options = fast_options(PhaseMode::kExhaustivePower);
   options.exhaustive_pos_limit = 10;
 
@@ -474,6 +511,9 @@ TEST(Protocol, ResponseRoundTripsThroughScanners) {
   response.report.search_commits = 7;
   response.report.commit_rescore_pairs = 91;
   response.report.avg_update_nodes = 1234;
+  response.report.search_nodes_expanded = 555;
+  response.report.search_subtrees_pruned = 44;
+  response.report.search_bound_tightness = 0.9375;
   response.telemetry.cache_hit = true;
   response.telemetry.rebuilt.assign_searches = 2;
   response.telemetry.queue_seconds = 0.25;
@@ -493,6 +533,10 @@ TEST(Protocol, ResponseRoundTripsThroughScanners) {
   EXPECT_EQ(protocol::find_number(json, "search_commits"), 7.0);
   EXPECT_EQ(protocol::find_number(json, "commit_rescore_pairs"), 91.0);
   EXPECT_EQ(protocol::find_number(json, "avg_update_nodes"), 1234.0);
+  EXPECT_EQ(protocol::find_number(json, "search_nodes_expanded"), 555.0);
+  EXPECT_EQ(protocol::find_number(json, "search_subtrees_pruned"), 44.0);
+  // 0.9375 is dyadic, so the round trip is exact.
+  EXPECT_EQ(protocol::find_number(json, "search_bound_tightness"), 0.9375);
 
   ServerResponse rejected;
   rejected.status = ServerStatus::kRejectedQueueFull;
