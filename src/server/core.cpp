@@ -129,6 +129,8 @@ void ServerCore::process(const std::string& key,
         stats_.avg_update_nodes += response.report.avg_update_nodes;
         stats_.search_nodes_expanded += response.report.search_nodes_expanded;
         stats_.search_subtrees_pruned += response.report.search_subtrees_pruned;
+        stats_.search_batched_trials += response.report.search_batched_trials;
+        stats_.search_batch_walks += response.report.search_batch_walks;
         if (response.report.search_nodes_expanded > 0) {
           ++stats_.exhaustive_searches;
           stats_.bound_tightness_sum += response.report.search_bound_tightness;

@@ -131,6 +131,11 @@ class ServerCore {
     std::size_t exhaustive_searches = 0;
     std::size_t search_nodes_expanded = 0;
     std::size_t search_subtrees_pruned = 0;
+    /// Aggregated batched-evaluator telemetry (docs/eval_batch.md): trials
+    /// served from shared batch walks and the walk count, summed over kOk
+    /// responses.  batched - walks = cone walks the lanes saved fleet-wide.
+    std::size_t search_batched_trials = 0;
+    std::size_t search_batch_walks = 0;
     double bound_tightness_sum = 0.0;
   };
 

@@ -263,6 +263,8 @@ void append_report(std::string& out, const FlowReport& report) {
   append_field(out, "search_nodes_expanded", report.search_nodes_expanded);
   append_field(out, "search_subtrees_pruned", report.search_subtrees_pruned);
   append_field(out, "search_bound_tightness", report.search_bound_tightness);
+  append_field(out, "search_batched_trials", report.search_batched_trials);
+  append_field(out, "search_batch_walks", report.search_batch_walks);
   append_field(out, "used_exact_bdd", report.used_exact_bdd);
   append_field(out, "equivalence_ok", report.equivalence_ok);
   append_field(out, "seconds", report.seconds, /*comma=*/false);
@@ -381,6 +383,8 @@ std::string format_stats(const ServerCore::Stats& stats,
   append_field(out, "exhaustive_searches", stats.exhaustive_searches);
   append_field(out, "search_nodes_expanded", stats.search_nodes_expanded);
   append_field(out, "search_subtrees_pruned", stats.search_subtrees_pruned);
+  append_field(out, "search_batched_trials", stats.search_batched_trials);
+  append_field(out, "search_batch_walks", stats.search_batch_walks);
   append_field(out, "bound_tightness_sum", stats.bound_tightness_sum,
                /*comma=*/false);
   out += "},";

@@ -1,0 +1,346 @@
+/// Tests for the batched multi-candidate evaluator (phase/eval_batch.hpp):
+///  * randomized bit-identity of EvalBatch lanes vs scalar apply_flip/undo
+///    across lane widths, power-model variants and multi-output plans,
+///  * partial-state (branch-and-bound style) lane programmes vs scalar
+///    assign_output on unassigned bases,
+///  * boundary folding cases (wires, constants, shared inverters, NOT chains),
+///  * plan/bind reuse and the lane-width resolution rules.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "bdd/netbdd.hpp"
+#include "benchgen/benchgen.hpp"
+#include "phase/eval.hpp"
+#include "phase/eval_batch.hpp"
+#include "util/rng.hpp"
+
+namespace dominosyn {
+namespace {
+
+AssignmentEvaluator make_evaluator(const Network& net, PowerModelConfig config,
+                                   double pi_prob = 0.5) {
+  const std::vector<double> pi_probs(net.num_pis(), pi_prob);
+  return AssignmentEvaluator(net, signal_probabilities(net, pi_probs), config);
+}
+
+void expect_cost_identical(const AssignmentCost& a, const AssignmentCost& b) {
+  EXPECT_EQ(a.power.domino_block, b.power.domino_block);
+  EXPECT_EQ(a.power.input_inverters, b.power.input_inverters);
+  EXPECT_EQ(a.power.output_inverters, b.power.output_inverters);
+  EXPECT_EQ(a.power.clock_load, b.power.clock_load);
+  EXPECT_EQ(a.domino_gates, b.domino_gates);
+  EXPECT_EQ(a.duplicated_gates, b.duplicated_gates);
+  EXPECT_EQ(a.input_inverters, b.input_inverters);
+  EXPECT_EQ(a.output_inverters, b.output_inverters);
+}
+
+std::vector<PowerModelConfig> model_variants() {
+  PowerModelConfig plain;
+  PowerModelConfig loaded;
+  loaded.load_aware = true;
+  PowerModelConfig clocked;
+  clocked.clock_cap_per_gate = 0.35;
+  clocked.penalty.and_mult = 1.25;
+  clocked.penalty.or_add = 0.05;
+  PowerModelConfig full;
+  full.load_aware = true;
+  full.clock_cap_per_gate = 0.5;
+  full.domino_driven_inverter_edges = 1.0;
+  full.penalty.or_mult = 1.1;
+  full.penalty.and_add = 0.02;
+  return {plain, loaded, clocked, full};
+}
+
+/// The lane widths the bit-identity contract is exercised at (1 is the
+/// degenerate single-lane batch; engines use their scalar path there, but the
+/// evaluator itself must still agree).
+const std::size_t kLaneWidths[] = {1, 4, 8, 16, kMaxEvalBatchLanes};
+
+TEST(EvalBatchConfig, LaneResolutionRules) {
+  EXPECT_EQ(resolve_eval_batch_lanes(0), kDefaultEvalBatchLanes);
+  EXPECT_EQ(resolve_eval_batch_lanes(1), 1u);
+  EXPECT_EQ(resolve_eval_batch_lanes(6), 6u);
+  EXPECT_EQ(resolve_eval_batch_lanes(10'000), kMaxEvalBatchLanes);
+  // The SIMD dispatch question must at least have an answer; both answers
+  // are bit-identical by contract, which the tests below prove.
+  (void)eval_batch_simd_active();
+}
+
+class EvalBatchIdentity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EvalBatchIdentity, LanesMatchScalarFlips) {
+  // Random multi-output plans on random bases: every lane's cost must be
+  // bit-for-bit what apply_flip-ing the lane's outputs on the base reports.
+  const std::uint64_t seed = GetParam();
+  BenchSpec spec;
+  spec.name = "batch";
+  spec.num_pis = 9;
+  spec.num_pos = 8;
+  spec.num_latches = seed % 2 == 0 ? 3 : 0;
+  spec.gate_target = 90;
+  spec.seed = seed * 19 + 3;
+  const Network net = generate_benchmark(spec);
+  const std::size_t num_pos = net.num_pos();
+
+  for (const PowerModelConfig& config : model_variants()) {
+    const AssignmentEvaluator evaluator =
+        make_evaluator(net, config, seed % 3 == 0 ? 0.8 : 0.5);
+    Rng rng(seed + 41);
+
+    for (const std::size_t width : kLaneWidths) {
+      EvalBatch batch(evaluator.context(), width);
+
+      PhaseAssignment base_phases(num_pos);
+      for (auto& p : base_phases)
+        p = rng.bernoulli(0.5) ? Phase::kNegative : Phase::kPositive;
+      EvalState state(evaluator.context(), base_phases);
+
+      for (int round = 0; round < 6; ++round) {
+        // 1-3 distinct variable outputs per plan.
+        const std::size_t vars = 1 + rng.below(3);
+        std::vector<std::uint32_t> outputs;
+        while (outputs.size() < vars) {
+          const auto o = static_cast<std::uint32_t>(rng.below(num_pos));
+          if (std::find(outputs.begin(), outputs.end(), o) == outputs.end())
+            outputs.push_back(o);
+        }
+        batch.plan(outputs);
+        batch.bind(state);
+
+        // Random lane programmes (kBase / explicit phases / flips).
+        std::vector<std::vector<Phase>> lane_phases;
+        for (std::size_t w = 0; w < width; ++w) {
+          const std::size_t lane = batch.add_lane();
+          ASSERT_EQ(lane, w);
+          std::vector<Phase> phases(vars);
+          for (std::size_t s = 0; s < vars; ++s) {
+            switch (rng.below(4)) {
+              case 0:
+                phases[s] = state.assignment()[outputs[s]];
+                break;  // keep base, implicitly
+              case 1:
+                phases[s] = Phase::kPositive;
+                batch.set_choice(w, s, EvalBatch::LanePhase::kPositive);
+                break;
+              case 2:
+                phases[s] = Phase::kNegative;
+                batch.set_choice(w, s, EvalBatch::LanePhase::kNegative);
+                break;
+              default:
+                batch.set_flip(w, s);
+                phases[s] = state.assignment()[outputs[s]] == Phase::kPositive
+                                ? Phase::kNegative
+                                : Phase::kPositive;
+                break;
+            }
+          }
+          lane_phases.push_back(std::move(phases));
+        }
+        batch.evaluate();
+
+        for (std::size_t w = 0; w < width; ++w) {
+          std::size_t applied = 0;
+          for (std::size_t s = 0; s < vars; ++s) {
+            if (lane_phases[w][s] != state.assignment()[outputs[s]]) {
+              state.apply_flip(outputs[s]);
+              ++applied;
+            }
+          }
+          expect_cost_identical(batch.cost(w), state.cost());
+          EXPECT_EQ(batch.power_total(w), state.power_total());
+          EXPECT_EQ(batch.area_cells(w), state.area_cells());
+          EXPECT_EQ(batch.metric(w, true), state.power_total());
+          EXPECT_EQ(batch.metric(w, false),
+                    static_cast<double>(state.area_cells()));
+          while (applied-- > 0) state.undo();
+        }
+
+        // Drift the base between rounds; the next plan/bind must track it.
+        state.apply_flip(rng.below(num_pos));
+      }
+    }
+  }
+}
+
+TEST_P(EvalBatchIdentity, PartialStateLanesMatchScalarAssign) {
+  // Branch-and-bound shape: an unassigned-suffix base, lanes assigning the
+  // next outputs.  Each lane must match scalar assign_output on a copy, and
+  // kBase lanes must leave unassigned outputs unassigned (= base cost).
+  const std::uint64_t seed = GetParam();
+  BenchSpec spec;
+  spec.name = "pod";
+  spec.num_pis = 8;
+  spec.num_pos = 7;
+  spec.num_latches = seed % 3 == 0 ? 2 : 0;
+  spec.gate_target = 80;
+  spec.seed = seed + 57;
+  const Network net = generate_benchmark(spec);
+  const std::size_t num_pos = net.num_pos();
+
+  for (const PowerModelConfig& config : model_variants()) {
+    const AssignmentEvaluator evaluator = make_evaluator(net, config, 0.6);
+    Rng rng(seed * 3 + 1);
+
+    EvalState state(evaluator.context(), EvalState::AllUnassigned{});
+    // Assign a random prefix of outputs scalar-side.
+    const std::size_t assigned = rng.below(num_pos);
+    for (std::size_t i = 0; i < assigned; ++i)
+      state.assign_output(
+          i, rng.bernoulli(0.5) ? Phase::kNegative : Phase::kPositive);
+
+    // Variable outputs: the next two unassigned (or one if only one is left),
+    // plus one already-assigned output when available — mixed plans must work.
+    std::vector<std::uint32_t> outputs;
+    for (std::size_t i = assigned; i < num_pos && outputs.size() < 2; ++i)
+      outputs.push_back(static_cast<std::uint32_t>(i));
+    if (assigned > 0) outputs.push_back(0);
+    ASSERT_FALSE(outputs.empty());
+
+    EvalBatch batch(evaluator.context(), 8);
+    batch.plan(outputs);
+    batch.bind(state);
+
+    // Lane 0: all kBase (must reproduce the partial base exactly).  The rest
+    // enumerate phase choices on the unassigned variables.
+    std::vector<std::vector<EvalBatch::LanePhase>> programmes;
+    programmes.push_back(std::vector<EvalBatch::LanePhase>(
+        outputs.size(), EvalBatch::LanePhase::kBase));
+    for (int w = 1; w < 8; ++w) {
+      std::vector<EvalBatch::LanePhase> prog;
+      for (std::size_t s = 0; s < outputs.size(); ++s) {
+        const std::size_t roll = rng.below(3);
+        prog.push_back(roll == 0 ? EvalBatch::LanePhase::kBase
+                       : roll == 1 ? EvalBatch::LanePhase::kPositive
+                                   : EvalBatch::LanePhase::kNegative);
+      }
+      programmes.push_back(std::move(prog));
+    }
+    for (std::size_t w = 0; w < programmes.size(); ++w) {
+      batch.add_lane();
+      for (std::size_t s = 0; s < outputs.size(); ++s)
+        if (programmes[w][s] != EvalBatch::LanePhase::kBase)
+          batch.set_choice(w, s, programmes[w][s]);
+    }
+    batch.evaluate();
+
+    for (std::size_t w = 0; w < programmes.size(); ++w) {
+      EvalState replay = state;  // scalar oracle
+      for (std::size_t s = 0; s < outputs.size(); ++s) {
+        const EvalBatch::LanePhase choice = programmes[w][s];
+        const std::size_t o = outputs[s];
+        if (choice == EvalBatch::LanePhase::kBase) continue;
+        const Phase phase = choice == EvalBatch::LanePhase::kPositive
+                                ? Phase::kPositive
+                                : Phase::kNegative;
+        if (replay.output_assigned(o)) {
+          if (replay.assignment()[o] != phase) replay.apply_flip(o);
+        } else {
+          replay.assign_output(o, phase);
+        }
+      }
+      expect_cost_identical(batch.cost(w), replay.cost());
+      EXPECT_EQ(batch.power_total(w), replay.power_total());
+      EXPECT_EQ(batch.area_cells(w), replay.area_cells());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EvalBatchIdentity,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(EvalBatch, BoundaryFoldingCases) {
+  // Wires, input inverters, constants, NOT chains and shared output
+  // inverters: every folding special-case of add_output_refs, batched.
+  Network net;
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId g = net.add_and(a, b);
+  net.add_po("wire", a);
+  net.add_po("inv", net.add_not(a));
+  net.add_po("const", Network::const0());
+  net.add_po("notconst", net.add_not(Network::const1()));
+  net.add_po("f", g);
+  net.add_po("nf", net.add_not(net.add_not(net.add_not(g))));
+  const std::size_t num_pos = net.num_pos();
+
+  std::vector<std::uint32_t> all_outputs(num_pos);
+  for (std::size_t i = 0; i < num_pos; ++i)
+    all_outputs[i] = static_cast<std::uint32_t>(i);
+
+  for (const PowerModelConfig& config : model_variants()) {
+    const AssignmentEvaluator evaluator = make_evaluator(net, config, 0.7);
+    EvalState state(evaluator.context(), all_positive(net));
+    EvalBatch batch(evaluator.context(), kMaxEvalBatchLanes);
+    batch.plan(all_outputs);
+
+    // Enumerate every assignment as a lane against the all-positive base.
+    batch.bind(state);
+    std::vector<std::uint64_t> codes;
+    for (std::uint64_t code = 0; code < (1ULL << num_pos); ++code) {
+      const std::size_t lane = batch.add_lane();
+      for (std::size_t s = 0; s < num_pos; ++s)
+        batch.set_choice(lane, s,
+                         ((code >> s) & 1ULL) != 0
+                             ? EvalBatch::LanePhase::kNegative
+                             : EvalBatch::LanePhase::kPositive);
+      codes.push_back(code);
+    }
+    batch.evaluate();
+    for (std::size_t w = 0; w < codes.size(); ++w) {
+      PhaseAssignment phases(num_pos);
+      for (std::size_t s = 0; s < num_pos; ++s)
+        phases[s] = ((codes[w] >> s) & 1ULL) != 0 ? Phase::kNegative
+                                                  : Phase::kPositive;
+      expect_cost_identical(batch.cost(w), evaluator.evaluate(phases));
+    }
+  }
+}
+
+TEST(EvalBatch, PlanRejectsBadInputsAndReuseTracksRebinds) {
+  BenchSpec spec;
+  spec.name = "reuse";
+  spec.num_pis = 8;
+  spec.num_pos = 6;
+  spec.gate_target = 60;
+  spec.seed = 77;
+  const Network net = generate_benchmark(spec);
+  const AssignmentEvaluator evaluator = make_evaluator(net, {});
+
+  EvalBatch batch(evaluator.context(), 4);
+  EXPECT_THROW(batch.plan({0u, 0u}), std::runtime_error);  // duplicate
+  EXPECT_THROW(batch.plan({static_cast<std::uint32_t>(net.num_pos())}),
+               std::runtime_error);  // out of range
+  EXPECT_THROW(batch.add_lane(), std::runtime_error);  // not bound
+
+  // One plan, many binds: results must track each new base.
+  batch.plan({0u, 1u});
+  Rng rng(5);
+  EvalState state(evaluator.context(), all_positive(net));
+  for (int round = 0; round < 10; ++round) {
+    state.apply_flip(rng.below(net.num_pos()));
+    batch.bind(state);
+    for (int w = 0; w < 4; ++w) batch.add_lane();
+    batch.set_flip(1, 0);
+    batch.set_flip(2, 1);
+    batch.set_flip(3, 0);
+    batch.set_flip(3, 1);
+    batch.evaluate();
+
+    expect_cost_identical(batch.cost(0), state.cost());
+    for (const std::size_t w : {1u, 2u, 3u}) {
+      if (w == 1 || w == 3) state.apply_flip(0);
+      if (w == 2 || w == 3) state.apply_flip(1);
+      expect_cost_identical(batch.cost(w), state.cost());
+      while (state.history_depth() > static_cast<std::size_t>(round + 1))
+        state.undo();
+    }
+    // Lane overflow past the construction width is refused.
+    EXPECT_THROW(batch.add_lane(), std::runtime_error);
+  }
+}
+
+}  // namespace
+}  // namespace dominosyn

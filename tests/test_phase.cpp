@@ -282,6 +282,86 @@ TEST(MinPower, GuidanceModesAllImprove) {
   }
 }
 
+TEST(MinPower, TrajectoryBitIdenticalAcrossLaneWidthsAndThreads) {
+  // The batched trial windows (docs/eval_batch.md) must be invisible: the
+  // §4.1 loop and the polish descent walk the exact same trajectory —
+  // assignment, power, trial and commit counts — at every lane width and
+  // thread count as the scalar single-threaded run.
+  BenchSpec spec;
+  spec.name = "mplanes";
+  spec.num_pis = 10;
+  spec.num_pos = 9;
+  spec.gate_target = 110;
+  spec.seed = 21;
+  const Network net = generate_benchmark(spec);
+  const auto evaluator = make_evaluator(net, 0.6);
+  const ConeOverlap overlap(net);
+
+  for (const GuidanceMode mode :
+       {GuidanceMode::kCostFunction, GuidanceMode::kMeasureAll}) {
+    MinPowerOptions scalar;
+    scalar.guidance = mode;
+    scalar.batch_lanes = 1;
+    scalar.num_threads = 1;
+    const auto reference = min_power_assignment(evaluator, overlap, scalar);
+
+    // 2 and 3 exercise the chunked measure-all walks (4 combos over a
+    // narrower batch), 3 the uneven remainder.
+    for (const std::size_t lanes : {std::size_t{2}, std::size_t{3},
+                                    std::size_t{4}, std::size_t{8},
+                                    std::size_t{16}}) {
+      for (const unsigned threads : {1u, 2u, 8u}) {
+        MinPowerOptions batched = scalar;
+        batched.batch_lanes = lanes;
+        batched.num_threads = threads;
+        const auto got = min_power_assignment(evaluator, overlap, batched);
+        EXPECT_EQ(got.assignment, reference.assignment)
+            << "mode=" << static_cast<int>(mode) << " lanes=" << lanes
+            << " threads=" << threads;
+        EXPECT_EQ(got.final_power, reference.final_power);  // bitwise
+        EXPECT_EQ(got.initial_power, reference.initial_power);
+        EXPECT_EQ(got.trials, reference.trials);
+        EXPECT_EQ(got.commits, reference.commits);
+        if (lanes > 1) EXPECT_GT(got.batched_trials, 0u);
+      }
+    }
+  }
+}
+
+TEST(MinArea, AnnealingBitIdenticalAcrossLaneWidthsAndThreads) {
+  // Same contract for the annealing + greedy-descent fallback: the seeded
+  // walk commits the same flips whether candidates are scored one at a time
+  // or through EvalBatch lanes, on any number of restart workers.
+  BenchSpec spec;
+  spec.name = "malanes";
+  spec.num_pis = 9;
+  spec.num_pos = 8;
+  spec.gate_target = 90;
+  spec.seed = 17;
+  const Network net = generate_benchmark(spec);
+  const auto evaluator = make_evaluator(net, 0.6);
+
+  MinAreaOptions scalar;
+  scalar.exhaustive_limit = 0;  // force the annealing path
+  scalar.batch_lanes = 1;
+  scalar.num_threads = 1;
+  const auto reference = min_area_assignment(evaluator, scalar);
+
+  for (const std::size_t lanes : {std::size_t{2}, std::size_t{4},
+                                  std::size_t{8}, std::size_t{16}}) {
+    for (const unsigned threads : {1u, 2u, 8u}) {
+      MinAreaOptions batched = scalar;
+      batched.batch_lanes = lanes;
+      batched.num_threads = threads;
+      const auto got = min_area_assignment(evaluator, batched);
+      EXPECT_EQ(got.assignment, reference.assignment)
+          << "lanes=" << lanes << " threads=" << threads;
+      EXPECT_EQ(got.cost.area_cells(), reference.cost.area_cells());
+      EXPECT_EQ(got.cost.power.total(), reference.cost.power.total());
+    }
+  }
+}
+
 TEST(MinPower, HighInputProbabilityPrefersNegativePhases) {
   // With p(PI) = 0.9 the positive cones are hot; the heuristic should flip
   // most outputs negative (the Figure 5 effect).

@@ -107,6 +107,39 @@ TEST(SearchBnb, BitIdenticalToGrayWalkOnRandomCircuits) {
   }
 }
 
+TEST(SearchBnb, BitIdenticalAcrossLaneWidthsAndThreads) {
+  // The batched evaluator must be invisible in the result: every lane width
+  // crossed with every thread count returns exactly the scalar
+  // single-threaded search's (cost, assignment, tie-break).
+  const Network net = random_circuit(31, 9, 100, 2);
+  for (const PowerModelConfig& model : model_variants()) {
+    const AssignmentEvaluator evaluator = make_evaluator(net, model, 0.6);
+    for (const bool by_power : {true, false}) {
+      ExhaustiveOptions scalar;
+      scalar.batch_lanes = 1;
+      const SearchResult reference =
+          by_power ? exhaustive_min_power(evaluator, scalar)
+                   : exhaustive_min_area(evaluator, scalar);
+
+      for (const std::size_t lanes : {std::size_t{2}, std::size_t{4},
+                                      std::size_t{8}, std::size_t{16}}) {
+        for (const unsigned threads : {1u, 2u, 8u}) {
+          ExhaustiveOptions batched;
+          batched.batch_lanes = lanes;
+          batched.num_threads = threads;
+          const SearchResult got =
+              by_power ? exhaustive_min_power(evaluator, batched)
+                       : exhaustive_min_area(evaluator, batched);
+          EXPECT_EQ(got.assignment, reference.assignment)
+              << "power=" << by_power << " lanes=" << lanes
+              << " threads=" << threads;
+          expect_cost_identical(got.cost, reference.cost);
+        }
+      }
+    }
+  }
+}
+
 TEST(SearchBnb, PartialStateIsMonotoneLowerBoundAndExactWhenComplete) {
   const Network net = random_circuit(21, 9, 110, 2);
   PowerModelConfig model;
