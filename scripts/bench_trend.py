@@ -10,6 +10,9 @@ Compares the current nightly run's JSON against the previous run's and fails
   * exhaustive_bb.largest_tractable_pos                     (higher better)
   * exhaustive_bb.runs[pos].nodes_expanded                  (lower better)
   * exhaustive_bb.runs[pos].prune_factor                    (higher better)
+  * distributed_search.speedup_2w                           (higher better,
+    plus an absolute floor on multi-core runners: two workers must beat one
+    by --min-dist-speedup)
 
 Wall-clock metrics on shared CI runners are noisy, so their tolerances are
 deliberately loose (a genuine asymptotic regression blows far past them).
@@ -90,6 +93,10 @@ def main() -> int:
     parser.add_argument("--max-count-regression", type=float, default=2.0,
                         help="allowed growth factor for pruning-work counts "
                              "(timing-jittery when multi-threaded)")
+    parser.add_argument("--min-dist-speedup", type=float, default=1.5,
+                        help="absolute floor on distributed_search.speedup_2w: "
+                             "a calibrated (>= 0.3 s) job on two workers must "
+                             "beat one worker by this factor")
     args = parser.parse_args()
 
     try:
@@ -108,9 +115,35 @@ def main() -> int:
     for metric in ("commit_path.speedup_per_commit",
                    "commit_path.commits_per_second",
                    "server_throughput.hot.requests_per_second",
-                   "batched_eval.speedup_per_candidate"):
+                   "batched_eval.speedup_per_candidate",
+                   "distributed_search.speedup_2w"):
         gate.check(metric, lookup(previous, metric), lookup(current, metric),
                    args.max_time_regression, higher_better=True)
+
+    # The fabric's scaling claim is absolute, not just trend-relative: the
+    # bench calibrates the job to >= 0.3 s of real search, so two workers
+    # falling under the floor means lease/merge overhead ate the parallelism.
+    # The floor only makes sense where two workers can actually run in
+    # parallel — on a single-core runner the bench still verifies the merge
+    # bit-for-bit but the wall-clock ratio is pure scheduler noise.
+    speedup_2w = lookup(current, "distributed_search.speedup_2w")
+    cores = lookup(current, "distributed_search.hardware_threads")
+    if speedup_2w is None:
+        gate.failures.append(
+            "distributed_search.speedup_2w: missing from current run")
+    elif cores is not None and cores < 2:
+        gate.lines.append(
+            f"  distributed_search.speedup_2w: {speedup_2w:g} "
+            f"(floor skipped: single-core runner)")
+    else:
+        verdict = "FAIL" if speedup_2w < args.min_dist_speedup else "ok"
+        gate.lines.append(
+            f"  distributed_search.speedup_2w: {speedup_2w:g} "
+            f"(absolute floor {args.min_dist_speedup:g}) {verdict}")
+        if speedup_2w < args.min_dist_speedup:
+            gate.failures.append(
+                f"distributed_search.speedup_2w below floor: {speedup_2w:g} "
+                f"< {args.min_dist_speedup:g}")
 
     # The climb is time-budgeted and its levels step by two outputs: tolerate
     # one level (2 POs) of machine jitter anywhere on the ladder, fail on

@@ -1,0 +1,275 @@
+/// \file coordinator.cpp
+
+#include "dist/coordinator.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace dominosyn::dist {
+
+DistCoordinator::OpenedJob DistCoordinator::open_job(
+    std::vector<WorkUnit> units, std::uint32_t lease_timeout_ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_) {
+    std::promise<JobResult> cancelled;
+    JobResult result;
+    result.cancelled = true;
+    cancelled.set_value(std::move(result));
+    return OpenedJob{0, cancelled.get_future()};
+  }
+  const std::uint64_t job_id = next_job_id_++;
+  Job& job = jobs_[job_id];
+  job.lease_timeout_ms = lease_timeout_ms;
+  job.units = std::move(units);
+  const std::size_t count = job.units.size();
+  job.in_queue.assign(count, 1);
+  job.done.assign(count, 0);
+  job.results.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    job.units[i].job_id = job_id;
+    job.units[i].unit_id = i;
+    job.queue.push_back(i);
+  }
+  std::future<JobResult> future = job.promise.get_future();
+  if (count == 0) {
+    job.promise.set_value(JobResult{});
+    jobs_.erase(job_id);
+  }
+  return OpenedJob{job_id, std::move(future)};
+}
+
+DistCoordinator::Grant DistCoordinator::grant_locked(Job& job,
+                                                     std::uint64_t job_id,
+                                                     std::size_t unit_index) {
+  (void)job_id;
+  Grant grant;
+  grant.unit = job.units[unit_index];
+  grant.incumbent = job.incumbent;
+  return grant;
+}
+
+std::optional<DistCoordinator::Grant> DistCoordinator::lease(
+    const std::string& worker, std::uint64_t job_filter) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Clock::time_point now = Clock::now();
+  sweep_locked(now);
+  for (auto& [job_id, job] : jobs_) {
+    if (job_filter != 0 && job_id != job_filter) continue;
+    if (job.queue.empty()) continue;
+    const std::size_t unit_index = job.queue.front();
+    job.queue.pop_front();
+    job.in_queue[unit_index] = 0;
+    Lease lease;
+    lease.unit_index = unit_index;
+    lease.worker = worker;
+    lease.deadline = now + std::chrono::milliseconds(job.lease_timeout_ms);
+    lease.valid = true;
+    job.leases.push_back(std::move(lease));
+    ++counters_.units_issued;
+    ++activity_;
+    return grant_locked(job, job_id, unit_index);
+  }
+  return std::nullopt;
+}
+
+std::optional<DistCoordinator::Grant> DistCoordinator::steal(
+    const std::string& worker, std::uint64_t job_filter) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Clock::time_point now = Clock::now();
+  sweep_locked(now);
+  // Stealing only kicks in once the regular queue is dry.
+  for (const auto& [job_id, job] : jobs_) {
+    if (job_filter != 0 && job_id != job_filter) continue;
+    if (!job.queue.empty()) return std::nullopt;
+  }
+  // Earliest-deadline live lease held by someone else = the most likely
+  // straggler worth duplicating.
+  Job* best_job = nullptr;
+  std::uint64_t best_job_id = 0;
+  std::size_t best_unit = 0;
+  Clock::time_point best_deadline{};
+  for (auto& [job_id, job] : jobs_) {
+    if (job_filter != 0 && job_id != job_filter) continue;
+    for (const Lease& lease : job.leases) {
+      if (!lease.valid || job.done[lease.unit_index]) continue;
+      if (lease.worker == worker) continue;
+      // Don't stack a second speculative lease on a unit this worker
+      // already holds.
+      const bool already_mine = std::any_of(
+          job.leases.begin(), job.leases.end(), [&](const Lease& other) {
+            return other.valid && other.unit_index == lease.unit_index &&
+                   other.worker == worker;
+          });
+      if (already_mine) continue;
+      if (best_job == nullptr || lease.deadline < best_deadline) {
+        best_job = &job;
+        best_job_id = job_id;
+        best_unit = lease.unit_index;
+        best_deadline = lease.deadline;
+      }
+    }
+  }
+  if (best_job == nullptr) return std::nullopt;
+  Lease lease;
+  lease.unit_index = best_unit;
+  lease.worker = worker;
+  lease.deadline = now + std::chrono::milliseconds(best_job->lease_timeout_ms);
+  lease.valid = true;
+  best_job->leases.push_back(std::move(lease));
+  ++counters_.units_stolen;
+  ++activity_;
+  return grant_locked(*best_job, best_job_id, best_unit);
+}
+
+DistCoordinator::CompleteAck DistCoordinator::complete(
+    const std::string& worker, const UnitResult& result) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sweep_locked(Clock::now());
+  CompleteAck ack;
+  const auto it = jobs_.find(result.job_id);
+  if (it == jobs_.end()) return ack;
+  Job& job = it->second;
+  if (result.unit_id >= job.units.size()) return ack;
+  const std::size_t unit_index = result.unit_id;
+  // This worker's lease on the unit is finished either way.
+  for (Lease& lease : job.leases) {
+    if (lease.valid && lease.unit_index == unit_index &&
+        lease.worker == worker) {
+      lease.valid = false;
+    }
+  }
+  if (job.done[unit_index]) {
+    ack.incumbent = job.incumbent;
+    return ack;  // keep-first: a duplicate (stolen/re-issued) completion
+  }
+  ++activity_;
+  if (!result.ok) {
+    // Fail fast: a unit that cannot run (fingerprint mismatch, engine throw)
+    // fails the whole job so the driver can fall back locally.
+    JobResult failure;
+    failure.error = result.error.empty() ? "work unit failed" : result.error;
+    job.promise.set_value(std::move(failure));
+    jobs_.erase(it);
+    ack.accepted = true;
+    return ack;
+  }
+  // The result may arrive after the lease expired and the unit was
+  // re-queued; pull it back out so it is never granted again.
+  if (job.in_queue[unit_index]) {
+    job.queue.erase(
+        std::remove(job.queue.begin(), job.queue.end(), unit_index),
+        job.queue.end());
+    job.in_queue[unit_index] = 0;
+  }
+  job.done[unit_index] = 1;
+  job.results[unit_index] = result;
+  ++job.completed;
+  job.incumbent = std::min(job.incumbent, result.metric);
+  for (Lease& lease : job.leases) {
+    if (lease.valid && lease.unit_index == unit_index) lease.valid = false;
+  }
+  ack.accepted = true;
+  ack.incumbent = job.incumbent;
+  if (job.completed == job.units.size()) {
+    JobResult done;
+    done.units = std::move(job.results);
+    job.promise.set_value(std::move(done));
+    jobs_.erase(it);
+  }
+  return ack;
+}
+
+double DistCoordinator::push_incumbent(const std::string& worker,
+                                       std::uint64_t job_id, double metric) {
+  (void)worker;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return metric;
+  Job& job = it->second;
+  if (metric < job.incumbent) {
+    job.incumbent = metric;
+    ++counters_.incumbent_broadcasts;
+  }
+  return job.incumbent;
+}
+
+double DistCoordinator::current_incumbent(std::uint64_t job_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return std::numeric_limits<double>::infinity();
+  return it->second.incumbent;
+}
+
+void DistCoordinator::requeue_if_orphaned_locked(Job& job,
+                                                 std::size_t unit_index) {
+  if (job.done[unit_index] || job.in_queue[unit_index]) return;
+  const bool still_leased = std::any_of(
+      job.leases.begin(), job.leases.end(), [&](const Lease& lease) {
+        return lease.valid && lease.unit_index == unit_index;
+      });
+  if (still_leased) return;
+  job.queue.push_back(unit_index);
+  job.in_queue[unit_index] = 1;
+  ++counters_.units_reissued;
+}
+
+void DistCoordinator::worker_disconnected(const std::string& worker) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [job_id, job] : jobs_) {
+    (void)job_id;
+    for (Lease& lease : job.leases) {
+      if (lease.valid && lease.worker == worker) {
+        lease.valid = false;
+        requeue_if_orphaned_locked(job, lease.unit_index);
+      }
+    }
+  }
+}
+
+void DistCoordinator::sweep_locked(Clock::time_point now) {
+  for (auto& [job_id, job] : jobs_) {
+    (void)job_id;
+    for (Lease& lease : job.leases) {
+      if (lease.valid && lease.deadline <= now) {
+        lease.valid = false;
+        requeue_if_orphaned_locked(job, lease.unit_index);
+      }
+    }
+    // Compact fully-dead lease records so long jobs don't accumulate them.
+    std::erase_if(job.leases, [](const Lease& lease) { return !lease.valid; });
+  }
+}
+
+void DistCoordinator::sweep() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sweep_locked(Clock::now());
+}
+
+void DistCoordinator::cancel_all() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  closed_ = true;
+  for (auto& [job_id, job] : jobs_) {
+    (void)job_id;
+    JobResult result;
+    result.cancelled = true;
+    job.promise.set_value(std::move(result));
+  }
+  jobs_.clear();
+}
+
+bool DistCoordinator::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+DistCoordinator::Counters DistCoordinator::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+std::uint64_t DistCoordinator::activity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return activity_;
+}
+
+}  // namespace dominosyn::dist

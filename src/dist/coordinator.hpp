@@ -1,0 +1,154 @@
+/// \file coordinator.hpp
+/// The coordinator side of the distributed search fabric: tracks open jobs,
+/// leases work units to workers with deadlines, re-issues units whose worker
+/// disappeared (disconnect or deadline expiry), lets idle workers steal
+/// speculative duplicate leases on stragglers, and relays incumbent
+/// improvements between workers of a job.
+///
+/// Results are keep-first: the first completion of a unit wins and later
+/// (stolen / re-issued) duplicates are ignored, so every unit resolves to
+/// exactly one result and the driver's unit-order merge is deterministic.
+/// The coordinator never inspects circuits or metrics beyond min(); all
+/// search semantics live in dist/search.cpp and the phase engines.
+///
+/// Thread-safe; embedded in ServerCore and served by the transport verbs
+/// lease_work / steal / complete_work / push_incumbent (docs/protocol.md).
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dist/workunit.hpp"
+
+namespace dominosyn::dist {
+
+/// What a job's future resolves to.
+struct JobResult {
+  bool cancelled = false;  ///< coordinator shut down before completion
+  std::string error;       ///< non-empty: a unit failed (fail-fast)
+  /// One result per unit, in unit order, when !cancelled && error.empty().
+  std::vector<UnitResult> units;
+};
+
+class DistCoordinator {
+ public:
+  struct Counters {
+    std::uint64_t units_issued = 0;    ///< lease grants (incl. re-issues)
+    std::uint64_t units_stolen = 0;    ///< speculative duplicate leases
+    std::uint64_t units_reissued = 0;  ///< re-queues after expiry/disconnect
+    std::uint64_t incumbent_broadcasts = 0;  ///< accepted push_incumbent
+  };
+
+  struct Grant {
+    WorkUnit unit;
+    double incumbent = std::numeric_limits<double>::infinity();
+  };
+
+  struct CompleteAck {
+    bool accepted = false;  ///< first completion of a live unit
+    double incumbent = std::numeric_limits<double>::infinity();
+  };
+
+  struct OpenedJob {
+    std::uint64_t job_id = 0;
+    std::future<JobResult> future;
+  };
+
+  /// Registers a job; assigns the job id and unit ids (= unit order).  The
+  /// future resolves when every unit completed, a unit failed, or
+  /// cancel_all() ran.  After cancel_all() new jobs resolve cancelled
+  /// immediately.
+  [[nodiscard]] OpenedJob open_job(std::vector<WorkUnit> units,
+                                   std::uint32_t lease_timeout_ms);
+
+  /// Leases the next queued unit (of `job_filter`, or of the lowest-id job
+  /// with queued work when 0).  nullopt when nothing is queued — idle workers
+  /// then try steal().
+  [[nodiscard]] std::optional<Grant> lease(const std::string& worker,
+                                           std::uint64_t job_filter = 0);
+
+  /// Speculative duplicate lease on the earliest-deadline leased unit held by
+  /// a *different* worker, only when no matching job has queued units.  The
+  /// keep-first rule in complete() makes the duplicate harmless.
+  [[nodiscard]] std::optional<Grant> steal(const std::string& worker,
+                                           std::uint64_t job_filter = 0);
+
+  /// Records a unit result.  accepted=false for unknown/finished jobs and
+  /// for units already completed by another worker.  A !ok result fails the
+  /// whole job (its future resolves with the unit's error).
+  CompleteAck complete(const std::string& worker, const UnitResult& result);
+
+  /// Merges a worker's incumbent improvement into the job (shared-bounds
+  /// mode); returns the job incumbent after the merge.
+  double push_incumbent(const std::string& worker, std::uint64_t job_id,
+                        double metric);
+
+  /// The job's current incumbent (+inf for unknown jobs).
+  [[nodiscard]] double current_incumbent(std::uint64_t job_id);
+
+  /// Invalidates every lease held by `worker` and re-queues the affected
+  /// units.  Called by the transport when a connection that leased work goes
+  /// away.
+  void worker_disconnected(const std::string& worker);
+
+  /// Expires overdue leases and re-queues their units.  Cheap; the transport
+  /// runs it lazily on every dist verb and drivers run it while waiting.
+  void sweep();
+
+  /// Resolves every open job as cancelled and refuses new ones.  Part of
+  /// ServerCore::shutdown so outstanding submit futures never hang.
+  void cancel_all();
+
+  [[nodiscard]] bool closed() const;
+  [[nodiscard]] Counters counters() const;
+
+  /// Monotonic count of lease grants and completions — drivers watch it to
+  /// detect a stalled (worker-less) fabric and take over inline.
+  [[nodiscard]] std::uint64_t activity() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Lease {
+    std::size_t unit_index = 0;
+    std::string worker;
+    Clock::time_point deadline;
+    bool valid = false;
+  };
+
+  struct Job {
+    std::uint32_t lease_timeout_ms = 0;
+    std::vector<WorkUnit> units;
+    std::deque<std::size_t> queue;
+    std::vector<char> in_queue;
+    std::vector<char> done;
+    std::vector<UnitResult> results;
+    std::size_t completed = 0;
+    double incumbent = std::numeric_limits<double>::infinity();
+    std::vector<Lease> leases;
+    std::promise<JobResult> promise;
+  };
+
+  void sweep_locked(Clock::time_point now);
+  void requeue_if_orphaned_locked(Job& job, std::size_t unit_index);
+  [[nodiscard]] Grant grant_locked(Job& job, std::uint64_t job_id,
+                                   std::size_t unit_index);
+
+  mutable std::mutex mutex_;
+  std::map<std::uint64_t, Job> jobs_;
+  std::uint64_t next_job_id_ = 1;
+  bool closed_ = false;
+  Counters counters_;
+  std::uint64_t activity_ = 0;
+};
+
+}  // namespace dominosyn::dist

@@ -1,0 +1,76 @@
+/// \file options.hpp
+/// Options of the distributed search fabric (docs/distributed.md), kept
+/// dependency-light so FlowOptions can embed them: this header pulls in only
+/// the benchmark-generator spec (for shipping generated circuits by their
+/// generator parameters) and the standard library.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "benchgen/benchgen.hpp"
+
+namespace dominosyn::dist {
+
+class DistCoordinator;
+
+/// How a worker reconstructs the circuit a work unit refers to.  Exactly one
+/// of the three variants is used, in precedence order: explicit generator
+/// parameters (`has_bench`), verbatim BLIF text, paper-corpus name.  The
+/// worker replays the flow's own preparation (compact copy + standard
+/// synthesis + sequential probabilities) and then verifies the synthesized
+/// network's structural fingerprint against `fingerprint`, so a divergent
+/// reconstruction fails the unit instead of merging wrong numbers.
+struct CircuitSpec {
+  /// paper_suite() name ("apex7", "frg1", ...); regenerated via
+  /// generate_benchmark(paper_spec(corpus)).
+  std::string corpus;
+  /// Explicit generator parameters — covers circuits outside the paper
+  /// corpus without relying on a BLIF round trip.
+  bool has_bench = false;
+  BenchSpec bench;
+  /// Verbatim BLIF text (what the daemon captured from `submit blif=inline`).
+  std::string blif_text;
+  /// Evaluator inputs the protocol can express: the uniform PI probability
+  /// and the power model's load-awareness; everything else is the flow
+  /// default.
+  double pi_prob = 0.5;
+  bool load_aware = true;
+  /// network_fingerprint of the *synthesized* network the evaluator was
+  /// built on (filled by the search driver); 0 = unverified.
+  std::uint64_t fingerprint = 0;
+
+  [[nodiscard]] bool valid() const noexcept {
+    return has_bench || !blif_text.empty() || !corpus.empty();
+  }
+};
+
+struct DistSearchOptions {
+  /// Master switch; with a null `coordinator` the flow runs locally.
+  bool enabled = false;
+  /// The coordinator to open jobs on.  ServerCore fills this with its own
+  /// coordinator on dist-enabled requests; in-process callers may point at
+  /// any coordinator they run workers against.  Never serialized.
+  DistCoordinator* coordinator = nullptr;
+  /// Branch-and-bound frontier: the search splits into 2^frontier_depth
+  /// prefix-subtree units (clamped to the output count).
+  std::size_t frontier_depth = 6;
+  /// false (default): every unit prunes only against its bound snapshot plus
+  /// its own discoveries — results AND work counters are bit-identical for
+  /// any worker/thread/steal interleaving.  true: workers exchange live
+  /// incumbents through push_incumbent; the merged result is still
+  /// bit-identical (strict pruning), but expanded/pruned counters become
+  /// timing-dependent, exactly like num_threads > 1 locally.
+  bool shared_bounds = false;
+  /// Run units on the submitting flow's own threads too (they lease from
+  /// the coordinator like any worker).  With false the flow only waits —
+  /// but takes over after `stall_takeover_ms` of coordinator inactivity so
+  /// a workerless fabric still completes.
+  bool participate = true;
+  std::uint32_t lease_timeout_ms = 30'000;
+  std::uint32_t stall_takeover_ms = 2'000;
+  CircuitSpec circuit;
+};
+
+}  // namespace dominosyn::dist

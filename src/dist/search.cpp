@@ -1,0 +1,341 @@
+/// \file search.cpp
+
+#include "dist/search.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "flow/batch.hpp"
+#include "phase/eval.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dominosyn::dist {
+
+namespace {
+
+/// Incumbent exchange backed directly by an in-process coordinator, used by
+/// participating driver threads in shared-bounds mode.
+class CoordChannel final : public IncumbentChannel {
+ public:
+  CoordChannel(DistCoordinator& coordinator, std::uint64_t job_id,
+               std::string worker)
+      : coordinator_(coordinator), job_id_(job_id), worker_(std::move(worker)) {}
+
+  [[nodiscard]] double current() override {
+    return coordinator_.current_incumbent(job_id_);
+  }
+
+  void publish(double metric) override {
+    coordinator_.push_incumbent(worker_, job_id_, metric);
+  }
+
+ private:
+  DistCoordinator& coordinator_;
+  std::uint64_t job_id_;
+  std::string worker_;
+};
+
+/// Leases and runs units on this process until `done`; shared by the
+/// participation threads and the stall-takeover path.
+void drain_units(const AssignmentEvaluator& evaluator,
+                 DistCoordinator& coordinator, std::uint64_t job_id,
+                 const std::string& worker, bool shared_bounds) {
+  CoordChannel channel(coordinator, job_id, worker);
+  while (auto grant = coordinator.lease(worker, job_id)) {
+    const UnitResult result = run_work_unit(
+        evaluator, grant->unit, shared_bounds ? &channel : nullptr);
+    coordinator.complete(worker, result);
+  }
+}
+
+/// Waits for the job to resolve while sweeping expired leases.  With
+/// participate, `threads` helper threads lease from the coordinator like any
+/// worker; without, the driver takes over inline after stall_takeover_ms of
+/// fabric inactivity so a worker-less (or worker-lost) fabric still finishes.
+JobResult run_and_wait(const AssignmentEvaluator& evaluator,
+                       DistCoordinator& coordinator,
+                       DistCoordinator::OpenedJob& job,
+                       const DistSearchOptions& dist, unsigned num_threads) {
+  std::atomic<bool> done{false};
+  std::vector<std::thread> helpers;
+  if (dist.participate) {
+    const unsigned count = ThreadPool::resolve_threads(num_threads);
+    helpers.reserve(count);
+    for (unsigned k = 0; k < count; ++k) {
+      helpers.emplace_back([&, k] {
+        const std::string worker = "inline#" + std::to_string(k);
+        while (!done.load(std::memory_order_relaxed)) {
+          drain_units(evaluator, coordinator, job.job_id, worker,
+                      dist.shared_bounds);
+          if (done.load(std::memory_order_relaxed)) break;
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      });
+    }
+  }
+
+  using Clock = std::chrono::steady_clock;
+  std::uint64_t last_activity = coordinator.activity();
+  Clock::time_point last_progress = Clock::now();
+  for (;;) {
+    if (job.future.wait_for(std::chrono::milliseconds(20)) ==
+        std::future_status::ready)
+      break;
+    coordinator.sweep();
+    const std::uint64_t activity = coordinator.activity();
+    const Clock::time_point now = Clock::now();
+    if (activity != last_activity) {
+      last_activity = activity;
+      last_progress = now;
+    } else if (!dist.participate &&
+               now - last_progress >=
+                   std::chrono::milliseconds(dist.stall_takeover_ms)) {
+      drain_units(evaluator, coordinator, job.job_id, "driver",
+                  dist.shared_bounds);
+      last_progress = Clock::now();
+    }
+  }
+  done.store(true, std::memory_order_relaxed);
+  for (std::thread& helper : helpers) helper.join();
+
+  JobResult result = job.future.get();
+  if (result.cancelled)
+    throw DistSearchError("distributed job cancelled (coordinator shut down)");
+  if (!result.error.empty())
+    throw DistSearchError("distributed work unit failed: " + result.error);
+  return result;
+}
+
+/// The circuit spec every unit of a job ships: the caller's description plus
+/// the synthesized network's fingerprint so workers verify reconstruction.
+CircuitSpec stamped_circuit(const AssignmentEvaluator& evaluator,
+                            const DistSearchOptions& dist) {
+  if (!dist.circuit.valid())
+    throw DistSearchError(
+        "distributed search needs a circuit spec workers can reconstruct");
+  CircuitSpec circuit = dist.circuit;
+  circuit.fingerprint = network_fingerprint(evaluator.network());
+  return circuit;
+}
+
+SearchResult local_exhaustive(const AssignmentEvaluator& evaluator,
+                              bool by_power, const ExhaustiveOptions& options) {
+  return by_power ? exhaustive_min_power(evaluator, options)
+                  : exhaustive_min_area(evaluator, options);
+}
+
+/// Annealing-restart fan-out of dist_min_area_assignment.
+SearchResult dist_anneal(const AssignmentEvaluator& evaluator,
+                         const MinAreaOptions& options,
+                         const DistSearchOptions& dist) {
+  const std::size_t num_pos = evaluator.network().num_pos();
+  const std::size_t iterations =
+      resolve_anneal_iterations(options.anneal_iterations, num_pos);
+  const unsigned num_restarts = std::max(1u, options.restarts);
+
+  const CircuitSpec circuit = stamped_circuit(evaluator, dist);
+  std::vector<WorkUnit> units(num_restarts);
+  for (unsigned restart = 0; restart < num_restarts; ++restart) {
+    WorkUnit& unit = units[restart];
+    unit.kind = UnitKind::kAnnealRestart;
+    unit.anneal_seed = options.seed;
+    unit.restart_index = restart;
+    unit.iterations = iterations;
+    unit.batch_lanes = options.batch_lanes;
+    unit.circuit = circuit;
+  }
+
+  DistCoordinator::OpenedJob job =
+      dist.coordinator->open_job(std::move(units), dist.lease_timeout_ms);
+  const JobResult outcome = run_and_wait(evaluator, *dist.coordinator, job,
+                                         dist, options.num_threads);
+
+  // Replay the sequential merge: restart order, strict improvement on area.
+  SearchResult best;
+  double best_metric = std::numeric_limits<double>::infinity();
+  std::size_t evaluations = 0;
+  for (const UnitResult& unit : outcome.units) {
+    evaluations += static_cast<std::size_t>(unit.evaluations);
+    best.batched_evals += static_cast<std::size_t>(unit.batched_evals);
+    best.batch_walks += static_cast<std::size_t>(unit.batch_walks);
+    if (best.assignment.empty() || unit.metric < best_metric) {
+      best_metric = unit.metric;
+      best.assignment = assignment_from_string(unit.assignment);
+    }
+  }
+  best.cost = evaluator.evaluate(best.assignment);
+  best.evaluations = evaluations;
+  return best;
+}
+
+}  // namespace
+
+std::string assignment_to_string(const PhaseAssignment& phases) {
+  std::string out;
+  out.reserve(phases.size());
+  for (const Phase phase : phases)
+    out += phase == Phase::kPositive ? '+' : '-';
+  return out;
+}
+
+PhaseAssignment assignment_from_string(const std::string& text) {
+  PhaseAssignment phases;
+  phases.reserve(text.size());
+  for (const char c : text)
+    phases.push_back(c == '-' ? Phase::kNegative : Phase::kPositive);
+  return phases;
+}
+
+UnitResult run_work_unit(const AssignmentEvaluator& evaluator,
+                         const WorkUnit& unit, IncumbentChannel* channel) {
+  UnitResult out;
+  out.job_id = unit.job_id;
+  out.unit_id = unit.unit_id;
+  try {
+    if (unit.kind == UnitKind::kBnbSubtree) {
+      BnbSubtreeOptions options;
+      options.task = unit.task;
+      options.frontier_depth = unit.frontier_depth;
+      options.bound_snapshot = unit.bound_snapshot;
+      options.node_budget = unit.node_budget;
+      options.batch_lanes = static_cast<std::size_t>(unit.batch_lanes);
+      options.channel = unit.shared_bounds ? channel : nullptr;
+      const BnbSubtreeResult result =
+          run_bnb_subtree(evaluator, unit.by_power, options);
+      out.metric = result.metric;
+      out.code = result.code;
+      out.leaves = result.leaves;
+      out.nodes_expanded = result.nodes_expanded;
+      out.subtrees_pruned = result.subtrees_pruned;
+      out.batched_evals = result.batched_evals;
+      out.batch_walks = result.batch_walks;
+      out.budget_tripped = result.budget_tripped;
+    } else {
+      const AnnealRestartOutcome result = run_min_area_restart(
+          evaluator, unit.anneal_seed, unit.restart_index,
+          static_cast<std::size_t>(unit.iterations),
+          static_cast<std::size_t>(unit.batch_lanes));
+      out.metric = static_cast<double>(result.area);
+      out.assignment = assignment_to_string(result.assignment);
+      out.evaluations = result.evaluations;
+      out.batched_evals = result.batched_evals;
+      out.batch_walks = result.batch_walks;
+    }
+  } catch (const std::exception& error) {
+    out.ok = false;
+    out.error = error.what();
+  }
+  return out;
+}
+
+SearchResult dist_exhaustive_search(const AssignmentEvaluator& evaluator,
+                                    bool by_power,
+                                    const ExhaustiveOptions& options,
+                                    const DistSearchOptions& dist) {
+  if (!dist.enabled || dist.coordinator == nullptr)
+    throw DistSearchError("distributed search has no coordinator");
+
+  // Mirror the local dispatch exactly so refusals and degenerate cases are
+  // indistinguishable from a single-process run.
+  const std::size_t num_pos = evaluator.network().num_pos();
+  const std::size_t limit =
+      std::min(options.max_outputs, kMaxExhaustiveOutputs);
+  if (num_pos > limit) throw ExhaustiveLimitError(num_pos, limit);
+  if (num_pos == 0 ||
+      options.algorithm == ExhaustiveAlgorithm::kGrayWalk ||
+      !evaluator.context()->bounds_admissible())
+    return local_exhaustive(evaluator, by_power, options);
+
+  const BnbSeed seed = plan_bnb_seed(evaluator, by_power);
+  const CircuitSpec circuit = stamped_circuit(evaluator, dist);
+
+  const std::size_t frontier = std::min(dist.frontier_depth, num_pos);
+  const std::uint64_t num_units = 1ULL << frontier;
+  std::vector<WorkUnit> units(static_cast<std::size_t>(num_units));
+  for (std::uint64_t task = 0; task < num_units; ++task) {
+    WorkUnit& unit = units[static_cast<std::size_t>(task)];
+    unit.kind = UnitKind::kBnbSubtree;
+    unit.by_power = by_power;
+    unit.task = task;
+    unit.frontier_depth = static_cast<std::uint32_t>(frontier);
+    // Every unit starts from the same seed incumbent; with strict pruning
+    // this makes each unit's result (and counters) worker-independent.
+    unit.bound_snapshot = seed.seed_metric;
+    unit.node_budget = options.node_budget;
+    unit.batch_lanes = options.batch_lanes;
+    unit.shared_bounds = dist.shared_bounds;
+    unit.circuit = circuit;
+  }
+
+  DistCoordinator::OpenedJob job =
+      dist.coordinator->open_job(std::move(units), dist.lease_timeout_ms);
+  const JobResult outcome = run_and_wait(evaluator, *dist.coordinator, job,
+                                         dist, options.num_threads);
+
+  // Deterministic merge: lexicographic (metric, code) minimum over the seed
+  // candidate and every unit, in unit order — the single-process tie-break.
+  double best_metric = seed.seed_metric;
+  std::uint64_t best_code = seed.seed_code;
+  SearchResult best;
+  best.evaluations = seed.seed_evaluations;
+  std::uint64_t expanded = 0;
+  bool tripped = false;
+  for (const UnitResult& unit : outcome.units) {
+    if (unit.metric < best_metric ||
+        (unit.metric == best_metric && unit.code < best_code)) {
+      best_metric = unit.metric;
+      best_code = unit.code;
+    }
+    best.evaluations += static_cast<std::size_t>(unit.leaves);
+    best.subtrees_pruned += static_cast<std::size_t>(unit.subtrees_pruned);
+    best.batched_evals += static_cast<std::size_t>(unit.batched_evals);
+    best.batch_walks += static_cast<std::size_t>(unit.batch_walks);
+    expanded += unit.nodes_expanded;
+    tripped = tripped || unit.budget_tripped;
+  }
+  // The budget is global: the trip point is the deterministic merge-time sum
+  // (unlike the local search's shared live counter — see docs/distributed.md).
+  if (tripped || (options.node_budget != 0 && expanded > options.node_budget))
+    throw ExhaustiveBudgetError(expanded, options.node_budget);
+
+  best.assignment = assignment_from_phase_code(best_code, num_pos);
+  best.cost = evaluator.evaluate(best.assignment);
+  best.nodes_expanded = static_cast<std::size_t>(expanded);
+  best.bound_tightness =
+      best_metric > 0.0 ? seed.root_bound / best_metric
+                        : (seed.root_bound == best_metric ? 1.0 : 0.0);
+  return best;
+}
+
+SearchResult dist_min_area_assignment(const AssignmentEvaluator& evaluator,
+                                      const MinAreaOptions& options,
+                                      const DistSearchOptions& dist) {
+  if (!dist.enabled || dist.coordinator == nullptr)
+    throw DistSearchError("distributed search has no coordinator");
+  const std::size_t num_pos = evaluator.network().num_pos();
+  if (num_pos == 0) return min_area_assignment(evaluator, options);
+
+  const std::size_t exhaustive_limit =
+      std::min(options.exhaustive_limit, kMaxExhaustiveOutputs);
+  if (num_pos <= exhaustive_limit) {
+    ExhaustiveOptions exhaustive;
+    exhaustive.max_outputs = exhaustive_limit;
+    exhaustive.num_threads = options.num_threads;
+    exhaustive.node_budget = options.node_budget;
+    exhaustive.batch_lanes = options.batch_lanes;
+    try {
+      return dist_exhaustive_search(evaluator, /*by_power=*/false, exhaustive,
+                                    dist);
+    } catch (const ExhaustiveBudgetError&) {
+      // Same fallback as min_area_assignment: the exact search was capped,
+      // anneal instead — but distribute the restarts too.
+    }
+  }
+  return dist_anneal(evaluator, options, dist);
+}
+
+}  // namespace dominosyn::dist

@@ -1,0 +1,204 @@
+/// \file worker.cpp
+
+#include "dist/worker.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "benchgen/benchgen.hpp"
+#include "blif/blif.hpp"
+#include "dist/search.hpp"
+#include "flow/batch.hpp"
+#include "flow/flow.hpp"
+#include "network/synth.hpp"
+#include "server/client.hpp"
+#include "sgraph/partition.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dominosyn::dist {
+
+namespace {
+
+/// The circuit a unit refers to, rebuilt from its spec (precedence:
+/// generator parameters, verbatim BLIF, paper-corpus name).
+Network reconstruct_network(const CircuitSpec& circuit) {
+  if (circuit.has_bench) return generate_benchmark(circuit.bench);
+  if (!circuit.blif_text.empty()) return blif::read_string(circuit.blif_text);
+  if (!circuit.corpus.empty())
+    return generate_benchmark(paper_spec(circuit.corpus));
+  throw std::runtime_error("work unit carries no circuit spec");
+}
+
+/// Incumbent exchange over the worker's own connection: current() reads the
+/// locally-mirrored job incumbent (refreshed by every ack), publish() sends
+/// push_incumbent synchronously — each worker thread owns its client, so the
+/// round trip never races another request on the same connection.
+class ClientChannel final : public IncumbentChannel {
+ public:
+  ClientChannel(Client& client, std::string worker, std::uint64_t job_id,
+                double incumbent)
+      : client_(client),
+        worker_(std::move(worker)),
+        job_id_(job_id),
+        incumbent_(incumbent) {}
+
+  [[nodiscard]] double current() override { return incumbent_; }
+
+  void publish(double metric) override {
+    if (metric >= incumbent_) return;
+    incumbent_ = metric;
+    try {
+      const std::string ack =
+          client_.request(format_push_command(worker_, job_id_, metric));
+      incumbent_ = std::min(incumbent_, parse_incumbent(ack));
+    } catch (const std::exception&) {
+      // A lost broadcast only costs pruning opportunity, never correctness;
+      // the connection error will surface on the next lease/complete.
+    }
+  }
+
+ private:
+  Client& client_;
+  std::string worker_;
+  std::uint64_t job_id_;
+  double incumbent_;
+};
+
+}  // namespace
+
+/// Owns the reconstructed network (AssignmentEvaluator keeps it by
+/// reference) and the evaluator built on it.
+struct DistWorker::CachedEvaluator {
+  Network net;
+  std::uint64_t fingerprint = 0;
+  std::unique_ptr<AssignmentEvaluator> evaluator;
+};
+
+DistWorker::DistWorker(WorkerConfig config) : config_(std::move(config)) {}
+
+DistWorker::~DistWorker() { stop(); }
+
+void DistWorker::start() {
+  if (started_) return;
+  started_ = true;
+  stop_.store(false);
+  const unsigned count = ThreadPool::resolve_threads(config_.num_threads);
+  threads_.reserve(count);
+  for (unsigned k = 0; k < count; ++k)
+    threads_.emplace_back([this, k] { thread_main(k); });
+}
+
+void DistWorker::stop() {
+  if (!started_) return;
+  stop_.store(true);
+  for (std::thread& thread : threads_) thread.join();
+  threads_.clear();
+  started_ = false;
+}
+
+std::shared_ptr<DistWorker::CachedEvaluator> DistWorker::evaluator_for(
+    const CircuitSpec& circuit) {
+  // Key on everything the evaluator depends on.  The fingerprint identifies
+  // the synthesized structure; pi_prob/load_aware parameterize the engine.
+  const std::string key = std::to_string(circuit.fingerprint) + "/" +
+                          encode_metric(circuit.pi_prob) + "/" +
+                          (circuit.load_aware ? "1" : "0");
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+
+  // Replay FlowSession::synthesized / probabilities / evaluator exactly, so
+  // the worker's engine state is bit-identical to the coordinator flow's.
+  auto entry = std::make_shared<CachedEvaluator>();
+  Network net = compact_copy(reconstruct_network(circuit));
+  try {
+    check_phase_ready(net);
+  } catch (const std::runtime_error&) {
+    standard_synthesis(net);
+  }
+  entry->net = std::move(net);
+  entry->fingerprint = network_fingerprint(entry->net);
+  const std::vector<double> pi_probs(entry->net.num_pis(), circuit.pi_prob);
+  const SeqProbResult probs =
+      sequential_signal_probabilities(entry->net, pi_probs, {});
+  PowerModelConfig model = default_flow_power_model();
+  model.load_aware = circuit.load_aware;
+  entry->evaluator = std::make_unique<AssignmentEvaluator>(
+      entry->net, probs.node_probs, model);
+  cache_.emplace(key, entry);
+  return entry;
+}
+
+void DistWorker::thread_main(unsigned index) {
+  const std::string id = config_.name + "#" + std::to_string(index);
+  std::uint32_t backoff_ms = config_.reconnect_ms;
+  std::unique_ptr<Client> client;
+
+  while (!stop_.load(std::memory_order_relaxed)) {
+    try {
+      if (!client) {
+        client = std::make_unique<Client>(
+            config_.unix_path.empty()
+                ? Client::connect_tcp(config_.host, config_.port)
+                : Client::connect_unix(config_.unix_path));
+        backoff_ms = config_.reconnect_ms;
+      }
+
+      auto grant = parse_work_grant(client->request(format_lease_command(id)));
+      if (!grant)
+        grant = parse_work_grant(client->request(format_steal_command(id)));
+      if (!grant) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(config_.idle_poll_ms));
+        continue;
+      }
+
+      const WorkUnit& unit = grant->unit;
+      UnitResult result;
+      try {
+        const std::shared_ptr<CachedEvaluator> cached =
+            evaluator_for(unit.circuit);
+        if (unit.circuit.fingerprint != 0 &&
+            cached->fingerprint != unit.circuit.fingerprint)
+          throw std::runtime_error(
+              "circuit fingerprint mismatch: coordinator " +
+              std::to_string(unit.circuit.fingerprint) + ", worker " +
+              std::to_string(cached->fingerprint));
+        ClientChannel channel(*client, id, unit.job_id, grant->incumbent);
+        result = run_work_unit(*cached->evaluator, unit,
+                               unit.shared_bounds ? &channel : nullptr);
+      } catch (const std::exception& error) {
+        result.job_id = unit.job_id;
+        result.unit_id = unit.unit_id;
+        result.ok = false;
+        result.error = error.what();
+      }
+      (void)client->request(format_complete_command(id, result));
+      (result.ok ? units_completed_ : units_failed_)
+          .fetch_add(1, std::memory_order_relaxed);
+    } catch (const std::exception&) {
+      // Connection-level failure: drop the client and reconnect with
+      // backoff.  Any leased unit re-queues on the coordinator when the
+      // connection death (or the lease deadline) is noticed.
+      client.reset();
+      reconnects_.fetch_add(1, std::memory_order_relaxed);
+      std::uint32_t waited = 0;
+      while (waited < backoff_ms && !stop_.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        waited += 10;
+      }
+      backoff_ms = std::min<std::uint32_t>(backoff_ms * 2, 5'000);
+    }
+  }
+}
+
+DistWorker::Telemetry DistWorker::telemetry() const {
+  Telemetry out;
+  out.units_completed = units_completed_.load(std::memory_order_relaxed);
+  out.units_failed = units_failed_.load(std::memory_order_relaxed);
+  out.reconnects = reconnects_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace dominosyn::dist

@@ -1,0 +1,88 @@
+/// \file worker.hpp
+/// The worker side of the distributed search fabric (`dominod --worker`): a
+/// pool of threads that connect to a coordinator daemon, lease work units,
+/// run them on the unchanged local engines (run_bnb_subtree /
+/// run_min_area_restart) and report results — stealing speculative duplicate
+/// leases when the queue runs dry and reconnecting with backoff when the
+/// coordinator goes away.
+///
+/// Workers rebuild the unit's evaluator from the shipped circuit spec by
+/// replaying FlowSession's own preparation (compact copy, standard synthesis,
+/// sequential probabilities) and verify the synthesized network's structural
+/// fingerprint before running anything — a divergent reconstruction fails the
+/// unit (the coordinator fails the job, the driver falls back locally) rather
+/// than merging wrong numbers.  Evaluators are cached per circuit so the
+/// per-unit cost is one lease round trip.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/workunit.hpp"
+
+namespace dominosyn::dist {
+
+struct WorkerConfig {
+  /// Coordinator endpoint: unix_path wins when non-empty, else host:port.
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::string unix_path;
+  /// Concurrent units (one connection + one engine each); 0 = one per
+  /// hardware thread.  Units themselves run single-threaded.
+  unsigned num_threads = 1;
+  /// Worker name; thread k identifies as "<name>#k" on the wire.
+  std::string name = "worker";
+  std::uint32_t idle_poll_ms = 50;     ///< sleep between empty lease+steal rounds
+  std::uint32_t reconnect_ms = 200;    ///< initial reconnect backoff (doubles to 5s)
+};
+
+class DistWorker {
+ public:
+  struct Telemetry {
+    std::uint64_t units_completed = 0;
+    std::uint64_t units_failed = 0;  ///< ran but reported ok=false
+    std::uint64_t reconnects = 0;
+  };
+
+  explicit DistWorker(WorkerConfig config);
+  ~DistWorker();
+  DistWorker(const DistWorker&) = delete;
+  DistWorker& operator=(const DistWorker&) = delete;
+
+  /// Spawns the worker threads.  Idempotent.
+  void start();
+  /// Signals the threads and joins them; in-flight units finish and report
+  /// first (their leases have not expired — the coordinator keeps the
+  /// results).  Idempotent.
+  void stop();
+
+  [[nodiscard]] Telemetry telemetry() const;
+
+ private:
+  struct CachedEvaluator;
+
+  void thread_main(unsigned index);
+  [[nodiscard]] std::shared_ptr<CachedEvaluator> evaluator_for(
+      const CircuitSpec& circuit);
+
+  WorkerConfig config_;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+  std::vector<std::thread> threads_;
+
+  std::mutex cache_mutex_;
+  std::map<std::string, std::shared_ptr<CachedEvaluator>> cache_;
+
+  std::atomic<std::uint64_t> units_completed_{0};
+  std::atomic<std::uint64_t> units_failed_{0};
+  std::atomic<std::uint64_t> reconnects_{0};
+};
+
+}  // namespace dominosyn::dist

@@ -1,0 +1,141 @@
+/// \file workunit.hpp
+/// The work-unit model of the distributed search fabric (docs/distributed.md)
+/// and its wire encoding over the dominod line protocol.
+///
+/// A *work unit* is a self-contained slice of one phase-assignment search:
+///   * branch-and-bound — one prefix subtree of the 2^P enumeration:
+///     (circuit, task bits, frontier depth, bound snapshot, node budget);
+///   * annealing — one restart: (circuit, master seed, restart index,
+///     resolved iteration schedule).
+/// Units run single-threaded (run_bnb_subtree / run_min_area_restart), so a
+/// unit's result — and, without shared bounds, its work counters — is a pure
+/// function of the unit description.  Completed units carry the best
+/// (metric, code/assignment) pair plus telemetry; the coordinator merges them
+/// in unit order with the exact single-process tie-break.
+///
+/// Wire encoding: worker->coordinator messages are single-line `key=value`
+/// commands (`lease_work`, `steal`, `complete_work`, `push_incumbent`);
+/// coordinator->worker responses are one-line flat JSON.  uint64 payloads
+/// (task bits, assignment codes, fingerprints) are written and scanned as
+/// exact decimal text — never through a double, which loses precision past
+/// 2^53.  Metrics are doubles formatted shortest-round-trip; the infinities
+/// a fully-pruned subtree reports are encoded as the literal `inf`.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dist/options.hpp"
+
+namespace dominosyn::dist {
+
+enum class UnitKind : std::uint8_t {
+  kBnbSubtree,     ///< one branch-and-bound prefix subtree
+  kAnnealRestart,  ///< one min-area annealing restart
+};
+
+struct WorkUnit {
+  std::uint64_t job_id = 0;   ///< coordinator-assigned
+  std::uint64_t unit_id = 0;  ///< index within the job (merge order)
+  UnitKind kind = UnitKind::kBnbSubtree;
+  /// B&B: the optimization metric (power vs area).
+  bool by_power = true;
+  /// B&B: owned prefix bits and their depth (run_bnb_subtree semantics).
+  std::uint64_t task = 0;
+  std::uint32_t frontier_depth = 0;
+  /// B&B: initial incumbent (the seed metric — identical for every unit of
+  /// a job, which is what makes unit results worker-independent).
+  double bound_snapshot = std::numeric_limits<double>::infinity();
+  /// B&B: per-unit node budget (the job's global budget; the driver enforces
+  /// the global sum at merge time).  0 = unlimited.
+  std::uint64_t node_budget = 0;
+  std::uint64_t batch_lanes = 0;
+  /// Annealing: master seed, restart index and the resolved (non-zero)
+  /// iteration count.
+  std::uint64_t anneal_seed = 0;
+  std::uint32_t restart_index = 0;
+  std::uint64_t iterations = 0;
+  /// Attach a live incumbent channel while running (counters become
+  /// timing-dependent; the result does not).
+  bool shared_bounds = false;
+  CircuitSpec circuit;
+};
+
+struct UnitResult {
+  std::uint64_t job_id = 0;
+  std::uint64_t unit_id = 0;
+  bool ok = true;
+  std::string error;  ///< set when !ok (fingerprint mismatch, engine throw)
+  /// Best complete assignment found: (metric, code) for B&B — +inf / ~0
+  /// when the whole subtree pruned — and (metric = area, assignment string
+  /// of '+'/'-') for annealing, where codes would overflow past 62 outputs.
+  double metric = std::numeric_limits<double>::infinity();
+  std::uint64_t code = std::numeric_limits<std::uint64_t>::max();
+  std::string assignment;
+  std::uint64_t leaves = 0;
+  std::uint64_t nodes_expanded = 0;
+  std::uint64_t subtrees_pruned = 0;
+  std::uint64_t batched_evals = 0;
+  std::uint64_t batch_walks = 0;
+  std::uint64_t evaluations = 0;  ///< annealing candidate measurements
+  bool budget_tripped = false;
+};
+
+// -- worker -> coordinator command lines --------------------------------------
+
+[[nodiscard]] std::string format_lease_command(const std::string& worker);
+[[nodiscard]] std::string format_steal_command(const std::string& worker);
+[[nodiscard]] std::string format_complete_command(const std::string& worker,
+                                                  const UnitResult& result);
+[[nodiscard]] std::string format_push_command(const std::string& worker,
+                                              std::uint64_t job_id,
+                                              double metric);
+
+/// Parses the `key=value` tail of a complete_work command (tokens[0] is the
+/// verb).  Throws std::runtime_error on malformed/missing fields.
+[[nodiscard]] UnitResult parse_complete_tokens(
+    const std::vector<std::string>& tokens);
+
+// -- coordinator -> worker response lines -------------------------------------
+
+/// `{"ok":true,"work":true,...unit fields...,"incumbent":M}`.
+[[nodiscard]] std::string format_work_grant(const WorkUnit& unit,
+                                            double incumbent);
+/// `{"ok":true,"work":false}` — nothing leasable right now.
+[[nodiscard]] std::string format_no_work();
+/// complete_work acknowledgement (accepted = the result was kept, i.e. this
+/// worker finished the unit first).
+[[nodiscard]] std::string format_complete_ack(bool accepted, double incumbent);
+/// push_incumbent acknowledgement / incumbent refresh.
+[[nodiscard]] std::string format_incumbent_ack(double incumbent);
+
+/// Parses a lease/steal response; nullopt when `"work":false`.  The second
+/// member is the job incumbent at grant time.  Throws std::runtime_error on
+/// malformed grants.
+struct ParsedGrant {
+  WorkUnit unit;
+  double incumbent = std::numeric_limits<double>::infinity();
+};
+[[nodiscard]] std::optional<ParsedGrant> parse_work_grant(
+    const std::string& json);
+
+/// Extracts `"incumbent"` from an acknowledgement (+inf when absent/"inf").
+[[nodiscard]] double parse_incumbent(const std::string& json);
+
+// -- shared scalar encodings --------------------------------------------------
+
+/// Shortest-round-trip double; non-finite values as literal inf/-inf/nan
+/// (unlike protocol JSON numbers, which would become null).
+[[nodiscard]] std::string encode_metric(double value);
+[[nodiscard]] double decode_metric(const std::string& text);
+
+/// Percent-encoding for free-text fields inside whitespace-split key=value
+/// commands (space, '%', '=', control characters).
+[[nodiscard]] std::string percent_encode(const std::string& text);
+[[nodiscard]] std::string percent_decode(const std::string& text);
+
+}  // namespace dominosyn::dist

@@ -303,14 +303,23 @@ struct BnbShared {
   std::atomic<std::uint64_t> expanded{0};
   std::atomic<bool> budget_tripped{false};
   std::uint64_t budget = 0;  ///< 0 = unlimited
+  /// Optional cross-process incumbent exchange (src/dist/); null in the
+  /// in-process searches.  Read at the prune sites, published on every
+  /// local improvement.  Sharing only tightens pruning — the strict
+  /// comparison keeps the (metric, code) result exact either way.
+  IncumbentChannel* channel = nullptr;
 };
 
-void update_incumbent(std::atomic<double>& incumbent, double metric) {
+/// Returns true when `metric` improved the incumbent, so the caller can
+/// publish the improvement to an attached channel.
+bool update_incumbent(std::atomic<double>& incumbent, double metric) {
   double current = incumbent.load(std::memory_order_relaxed);
-  while (metric < current &&
-         !incumbent.compare_exchange_weak(current, metric,
-                                          std::memory_order_relaxed)) {
+  while (metric < current) {
+    if (incumbent.compare_exchange_weak(current, metric,
+                                        std::memory_order_relaxed))
+      return true;
   }
+  return false;
 }
 
 /// One worker's depth-first enumeration of the subtree(s) its task index
@@ -422,7 +431,9 @@ class BnbWorker {
       ++leaves_;
       const ChunkBest candidate{metric_of(state_, by_power_), code_};
       if (better(candidate, best_)) best_ = candidate;
-      update_incumbent(shared_.incumbent, candidate.metric);
+      if (update_incumbent(shared_.incumbent, candidate.metric) &&
+          shared_.channel != nullptr)
+        shared_.channel->publish(candidate.metric);
       return;
     }
     if (pod_levels_ > 0 && depth == pod_depth_) {
@@ -466,8 +477,9 @@ class BnbWorker {
       const double lb =
           (batched ? sibling_metric[child] : metric_of(state_, by_power_)) +
           plan_.suffix_bound[depth + 1];
-      const double incumbent =
-          shared_.incumbent.load(std::memory_order_relaxed);
+      double incumbent = shared_.incumbent.load(std::memory_order_relaxed);
+      if (shared_.channel != nullptr)
+        incumbent = std::min(incumbent, shared_.channel->current());
       const double slack =
           kBoundSlackRel * (std::abs(lb) + std::abs(incumbent));
       if (lb - slack > incumbent) {
@@ -516,7 +528,9 @@ class BnbWorker {
           (std::size_t{1} << pod_levels_) - 2 + path;
       const ChunkBest candidate{pod.metric(lane, by_power_), code_};
       if (better(candidate, best_)) best_ = candidate;
-      update_incumbent(shared_.incumbent, candidate.metric);
+      if (update_incumbent(shared_.incumbent, candidate.metric) &&
+          shared_.channel != nullptr)
+        shared_.channel->publish(candidate.metric);
       return;
     }
     const std::uint32_t output = plan_.order[depth];
@@ -532,8 +546,9 @@ class BnbWorker {
       ++batched_evals_;
       const double lb =
           pod.metric(lane, by_power_) + plan_.suffix_bound[depth + 1];
-      const double incumbent =
-          shared_.incumbent.load(std::memory_order_relaxed);
+      double incumbent = shared_.incumbent.load(std::memory_order_relaxed);
+      if (shared_.channel != nullptr)
+        incumbent = std::min(incumbent, shared_.channel->current());
       const double slack =
           kBoundSlackRel * (std::abs(lb) + std::abs(incumbent));
       if (lb - slack > incumbent) {
@@ -567,6 +582,44 @@ class BnbWorker {
   std::uint64_t flush_limit_ = 256;
 };
 
+/// Incumbent seed: the preferred-phase greedy assignment polished by a
+/// strict first-improvement single-flip descent.  Every evaluation here is
+/// an exact candidate, so seeding can only tighten pruning — it never
+/// changes the (metric, code) winner.  A pure function of the plan, so the
+/// distributed coordinator reproduces it bit-identically via plan_bnb_seed.
+struct SeedScan {
+  ChunkBest best;
+  std::size_t evaluations = 0;
+};
+
+SeedScan bnb_seed_scan(const std::shared_ptr<const EvalContext>& ctx,
+                       const BnbPlan& plan, bool by_power) {
+  const std::size_t num_pos = ctx->num_outputs();
+  PhaseAssignment greedy(num_pos, Phase::kPositive);
+  for (std::size_t i = 0; i < num_pos; ++i) greedy[i] = plan.preferred[i];
+  EvalState seed_state(ctx, greedy);
+  SeedScan scan;
+  scan.evaluations = 1;
+  scan.best = ChunkBest{metric_of(seed_state, by_power), code_of(greedy)};
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (std::size_t i = 0; i < num_pos; ++i) {
+      seed_state.apply_flip(i);
+      ++scan.evaluations;
+      const ChunkBest trial{metric_of(seed_state, by_power),
+                            scan.best.code ^ (1ULL << i)};
+      if (trial.metric < scan.best.metric) {
+        scan.best = trial;
+        improved = true;
+      } else {
+        seed_state.undo();
+      }
+    }
+  }
+  return scan;
+}
+
 SearchResult exhaustive_branch_and_bound(const AssignmentEvaluator& evaluator,
                                          bool by_power,
                                          const ExhaustiveOptions& options) {
@@ -576,31 +629,9 @@ SearchResult exhaustive_branch_and_bound(const AssignmentEvaluator& evaluator,
   EvalState base(ctx, EvalState::AllUnassigned{});
   const BnbPlan plan = make_bnb_plan(*ctx, metric_of(base, by_power), by_power);
 
-  // Incumbent seed: the preferred-phase greedy assignment polished by a
-  // strict first-improvement single-flip descent.  Every evaluation here is
-  // an exact candidate, so seeding can only tighten pruning — it never
-  // changes the (metric, code) winner.
-  PhaseAssignment greedy(num_pos, Phase::kPositive);
-  for (std::size_t i = 0; i < num_pos; ++i) greedy[i] = plan.preferred[i];
-  EvalState seed_state(ctx, greedy);
-  std::size_t seed_evaluations = 1;
-  ChunkBest seed{metric_of(seed_state, by_power), code_of(greedy)};
-  bool improved = true;
-  while (improved) {
-    improved = false;
-    for (std::size_t i = 0; i < num_pos; ++i) {
-      seed_state.apply_flip(i);
-      ++seed_evaluations;
-      const ChunkBest trial{metric_of(seed_state, by_power),
-                            seed.code ^ (1ULL << i)};
-      if (trial.metric < seed.metric) {
-        seed = trial;
-        improved = true;
-      } else {
-        seed_state.undo();
-      }
-    }
-  }
+  const SeedScan scan = bnb_seed_scan(ctx, plan, by_power);
+  const ChunkBest seed = scan.best;
+  const std::size_t seed_evaluations = scan.evaluations;
 
   BnbShared shared;
   shared.incumbent.store(seed.metric, std::memory_order_relaxed);
@@ -754,136 +785,25 @@ SearchResult min_area_assignment(const AssignmentEvaluator& evaluator,
 
   // Simulated annealing over single-output flips, with restarts and a final
   // greedy descent; deterministic via the seeded per-restart RNG, so the
-  // restarts can run concurrently without changing any trajectory.
-  const std::size_t iterations = options.anneal_iterations != 0
-                                     ? options.anneal_iterations
-                                     : 250 * num_pos;
-  struct RestartResult {
-    PhaseAssignment assignment;
-    std::size_t area = 0;
-    std::size_t evaluations = 0;
-    std::size_t batched_evals = 0;
-    std::size_t batch_walks = 0;
-  };
+  // restarts can run concurrently without changing any trajectory — and so
+  // a restart ships intact as one distributed work unit (src/dist/).
+  const std::size_t iterations =
+      resolve_anneal_iterations(options.anneal_iterations, num_pos);
   // At least one restart, or there would be no assignment to return.
   const unsigned num_restarts = std::max(1u, options.restarts);
-  std::vector<RestartResult> restarts(num_restarts);
+  std::vector<AnnealRestartOutcome> restarts(num_restarts);
   ThreadPool pool(options.num_threads);
-  const std::size_t lanes = resolve_eval_batch_lanes(options.batch_lanes);
 
   pool.parallel_for(num_restarts, [&](std::size_t restart) {
-    Rng rng(options.seed + restart * 0x9e3779b9ULL);
-    PhaseAssignment initial(num_pos, Phase::kPositive);
-    if (restart > 0)  // diversify restarts
-      for (auto& phase : initial)
-        phase = rng.bernoulli(0.5) ? Phase::kNegative : Phase::kPositive;
-
-    EvalState state(evaluator.context(), initial);
-    std::size_t evaluations = 1;
-    double energy = static_cast<double>(state.area_cells());
-    PhaseAssignment best = state.assignment();
-    double best_energy = energy;
-
-    const double t0 = std::max(1.0, 0.05 * energy);
-    const double t_end = 0.01;
-    const double alpha =
-        std::pow(t_end / t0, 1.0 / static_cast<double>(iterations));
-    double temperature = t0;
-
-    // The metropolis loop cannot batch without changing the trajectory:
-    // rng.uniform() is drawn only when a trial worsens the energy, so the
-    // rng stream itself depends on each measurement's outcome and lanes
-    // evaluated ahead of the draw would replay a different random sequence.
-    // It stays scalar by design (docs/eval_batch.md).
-    for (std::size_t iter = 0; iter < iterations; ++iter) {
-      state.apply_flip(rng.below(num_pos));
-      const double trial = static_cast<double>(state.area_cells());
-      ++evaluations;
-      const double delta = trial - energy;
-      if (delta <= 0.0 || rng.uniform() < std::exp(-delta / temperature)) {
-        energy = trial;
-        if (energy < best_energy) {
-          best_energy = energy;
-          best = state.assignment();
-        }
-      } else {
-        state.undo();
-      }
-      temperature *= alpha;
-    }
-
-    // Greedy descent from the best annealed point.
-    state.set_assignment(best);
-    energy = best_energy;
-    std::size_t batched_evals = 0;
-    std::size_t batch_walks = 0;
-    if (lanes > 1) {
-      // Windowed first-improvement: lanes score the next W flips of the
-      // sweep in one shared walk; consuming stops at the first improvement,
-      // so every flip is still measured exactly once per sweep and the
-      // descent trajectory equals the scalar flip-by-flip loop.
-      EvalBatch batch(evaluator.context(), lanes);
-      std::vector<std::uint32_t> vars;
-      bool improved = true;
-      while (improved) {
-        improved = false;
-        std::size_t start = 0;
-        while (start < num_pos) {
-          const std::size_t count = std::min(lanes, num_pos - start);
-          vars.clear();
-          for (std::size_t t = 0; t < count; ++t)
-            vars.push_back(static_cast<std::uint32_t>(start + t));
-          batch.plan(vars);
-          batch.bind(state);
-          for (std::size_t t = 0; t < count; ++t) {
-            batch.add_lane();
-            batch.set_flip(t, t);
-          }
-          batch.evaluate();
-          ++batch_walks;
-          std::size_t advanced = count;
-          for (std::size_t t = 0; t < count; ++t) {
-            const double trial = static_cast<double>(batch.area_cells(t));
-            ++evaluations;
-            ++batched_evals;
-            if (trial < energy) {
-              state.apply_flip(start + t);
-              energy = trial;
-              improved = true;
-              advanced = t + 1;  // the tail re-measures from the new base
-              break;
-            }
-          }
-          start += advanced;
-        }
-      }
-    } else {
-      bool improved = true;
-      while (improved) {
-        improved = false;
-        for (std::size_t i = 0; i < num_pos; ++i) {
-          state.apply_flip(i);
-          const double trial = static_cast<double>(state.area_cells());
-          ++evaluations;
-          if (trial < energy) {
-            energy = trial;
-            improved = true;
-          } else {
-            state.undo();
-          }
-        }
-      }
-    }
-
-    restarts[restart] = {state.assignment(), static_cast<std::size_t>(energy),
-                         evaluations, batched_evals, batch_walks};
+    restarts[restart] = run_min_area_restart(evaluator, options.seed, restart,
+                                             iterations, options.batch_lanes);
   });
 
   // Merge in restart order with strict improvement — the sequential rule.
   SearchResult global_best;
   std::size_t best_area = std::numeric_limits<std::size_t>::max();
   std::size_t evaluations = 0;
-  for (const RestartResult& restart : restarts) {
+  for (const AnnealRestartOutcome& restart : restarts) {
     evaluations += restart.evaluations;
     global_best.batched_evals += restart.batched_evals;
     global_best.batch_walks += restart.batch_walks;
@@ -895,6 +815,189 @@ SearchResult min_area_assignment(const AssignmentEvaluator& evaluator,
   global_best.cost = evaluator.evaluate(global_best.assignment);
   global_best.evaluations = evaluations;
   return global_best;
+}
+
+// -- distributed work-unit entry points (search.hpp, src/dist/) ---------------
+
+PhaseAssignment assignment_from_phase_code(std::uint64_t code,
+                                           std::size_t num_pos) {
+  return assignment_from_code(code, num_pos);
+}
+
+std::uint64_t phase_code_of(const PhaseAssignment& phases) {
+  return code_of(phases);
+}
+
+BnbSeed plan_bnb_seed(const AssignmentEvaluator& evaluator, bool by_power) {
+  const std::shared_ptr<const EvalContext>& ctx = evaluator.context();
+  BnbSeed out;
+  out.admissible = ctx->bounds_admissible();
+  EvalState base(ctx, EvalState::AllUnassigned{});
+  const BnbPlan plan = make_bnb_plan(*ctx, metric_of(base, by_power), by_power);
+  out.base_metric = plan.base_metric;
+  out.root_bound = plan.root_bound;
+  const SeedScan scan = bnb_seed_scan(ctx, plan, by_power);
+  out.seed_metric = scan.best.metric;
+  out.seed_code = scan.best.code;
+  out.seed_evaluations = scan.evaluations;
+  return out;
+}
+
+BnbSubtreeResult run_bnb_subtree(const AssignmentEvaluator& evaluator,
+                                 bool by_power,
+                                 const BnbSubtreeOptions& options) {
+  const std::shared_ptr<const EvalContext>& ctx = evaluator.context();
+  const std::size_t num_pos = ctx->num_outputs();
+  if (!ctx->bounds_admissible())
+    throw std::invalid_argument(
+        "run_bnb_subtree: bounds not admissible for this power model");
+  if (options.frontier_depth > std::min(num_pos, kMaxExhaustiveOutputs))
+    throw std::invalid_argument("run_bnb_subtree: frontier_depth exceeds #POs");
+  if (options.frontier_depth < 64 &&
+      (options.task >> options.frontier_depth) != 0)
+    throw std::invalid_argument(
+        "run_bnb_subtree: task outside the frontier range");
+
+  EvalState base(ctx, EvalState::AllUnassigned{});
+  const BnbPlan plan = make_bnb_plan(*ctx, metric_of(base, by_power), by_power);
+
+  BnbShared shared;
+  shared.incumbent.store(options.bound_snapshot, std::memory_order_relaxed);
+  shared.budget = options.node_budget;
+  shared.channel = options.channel;
+  const std::size_t lanes = resolve_eval_batch_lanes(options.batch_lanes);
+
+  BnbWorker worker(base, plan, by_power, options.frontier_depth, lanes, ctx,
+                   shared);
+  worker.run(options.task);
+
+  BnbSubtreeResult result;
+  result.metric = worker.best().metric;
+  result.code = worker.best().code;
+  result.leaves = worker.leaves();
+  result.nodes_expanded = shared.expanded.load(std::memory_order_relaxed);
+  result.subtrees_pruned = worker.pruned();
+  result.batched_evals = worker.batched_evals();
+  result.batch_walks = worker.batch_walks();
+  result.budget_tripped =
+      shared.budget_tripped.load(std::memory_order_relaxed);
+  return result;
+}
+
+AnnealRestartOutcome run_min_area_restart(const AssignmentEvaluator& evaluator,
+                                          std::uint64_t seed,
+                                          std::size_t restart_index,
+                                          std::size_t iterations,
+                                          std::size_t batch_lanes) {
+  const std::size_t num_pos = evaluator.network().num_pos();
+  const std::size_t lanes = resolve_eval_batch_lanes(batch_lanes);
+  const std::size_t restart = restart_index;
+
+  Rng rng(seed + restart * 0x9e3779b9ULL);
+  PhaseAssignment initial(num_pos, Phase::kPositive);
+  if (restart > 0)  // diversify restarts
+    for (auto& phase : initial)
+      phase = rng.bernoulli(0.5) ? Phase::kNegative : Phase::kPositive;
+
+  EvalState state(evaluator.context(), initial);
+  std::size_t evaluations = 1;
+  double energy = static_cast<double>(state.area_cells());
+  PhaseAssignment best = state.assignment();
+  double best_energy = energy;
+
+  const double t0 = std::max(1.0, 0.05 * energy);
+  const double t_end = 0.01;
+  const double alpha =
+      std::pow(t_end / t0, 1.0 / static_cast<double>(iterations));
+  double temperature = t0;
+
+  // The metropolis loop cannot batch without changing the trajectory:
+  // rng.uniform() is drawn only when a trial worsens the energy, so the
+  // rng stream itself depends on each measurement's outcome and lanes
+  // evaluated ahead of the draw would replay a different random sequence.
+  // It stays scalar by design (docs/eval_batch.md).
+  for (std::size_t iter = 0; iter < iterations; ++iter) {
+    state.apply_flip(rng.below(num_pos));
+    const double trial = static_cast<double>(state.area_cells());
+    ++evaluations;
+    const double delta = trial - energy;
+    if (delta <= 0.0 || rng.uniform() < std::exp(-delta / temperature)) {
+      energy = trial;
+      if (energy < best_energy) {
+        best_energy = energy;
+        best = state.assignment();
+      }
+    } else {
+      state.undo();
+    }
+    temperature *= alpha;
+  }
+
+  // Greedy descent from the best annealed point.
+  state.set_assignment(best);
+  energy = best_energy;
+  std::size_t batched_evals = 0;
+  std::size_t batch_walks = 0;
+  if (lanes > 1) {
+    // Windowed first-improvement: lanes score the next W flips of the
+    // sweep in one shared walk; consuming stops at the first improvement,
+    // so every flip is still measured exactly once per sweep and the
+    // descent trajectory equals the scalar flip-by-flip loop.
+    EvalBatch batch(evaluator.context(), lanes);
+    std::vector<std::uint32_t> vars;
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      std::size_t start = 0;
+      while (start < num_pos) {
+        const std::size_t count = std::min(lanes, num_pos - start);
+        vars.clear();
+        for (std::size_t t = 0; t < count; ++t)
+          vars.push_back(static_cast<std::uint32_t>(start + t));
+        batch.plan(vars);
+        batch.bind(state);
+        for (std::size_t t = 0; t < count; ++t) {
+          batch.add_lane();
+          batch.set_flip(t, t);
+        }
+        batch.evaluate();
+        ++batch_walks;
+        std::size_t advanced = count;
+        for (std::size_t t = 0; t < count; ++t) {
+          const double trial = static_cast<double>(batch.area_cells(t));
+          ++evaluations;
+          ++batched_evals;
+          if (trial < energy) {
+            state.apply_flip(start + t);
+            energy = trial;
+            improved = true;
+            advanced = t + 1;  // the tail re-measures from the new base
+            break;
+          }
+        }
+        start += advanced;
+      }
+    }
+  } else {
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      for (std::size_t i = 0; i < num_pos; ++i) {
+        state.apply_flip(i);
+        const double trial = static_cast<double>(state.area_cells());
+        ++evaluations;
+        if (trial < energy) {
+          energy = trial;
+          improved = true;
+        } else {
+          state.undo();
+        }
+      }
+    }
+  }
+
+  return {state.assignment(), static_cast<std::size_t>(energy), evaluations,
+          batched_evals, batch_walks};
 }
 
 }  // namespace dominosyn

@@ -80,6 +80,10 @@ std::optional<std::string> Client::read_line() {
       if (!line.empty() && line.back() == '\r') line.pop_back();
       return line;
     }
+    // Same per-line bound the server enforces: a peer that streams a
+    // newline-less response is broken, not a reason to grow without limit.
+    if (buffer_.size() > protocol::kMaxLineLength)
+      throw std::runtime_error("response line exceeds protocol maximum");
     char chunk[4096];
     const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (got > 0) {

@@ -188,6 +188,19 @@ ServerResponse ServerCore::execute(Pending& pending) {
     const std::string& key = pending.request.circuit.empty()
                                  ? pending.request.network->name()
                                  : pending.request.circuit;
+    FlowOptions& options = pending.request.options;
+    if (options.dist.enabled) {
+      // Wire the request to this core's coordinator and make sure workers
+      // can reconstruct the circuit; otherwise the request runs locally.
+      options.dist.coordinator = &coordinator_;
+      if (!options.dist.circuit.valid()) {
+        options.dist.circuit.corpus = pending.request.corpus;
+        options.dist.circuit.blif_text = pending.request.blif_text;
+        options.dist.circuit.pi_prob = options.pi_prob;
+        options.dist.circuit.load_aware = options.model.load_aware;
+      }
+      if (!options.dist.circuit.valid()) options.dist.enabled = false;
+    }
     SessionCache::Lease lease =
         cache_->lease(key, *pending.request.network, pending.request.options);
     response.telemetry.cache_hit = lease.cache_hit();
@@ -215,6 +228,10 @@ void ServerCore::shutdown(bool drain) {
     shutting_down_ = true;
     if (!drain) cancel_queued_ = true;
   }
+  // Resolve outstanding distributed jobs before waiting for idle: a flow
+  // blocked on a job future would otherwise keep running_ > 0 forever.  The
+  // cancelled jobs surface as DistSearchError and those flows finish locally.
+  coordinator_.cancel_all();
   {
     // Queued work drains through the normal per-key dispatch (with
     // cancel_queued_ set, each request resolves kRejectedShutdown instead of
@@ -229,10 +246,16 @@ void ServerCore::shutdown(bool drain) {
 }
 
 ServerCore::Stats ServerCore::stats() const {
+  const dist::DistCoordinator::Counters fabric = coordinator_.counters();
   const std::lock_guard<std::mutex> lock(mutex_);
   Stats snapshot = stats_;
   snapshot.queued_now = queued_;
   snapshot.running_now = running_;
+  snapshot.units_issued = static_cast<std::size_t>(fabric.units_issued);
+  snapshot.units_stolen = static_cast<std::size_t>(fabric.units_stolen);
+  snapshot.units_reissued = static_cast<std::size_t>(fabric.units_reissued);
+  snapshot.incumbent_broadcasts =
+      static_cast<std::size_t>(fabric.incumbent_broadcasts);
   return snapshot;
 }
 

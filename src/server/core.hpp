@@ -46,6 +46,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "dist/coordinator.hpp"
 #include "flow/batch.hpp"
 #include "util/thread_pool.hpp"
 
@@ -60,6 +61,12 @@ struct ServerRequest {
   FlowOptions options;
   /// Reject instead of running when this point passed while queued.
   std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// How the circuit was described on the wire, kept so dist-enabled requests
+  /// can ship a reconstructible spec to workers: the corpus name or the
+  /// verbatim inline-BLIF text (at most one non-empty).  In-process callers
+  /// may leave both empty and fill options.dist.circuit themselves.
+  std::string corpus;
+  std::string blif_text;
 };
 
 enum class ServerStatus : std::uint8_t {
@@ -137,6 +144,13 @@ class ServerCore {
     std::size_t search_batched_trials = 0;
     std::size_t search_batch_walks = 0;
     double bound_tightness_sum = 0.0;
+    /// Distributed-fabric counters (snapshot of DistCoordinator::counters):
+    /// work-unit leases granted, speculative steals, re-issues after worker
+    /// loss, and accepted incumbent broadcasts.
+    std::size_t units_issued = 0;
+    std::size_t units_stolen = 0;
+    std::size_t units_reissued = 0;
+    std::size_t incumbent_broadcasts = 0;
   };
 
   explicit ServerCore(ServerConfig config = {});
@@ -158,6 +172,11 @@ class ServerCore {
 
   [[nodiscard]] Stats stats() const;
   [[nodiscard]] SessionCache& cache() noexcept { return *cache_; }
+  /// The core's distributed-search coordinator; the transport serves its
+  /// lease_work / steal / complete_work / push_incumbent verbs against it.
+  [[nodiscard]] dist::DistCoordinator& coordinator() noexcept {
+    return coordinator_;
+  }
   [[nodiscard]] const ServerConfig& config() const noexcept { return config_; }
   [[nodiscard]] unsigned num_workers() const noexcept {
     return static_cast<unsigned>(workers_.size());
@@ -177,6 +196,7 @@ class ServerCore {
   ServerConfig config_;
   std::unique_ptr<SessionCache> owned_cache_;
   SessionCache* cache_ = nullptr;
+  dist::DistCoordinator coordinator_;
 
   mutable std::mutex mutex_;
   std::condition_variable idle_cv_;

@@ -16,7 +16,17 @@
 ///
 /// Submit options: mode=allpos|ma|mp|exhaustive, threads=N, pi_prob=F,
 /// sim_steps=N, sim_warmup=N, sim_seed=N, clock=F, exh_limit=N,
-/// load_aware=0|1, deadline_ms=N.
+/// load_aware=0|1, deadline_ms=N, dist=0|1, dist_frontier=N, dist_shared=0|1.
+///
+/// Distributed-fabric verbs (worker -> coordinator, docs/distributed.md):
+///
+///   lease_work worker=<id>
+///   steal worker=<id>
+///   complete_work worker=<id> job=<n> unit=<n> ok=0|1 metric=<m> ...
+///   push_incumbent worker=<id> job=<n> metric=<m>
+///
+/// The transport answers them from ServerCore::coordinator() with the
+/// one-line JSON grants/acks of dist/workunit.hpp.
 ///
 /// Every response is a single JSON line with an "ok" field; submit responses
 /// carry the full FlowReport plus serving telemetry (cache hit, stage
@@ -32,6 +42,7 @@
 #include <string>
 #include <string_view>
 
+#include "dist/workunit.hpp"
 #include "server/core.hpp"
 
 namespace dominosyn::protocol {
@@ -42,18 +53,47 @@ class ProtocolError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Hard ceiling on one protocol line (1 MiB) — far above any legitimate
+/// command or BLIF line, and a bound on per-connection buffering so a peer
+/// streaming garbage without newlines cannot grow server memory unboundedly.
+inline constexpr std::size_t kMaxLineLength = std::size_t{1} << 20;
+
+/// A line exceeded kMaxLineLength.  Typed (vs a generic ProtocolError) so
+/// transports can discard input up to the next newline and keep the
+/// connection alive in a recoverable state.
+class LineTooLongError : public ProtocolError {
+ public:
+  LineTooLongError()
+      : ProtocolError("line exceeds the protocol maximum of " +
+                      std::to_string(kMaxLineLength) + " bytes") {}
+};
+
 /// Pulls the next input line (without terminator); std::nullopt = end of
 /// input.  Lets the parser read multi-line bodies (inline BLIF) from any
 /// transport.
 using LineSource = std::function<std::optional<std::string>()>;
 
-enum class CommandKind : std::uint8_t { kSubmit, kStats, kPing, kQuit };
+enum class CommandKind : std::uint8_t {
+  kSubmit,
+  kStats,
+  kPing,
+  kQuit,
+  kLeaseWork,      ///< worker requests a unit
+  kStealWork,      ///< idle worker requests a speculative duplicate lease
+  kCompleteWork,   ///< worker reports a finished unit
+  kPushIncumbent,  ///< worker broadcasts an incumbent improvement
+};
 
 struct Command {
   CommandKind kind = CommandKind::kPing;
   /// Populated for kSubmit: the parsed network (owned), key, options and
   /// deadline, ready for ServerCore::submit.
   ServerRequest request;
+  /// Populated for the distributed-fabric verbs.
+  std::string worker;            ///< worker id (every dist verb)
+  dist::UnitResult unit_result;  ///< kCompleteWork
+  std::uint64_t job_id = 0;      ///< kPushIncumbent
+  double metric = 0.0;           ///< kPushIncumbent
 };
 
 /// Reads one command (skipping blank lines); std::nullopt at end of input.
@@ -81,6 +121,10 @@ void append_json_string(std::string& out, std::string_view text);
 
 [[nodiscard]] std::optional<double> find_number(const std::string& json,
                                                 const std::string& key);
+/// Exact-text uint64 scan — find_number goes through a double, which loses
+/// precision past 2^53 (assignment codes, task bits, fingerprints).
+[[nodiscard]] std::optional<std::uint64_t> find_uint64(const std::string& json,
+                                                       const std::string& key);
 [[nodiscard]] std::optional<std::string> find_string(const std::string& json,
                                                      const std::string& key);
 [[nodiscard]] std::optional<bool> find_bool(const std::string& json,

@@ -24,6 +24,10 @@ namespace {
 }
 
 /// Buffered line reader over a socket fd ('\n'-terminated, '\r' stripped).
+/// Per-connection buffering is bounded by protocol::kMaxLineLength: an
+/// over-long line throws LineTooLongError once, and the reader then discards
+/// input until the next newline so the connection recovers at the following
+/// command instead of feeding the tail of the junk to the parser.
 class FdLineReader {
  public:
   explicit FdLineReader(int fd) : fd_(fd) {}
@@ -32,10 +36,22 @@ class FdLineReader {
     for (;;) {
       const std::size_t newline = buffer_.find('\n');
       if (newline != std::string::npos) {
+        if (skipping_) {
+          buffer_.erase(0, newline + 1);
+          skipping_ = false;
+          continue;
+        }
         std::string line = buffer_.substr(0, newline);
         buffer_.erase(0, newline + 1);
         if (!line.empty() && line.back() == '\r') line.pop_back();
         return line;
+      }
+      if (skipping_) {
+        buffer_.clear();  // still mid-junk: nothing here is a line prefix
+      } else if (buffer_.size() > protocol::kMaxLineLength) {
+        buffer_.clear();
+        skipping_ = true;
+        throw protocol::LineTooLongError();
       }
       char chunk[4096];
       const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
@@ -46,7 +62,7 @@ class FdLineReader {
       if (got < 0 && errno == EINTR) continue;
       // Peer closed (or connection shut down by stop()): flush a trailing
       // unterminated line, then signal end of input.
-      if (buffer_.empty()) return std::nullopt;
+      if (buffer_.empty() || skipping_) return std::nullopt;
       std::string line = std::move(buffer_);
       buffer_.clear();
       if (!line.empty() && line.back() == '\r') line.pop_back();
@@ -57,6 +73,7 @@ class FdLineReader {
  private:
   int fd_;
   std::string buffer_;
+  bool skipping_ = false;
 };
 
 bool send_all(int fd, std::string_view text) {
@@ -150,6 +167,10 @@ void SocketServer::accept_loop(int listen_fd) {
 void SocketServer::serve_connection(int fd) {
   FdLineReader reader(fd);
   const protocol::LineSource next_line = [&reader] { return reader.next_line(); };
+  // The last worker id seen on this connection: when the connection dies its
+  // outstanding leases are re-queued so the fabric survives worker loss.
+  std::string worker_id;
+  dist::DistCoordinator& coordinator = core_.coordinator();
   for (;;) {
     std::optional<protocol::Command> command;
     try {
@@ -179,9 +200,39 @@ void SocketServer::serve_connection(int fd) {
         if (!send_line(fd, protocol::format_response(response))) goto done;
         break;
       }
+      case protocol::CommandKind::kLeaseWork:
+      case protocol::CommandKind::kStealWork: {
+        worker_id = command->worker;
+        const auto grant =
+            command->kind == protocol::CommandKind::kLeaseWork
+                ? coordinator.lease(command->worker)
+                : coordinator.steal(command->worker);
+        const std::string reply =
+            grant ? dist::format_work_grant(grant->unit, grant->incumbent)
+                  : dist::format_no_work();
+        if (!send_line(fd, reply)) goto done;
+        break;
+      }
+      case protocol::CommandKind::kCompleteWork: {
+        worker_id = command->worker;
+        const dist::DistCoordinator::CompleteAck ack =
+            coordinator.complete(command->worker, command->unit_result);
+        if (!send_line(fd,
+                       dist::format_complete_ack(ack.accepted, ack.incumbent)))
+          goto done;
+        break;
+      }
+      case protocol::CommandKind::kPushIncumbent: {
+        worker_id = command->worker;
+        const double incumbent = coordinator.push_incumbent(
+            command->worker, command->job_id, command->metric);
+        if (!send_line(fd, dist::format_incumbent_ack(incumbent))) goto done;
+        break;
+      }
     }
   }
 done:
+  if (!worker_id.empty()) coordinator.worker_disconnected(worker_id);
   {
     // Deregister before closing so stop() never pokes a recycled fd.
     const std::lock_guard<std::mutex> lock(mutex_);

@@ -1,0 +1,747 @@
+/// Tests for the distributed search fabric (src/dist/, docs/distributed.md):
+///  * wire round-trips of every fabric message — exact uint64 codes past
+///    2^53, infinite metrics, percent-encoded error text, generator specs
+///    and multi-line BLIF inside one-line JSON grants,
+///  * coordinator bookkeeping: lease/complete/merge order, steal only when
+///    the queue is dry, keep-first duplicate resolution, deadline expiry and
+///    disconnect re-issue, completion racing a re-queue, fail-fast on bad
+///    units, cancel_all resolving every future,
+///  * the determinism contract: dist_exhaustive_search and
+///    dist_min_area_assignment return the single-process search's
+///    bit-identical (cost, assignment) — and, without shared bounds,
+///    bit-identical work counters — for every frontier depth, helper thread
+///    count and shared-bounds setting,
+///  * the fabric end to end: dominod core + TCP transport + DistWorker
+///    processes serving submits bit-identically to a local run, a worker
+///    dying mid-lease (re-issue + identical report), and non-drain shutdown
+///    resolving a dist-waiting submit.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "benchgen/benchgen.hpp"
+#include "dist/coordinator.hpp"
+#include "dist/search.hpp"
+#include "dist/worker.hpp"
+#include "dist/workunit.hpp"
+#include "flow/batch.hpp"
+#include "flow/flow.hpp"
+#include "network/synth.hpp"
+#include "phase/assignment.hpp"
+#include "phase/search.hpp"
+#include "server/client.hpp"
+#include "server/core.hpp"
+#include "server/protocol.hpp"
+#include "server/transport.hpp"
+#include "sgraph/partition.hpp"
+
+namespace dominosyn::dist {
+namespace {
+
+BenchSpec dist_spec(std::uint64_t seed, std::size_t pos = 8,
+                    std::size_t gates = 100) {
+  BenchSpec spec;
+  spec.name = "dist" + std::to_string(seed) + "_" + std::to_string(pos);
+  spec.num_pis = 9;
+  spec.num_pos = pos;
+  spec.gate_target = gates;
+  spec.seed = seed;
+  return spec;
+}
+
+/// The synthesized network + evaluator a worker would rebuild for the spec
+/// (FlowSession's own preparation), owning the network the evaluator
+/// references.
+struct Prepared {
+  Network net;
+  std::unique_ptr<AssignmentEvaluator> evaluator;
+};
+
+std::unique_ptr<Prepared> prepare(const BenchSpec& spec, double pi_prob = 0.5) {
+  auto prepared = std::make_unique<Prepared>();
+  Network net = compact_copy(generate_benchmark(spec));
+  try {
+    check_phase_ready(net);
+  } catch (const std::runtime_error&) {
+    standard_synthesis(net);
+  }
+  prepared->net = std::move(net);
+  const std::vector<double> pi_probs(prepared->net.num_pis(), pi_prob);
+  const SeqProbResult probs =
+      sequential_signal_probabilities(prepared->net, pi_probs, {});
+  prepared->evaluator = std::make_unique<AssignmentEvaluator>(
+      prepared->net, probs.node_probs, default_flow_power_model());
+  return prepared;
+}
+
+DistSearchOptions fabric_options(DistCoordinator& coordinator,
+                                 const BenchSpec& spec,
+                                 std::size_t frontier_depth,
+                                 bool shared_bounds = false) {
+  DistSearchOptions dist;
+  dist.enabled = true;
+  dist.coordinator = &coordinator;
+  dist.frontier_depth = frontier_depth;
+  dist.shared_bounds = shared_bounds;
+  dist.circuit.has_bench = true;
+  dist.circuit.bench = spec;
+  return dist;
+}
+
+void expect_cost_identical(const AssignmentCost& a, const AssignmentCost& b) {
+  EXPECT_EQ(a.power.domino_block, b.power.domino_block);
+  EXPECT_EQ(a.power.input_inverters, b.power.input_inverters);
+  EXPECT_EQ(a.power.output_inverters, b.power.output_inverters);
+  EXPECT_EQ(a.power.clock_load, b.power.clock_load);
+  EXPECT_EQ(a.domino_gates, b.domino_gates);
+  EXPECT_EQ(a.duplicated_gates, b.duplicated_gates);
+  EXPECT_EQ(a.input_inverters, b.input_inverters);
+  EXPECT_EQ(a.output_inverters, b.output_inverters);
+}
+
+std::vector<std::string> split_tokens(const std::string& line) {
+  std::istringstream in(line);
+  std::vector<std::string> tokens;
+  std::string token;
+  while (in >> token) tokens.push_back(token);
+  return tokens;
+}
+
+std::vector<WorkUnit> trivial_units(std::size_t count) {
+  std::vector<WorkUnit> units(count);
+  for (WorkUnit& unit : units) unit.circuit.corpus = "frg1";
+  return units;
+}
+
+void wait_until(const std::function<bool()>& done) {
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (!done()) {
+    ASSERT_LT(std::chrono::steady_clock::now(), give_up) << "condition timeout";
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+// -- wire round-trips ---------------------------------------------------------
+
+TEST(DistWire, CompleteCommandRoundTripsExactly) {
+  UnitResult result;
+  result.job_id = 7;
+  result.unit_id = (1ULL << 62) + 3;  // unit ids are exact uint64, not doubles
+  result.ok = true;
+  result.metric = 123.4567890123456789;
+  result.code = (1ULL << 61) + 12345;  // would corrupt through a double
+  result.assignment = "+-+-";
+  result.leaves = 11;
+  result.nodes_expanded = 222;
+  result.subtrees_pruned = 33;
+  result.batched_evals = 4444;
+  result.batch_walks = 55;
+  result.evaluations = 666;
+  result.budget_tripped = true;
+
+  const std::string line = format_complete_command("w#0", result);
+  const UnitResult parsed = parse_complete_tokens(split_tokens(line));
+  EXPECT_EQ(parsed.job_id, result.job_id);
+  EXPECT_EQ(parsed.unit_id, result.unit_id);
+  EXPECT_EQ(parsed.ok, result.ok);
+  EXPECT_EQ(parsed.metric, result.metric);  // shortest-round-trip: bit-exact
+  EXPECT_EQ(parsed.code, result.code);
+  EXPECT_EQ(parsed.assignment, result.assignment);
+  EXPECT_EQ(parsed.leaves, result.leaves);
+  EXPECT_EQ(parsed.nodes_expanded, result.nodes_expanded);
+  EXPECT_EQ(parsed.subtrees_pruned, result.subtrees_pruned);
+  EXPECT_EQ(parsed.batched_evals, result.batched_evals);
+  EXPECT_EQ(parsed.batch_walks, result.batch_walks);
+  EXPECT_EQ(parsed.evaluations, result.evaluations);
+  EXPECT_EQ(parsed.budget_tripped, result.budget_tripped);
+
+  // A fully-pruned subtree reports +inf / ~0; free-text errors survive the
+  // whitespace-split command line via percent encoding.
+  UnitResult failed;
+  failed.job_id = 1;
+  failed.unit_id = 2;
+  failed.ok = false;
+  failed.error = "fingerprint mismatch: 50% off = bad\nsecond line";
+  const UnitResult refailed =
+      parse_complete_tokens(split_tokens(format_complete_command("w", failed)));
+  EXPECT_FALSE(refailed.ok);
+  EXPECT_EQ(refailed.error, failed.error);
+  EXPECT_TRUE(std::isinf(refailed.metric));
+  EXPECT_EQ(refailed.code, std::numeric_limits<std::uint64_t>::max());
+
+  EXPECT_THROW((void)parse_complete_tokens(split_tokens("complete_work ok=1")),
+               std::runtime_error);  // job=/unit= are mandatory
+}
+
+TEST(DistWire, WorkGrantRoundTripsGeneratorSpecAndBlif) {
+  WorkUnit unit;
+  unit.job_id = 9;
+  unit.unit_id = 41;
+  unit.kind = UnitKind::kBnbSubtree;
+  unit.by_power = false;
+  unit.task = (1ULL << 60) + 77;
+  unit.frontier_depth = 6;
+  unit.bound_snapshot = 98.5;
+  unit.node_budget = 1ULL << 21;
+  unit.batch_lanes = 8;
+  unit.shared_bounds = true;
+  unit.circuit.has_bench = true;
+  unit.circuit.bench = dist_spec(5, 10, 120);
+  unit.circuit.bench.name = "Industry 1";  // corpus names contain spaces
+  unit.circuit.pi_prob = 0.375;
+  unit.circuit.load_aware = false;
+  unit.circuit.fingerprint = (1ULL << 63) + 99;
+
+  const auto grant = parse_work_grant(format_work_grant(unit, 42.25));
+  ASSERT_TRUE(grant.has_value());
+  EXPECT_EQ(grant->incumbent, 42.25);
+  const WorkUnit& got = grant->unit;
+  EXPECT_EQ(got.job_id, unit.job_id);
+  EXPECT_EQ(got.unit_id, unit.unit_id);
+  EXPECT_EQ(got.kind, unit.kind);
+  EXPECT_EQ(got.by_power, unit.by_power);
+  EXPECT_EQ(got.task, unit.task);
+  EXPECT_EQ(got.frontier_depth, unit.frontier_depth);
+  EXPECT_EQ(got.bound_snapshot, unit.bound_snapshot);
+  EXPECT_EQ(got.node_budget, unit.node_budget);
+  EXPECT_EQ(got.batch_lanes, unit.batch_lanes);
+  EXPECT_TRUE(got.shared_bounds);
+  ASSERT_TRUE(got.circuit.has_bench);
+  EXPECT_EQ(got.circuit.bench.name, unit.circuit.bench.name);
+  EXPECT_EQ(got.circuit.bench.num_pis, unit.circuit.bench.num_pis);
+  EXPECT_EQ(got.circuit.bench.num_pos, unit.circuit.bench.num_pos);
+  EXPECT_EQ(got.circuit.bench.gate_target, unit.circuit.bench.gate_target);
+  EXPECT_EQ(got.circuit.bench.seed, unit.circuit.bench.seed);
+  EXPECT_EQ(got.circuit.pi_prob, unit.circuit.pi_prob);
+  EXPECT_EQ(got.circuit.load_aware, unit.circuit.load_aware);
+  EXPECT_EQ(got.circuit.fingerprint, unit.circuit.fingerprint);
+
+  // An annealing unit shipping verbatim BLIF (quotes, newlines) and an
+  // infinite bound snapshot.
+  WorkUnit anneal;
+  anneal.job_id = 2;
+  anneal.unit_id = 0;
+  anneal.kind = UnitKind::kAnnealRestart;
+  anneal.anneal_seed = 0x9e3779b97f4a7c15ULL;
+  anneal.restart_index = 3;
+  anneal.iterations = 2000;
+  anneal.circuit.blif_text =
+      ".model \"q\"\n.inputs a b\n.outputs f\n.names a b f\n11 1\n.end\n";
+  const auto regrant = parse_work_grant(
+      format_work_grant(anneal, std::numeric_limits<double>::infinity()));
+  ASSERT_TRUE(regrant.has_value());
+  EXPECT_TRUE(std::isinf(regrant->incumbent));
+  EXPECT_EQ(regrant->unit.kind, UnitKind::kAnnealRestart);
+  EXPECT_EQ(regrant->unit.anneal_seed, anneal.anneal_seed);
+  EXPECT_EQ(regrant->unit.restart_index, anneal.restart_index);
+  EXPECT_EQ(regrant->unit.iterations, anneal.iterations);
+  EXPECT_EQ(regrant->unit.circuit.blif_text, anneal.circuit.blif_text);
+  EXPECT_TRUE(std::isinf(regrant->unit.bound_snapshot));
+
+  EXPECT_FALSE(parse_work_grant(format_no_work()).has_value());
+  EXPECT_THROW((void)parse_work_grant("{\"ok\":false}"), std::runtime_error);
+}
+
+TEST(DistWire, MetricAndTextEncodingsRoundTrip) {
+  for (const double value :
+       {0.0, 1.0, -2.5, 123.4567890123456789, 1e-300,
+        std::numeric_limits<double>::infinity(),
+        -std::numeric_limits<double>::infinity()}) {
+    EXPECT_EQ(decode_metric(encode_metric(value)), value);
+  }
+  EXPECT_TRUE(std::isnan(decode_metric(encode_metric(
+      std::numeric_limits<double>::quiet_NaN()))));
+
+  const std::string nasty = "a b\tc\n% = %% ==\x01\x7f plain";
+  const std::string encoded = percent_encode(nasty);
+  EXPECT_EQ(encoded.find(' '), std::string::npos);
+  EXPECT_EQ(encoded.find('='), std::string::npos);
+  EXPECT_EQ(percent_decode(encoded), nasty);
+
+  // push/ack round trip.
+  const double incumbent =
+      parse_incumbent(format_incumbent_ack(77.125));
+  EXPECT_EQ(incumbent, 77.125);
+  EXPECT_TRUE(std::isinf(parse_incumbent(
+      format_incumbent_ack(std::numeric_limits<double>::infinity()))));
+}
+
+// -- coordinator bookkeeping --------------------------------------------------
+
+TEST(DistCoordinatorTest, LeaseCompleteMergeInUnitOrder) {
+  DistCoordinator coordinator;
+  auto job = coordinator.open_job(trivial_units(3), 60'000);
+  ASSERT_NE(job.job_id, 0u);
+
+  // Units lease in unit order; completions out of order still merge in order.
+  for (std::uint64_t expect : {0u, 1u, 2u}) {
+    const auto grant = coordinator.lease("A");
+    ASSERT_TRUE(grant.has_value());
+    EXPECT_EQ(grant->unit.unit_id, expect);
+    EXPECT_EQ(grant->unit.job_id, job.job_id);
+  }
+  EXPECT_FALSE(coordinator.lease("A").has_value());
+
+  for (const std::uint64_t unit_id : {2u, 0u, 1u}) {
+    UnitResult result;
+    result.job_id = job.job_id;
+    result.unit_id = unit_id;
+    result.metric = 10.0 + static_cast<double>(unit_id);
+    EXPECT_TRUE(coordinator.complete("A", result).accepted);
+  }
+  ASSERT_EQ(job.future.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  const JobResult merged = job.future.get();
+  EXPECT_FALSE(merged.cancelled);
+  EXPECT_TRUE(merged.error.empty());
+  ASSERT_EQ(merged.units.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_EQ(merged.units[i].metric, 10.0 + static_cast<double>(i));
+  EXPECT_EQ(coordinator.counters().units_issued, 3u);
+  EXPECT_EQ(coordinator.counters().units_reissued, 0u);
+}
+
+TEST(DistCoordinatorTest, StealOnlyWhenQueueDryAndKeepFirstWins) {
+  DistCoordinator coordinator;
+  auto job = coordinator.open_job(trivial_units(2), 60'000);
+
+  auto first = coordinator.lease("A");
+  ASSERT_TRUE(first.has_value());
+  // Queued work exists: stealing is refused — lease instead.
+  EXPECT_FALSE(coordinator.steal("B").has_value());
+  auto second = coordinator.lease("A");
+  ASSERT_TRUE(second.has_value());
+  EXPECT_FALSE(coordinator.lease("B").has_value());
+
+  // Dry queue: B duplicates A's earliest lease, then the next one; a worker
+  // never duplicates a unit it already holds (so the third steal is empty,
+  // and A cannot steal back what it leased).
+  const auto stolen = coordinator.steal("B");
+  ASSERT_TRUE(stolen.has_value());
+  EXPECT_EQ(stolen->unit.unit_id, 0u);
+  const auto stolen2 = coordinator.steal("B");
+  ASSERT_TRUE(stolen2.has_value());
+  EXPECT_EQ(stolen2->unit.unit_id, 1u);
+  EXPECT_FALSE(coordinator.steal("B").has_value());
+  EXPECT_FALSE(coordinator.steal("A").has_value());
+  EXPECT_EQ(coordinator.counters().units_stolen, 2u);
+
+  // B finishes unit 0 first; A's later duplicate is dropped (keep-first).
+  UnitResult from_b;
+  from_b.job_id = job.job_id;
+  from_b.unit_id = 0;
+  from_b.metric = 5.0;
+  EXPECT_TRUE(coordinator.complete("B", from_b).accepted);
+  UnitResult from_a = from_b;
+  from_a.metric = 7.0;
+  EXPECT_FALSE(coordinator.complete("A", from_a).accepted);
+
+  UnitResult last;
+  last.job_id = job.job_id;
+  last.unit_id = 1;
+  last.metric = 6.0;
+  EXPECT_TRUE(coordinator.complete("A", last).accepted);
+
+  const JobResult merged = job.future.get();
+  ASSERT_EQ(merged.units.size(), 2u);
+  EXPECT_EQ(merged.units[0].metric, 5.0);  // B's first completion was kept
+  EXPECT_EQ(merged.units[1].metric, 6.0);
+}
+
+TEST(DistCoordinatorTest, ExpiredLeaseIsReissued) {
+  DistCoordinator coordinator;
+  auto job = coordinator.open_job(trivial_units(1), /*lease_timeout_ms=*/1);
+  ASSERT_TRUE(coordinator.lease("A").has_value());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  coordinator.sweep();
+  EXPECT_EQ(coordinator.counters().units_reissued, 1u);
+
+  const auto regrant = coordinator.lease("B");
+  ASSERT_TRUE(regrant.has_value());
+  EXPECT_EQ(regrant->unit.unit_id, 0u);
+
+  // The slow original still finishes first: keep-first applies to re-issues
+  // exactly like steals.
+  UnitResult result;
+  result.job_id = job.job_id;
+  result.unit_id = 0;
+  result.metric = 3.0;
+  EXPECT_TRUE(coordinator.complete("A", result).accepted);
+  EXPECT_FALSE(coordinator.complete("B", result).accepted);
+  EXPECT_EQ(job.future.get().units.at(0).metric, 3.0);
+}
+
+TEST(DistCoordinatorTest, DisconnectRequeuesAndCompletionBeatsRequeue) {
+  DistCoordinator coordinator;
+  auto job = coordinator.open_job(trivial_units(2), 60'000);
+  ASSERT_TRUE(coordinator.lease("A").has_value());  // unit 0
+  ASSERT_TRUE(coordinator.lease("A").has_value());  // unit 1
+  coordinator.worker_disconnected("A");
+  EXPECT_EQ(coordinator.counters().units_reissued, 2u);
+
+  // Unit 0 re-leases normally after the re-queue...
+  const auto regrant = coordinator.lease("B");
+  ASSERT_TRUE(regrant.has_value());
+  EXPECT_EQ(regrant->unit.unit_id, 0u);
+
+  // ...while A's completion of unit 1 lands even though the unit sits in the
+  // queue again — accepting it must also pull it back out, or it would be
+  // granted (and run) a second time after being done.
+  UnitResult late;
+  late.job_id = job.job_id;
+  late.unit_id = 1;
+  late.metric = 9.0;
+  EXPECT_TRUE(coordinator.complete("A", late).accepted);
+  EXPECT_FALSE(coordinator.lease("B").has_value());
+
+  UnitResult first;
+  first.job_id = job.job_id;
+  first.unit_id = 0;
+  first.metric = 8.0;
+  EXPECT_TRUE(coordinator.complete("B", first).accepted);
+  const JobResult merged = job.future.get();
+  EXPECT_EQ(merged.units.at(0).metric, 8.0);
+  EXPECT_EQ(merged.units.at(1).metric, 9.0);
+}
+
+TEST(DistCoordinatorTest, FailedUnitFailsTheWholeJob) {
+  DistCoordinator coordinator;
+  auto job = coordinator.open_job(trivial_units(2), 60'000);
+  ASSERT_TRUE(coordinator.lease("A").has_value());
+  UnitResult bad;
+  bad.job_id = job.job_id;
+  bad.unit_id = 0;
+  bad.ok = false;
+  bad.error = "engine exploded";
+  (void)coordinator.complete("A", bad);
+  ASSERT_EQ(job.future.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  const JobResult merged = job.future.get();
+  EXPECT_FALSE(merged.cancelled);
+  EXPECT_NE(merged.error.find("engine exploded"), std::string::npos);
+}
+
+TEST(DistCoordinatorTest, CancelAllResolvesEveryFutureAndRefusesNewJobs) {
+  DistCoordinator coordinator;
+  auto open = coordinator.open_job(trivial_units(2), 60'000);
+  ASSERT_TRUE(coordinator.lease("A").has_value());  // outstanding lease
+  coordinator.cancel_all();
+  EXPECT_TRUE(coordinator.closed());
+  ASSERT_EQ(open.future.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_TRUE(open.future.get().cancelled);
+
+  auto after = coordinator.open_job(trivial_units(1), 60'000);
+  EXPECT_EQ(after.job_id, 0u);
+  EXPECT_TRUE(after.future.get().cancelled);
+  EXPECT_FALSE(coordinator.lease("A").has_value());
+}
+
+TEST(DistCoordinatorTest, IncumbentRelayKeepsTheMinimum) {
+  DistCoordinator coordinator;
+  auto job = coordinator.open_job(trivial_units(1), 60'000);
+  EXPECT_TRUE(std::isinf(coordinator.current_incumbent(job.job_id)));
+  EXPECT_EQ(coordinator.push_incumbent("A", job.job_id, 10.0), 10.0);
+  EXPECT_EQ(coordinator.counters().incumbent_broadcasts, 1u);
+  // A worse report is not a broadcast; the relay answers with the better one.
+  EXPECT_EQ(coordinator.push_incumbent("B", job.job_id, 12.0), 10.0);
+  EXPECT_EQ(coordinator.counters().incumbent_broadcasts, 1u);
+  EXPECT_EQ(coordinator.current_incumbent(job.job_id), 10.0);
+  // Unknown jobs echo the pushed metric and track nothing.
+  EXPECT_EQ(coordinator.push_incumbent("A", 999, 3.0), 3.0);
+}
+
+// -- determinism of the distributed searches ----------------------------------
+
+TEST(DistSearchTest, ExhaustiveBitIdenticalAcrossEveryTopology) {
+  const BenchSpec spec = dist_spec(31, /*pos=*/8);
+  const auto prepared = prepare(spec);
+  ExhaustiveOptions local;
+  local.num_threads = 1;
+  const SearchResult reference =
+      exhaustive_min_power(*prepared->evaluator, local);
+
+  for (const std::size_t frontier : {std::size_t{1}, std::size_t{4},
+                                     std::size_t{8}}) {
+    // Deterministic-mode counters are a pure function of the split: every
+    // helper-thread count produces this frontier's exact counter set.
+    std::optional<SearchResult> baseline;
+    for (const bool shared : {false, true}) {
+      for (const unsigned threads : {1u, 2u}) {
+        DistCoordinator coordinator;
+        const DistSearchOptions dist =
+            fabric_options(coordinator, spec, frontier, shared);
+        ExhaustiveOptions options;
+        options.num_threads = threads;
+        const SearchResult got = dist_exhaustive_search(
+            *prepared->evaluator, /*by_power=*/true, options, dist);
+
+        // The result is the single-process search's, bit for bit.
+        EXPECT_EQ(got.assignment, reference.assignment);
+        expect_cost_identical(got.cost, reference.cost);
+        EXPECT_EQ(got.bound_tightness, reference.bound_tightness);
+
+        if (shared) continue;
+        if (!baseline) {
+          baseline = got;
+          continue;
+        }
+        EXPECT_EQ(got.evaluations, baseline->evaluations);
+        EXPECT_EQ(got.nodes_expanded, baseline->nodes_expanded);
+        EXPECT_EQ(got.subtrees_pruned, baseline->subtrees_pruned);
+        EXPECT_EQ(got.batched_evals, baseline->batched_evals);
+        EXPECT_EQ(got.batch_walks, baseline->batch_walks);
+      }
+    }
+  }
+
+  // Min-area exact search distributes through the same driver.
+  const SearchResult area_reference =
+      exhaustive_min_area(*prepared->evaluator, local);
+  DistCoordinator coordinator;
+  ExhaustiveOptions options;
+  options.num_threads = 2;
+  const SearchResult area = dist_exhaustive_search(
+      *prepared->evaluator, /*by_power=*/false, options,
+      fabric_options(coordinator, spec, /*frontier=*/3));
+  EXPECT_EQ(area.assignment, area_reference.assignment);
+  expect_cost_identical(area.cost, area_reference.cost);
+}
+
+TEST(DistSearchTest, ExhaustiveKeepsTheLocalErrorContracts) {
+  const BenchSpec spec = dist_spec(32, /*pos=*/8);
+  const auto prepared = prepare(spec);
+  DistCoordinator coordinator;
+  const DistSearchOptions dist = fabric_options(coordinator, spec, 4);
+
+  ExhaustiveOptions too_small;
+  too_small.max_outputs = 5;
+  EXPECT_THROW((void)dist_exhaustive_search(*prepared->evaluator, true,
+                                            too_small, dist),
+               ExhaustiveLimitError);
+
+  ExhaustiveOptions starved;
+  starved.node_budget = 1;
+  EXPECT_THROW((void)dist_exhaustive_search(*prepared->evaluator, true,
+                                            starved, dist),
+               ExhaustiveBudgetError);
+
+  DistSearchOptions disabled;
+  EXPECT_THROW((void)dist_exhaustive_search(*prepared->evaluator, true,
+                                            ExhaustiveOptions{}, disabled),
+               DistSearchError);
+}
+
+TEST(DistSearchTest, MinAreaAnnealingMatchesLocalRestartForRestart) {
+  const BenchSpec spec = dist_spec(33, /*pos=*/8);
+  const auto prepared = prepare(spec);
+  MinAreaOptions options;
+  options.exhaustive_limit = 0;  // force the annealing path on both sides
+  options.restarts = 3;
+  options.seed = 7;
+  options.num_threads = 1;
+  const SearchResult reference =
+      min_area_assignment(*prepared->evaluator, options);
+
+  for (const unsigned threads : {1u, 2u}) {
+    DistCoordinator coordinator;
+    MinAreaOptions dist_options = options;
+    dist_options.num_threads = threads;
+    const SearchResult got = dist_min_area_assignment(
+        *prepared->evaluator, dist_options,
+        fabric_options(coordinator, spec, /*frontier=*/4));
+    EXPECT_EQ(got.assignment, reference.assignment);
+    expect_cost_identical(got.cost, reference.cost);
+    EXPECT_EQ(got.evaluations, reference.evaluations);
+    EXPECT_EQ(coordinator.counters().units_issued, options.restarts);
+  }
+
+  // A starved exact budget falls back to the identical annealing merge,
+  // mirroring the local search's budget fallback.
+  MinAreaOptions starved = options;
+  starved.exhaustive_limit = kDefaultPrunedExhaustiveLimit;
+  starved.node_budget = 1;
+  const SearchResult local_fallback =
+      min_area_assignment(*prepared->evaluator, starved);
+  DistCoordinator coordinator;
+  const SearchResult dist_fallback = dist_min_area_assignment(
+      *prepared->evaluator, starved,
+      fabric_options(coordinator, spec, /*frontier=*/4));
+  EXPECT_EQ(dist_fallback.assignment, local_fallback.assignment);
+  expect_cost_identical(dist_fallback.cost, local_fallback.cost);
+}
+
+// -- the fabric end to end ----------------------------------------------------
+
+FlowOptions dist_flow_options(const BenchSpec& spec, bool participate,
+                              std::uint32_t stall_takeover_ms,
+                              bool shared = false) {
+  FlowOptions options;
+  options.mode = PhaseMode::kExhaustivePower;
+  options.sim.steps = 400;
+  options.sim.warmup = 8;
+  options.dist.enabled = true;
+  options.dist.frontier_depth = 4;
+  options.dist.shared_bounds = shared;
+  options.dist.participate = participate;
+  options.dist.stall_takeover_ms = stall_takeover_ms;
+  options.dist.circuit.has_bench = true;
+  options.dist.circuit.bench = spec;
+  return options;
+}
+
+ServerRequest dist_request(const Network& net, const FlowOptions& options) {
+  ServerRequest request;
+  request.network = std::make_shared<const Network>(net);
+  request.options = options;
+  return request;
+}
+
+void expect_reports_identical(const FlowReport& a, const FlowReport& b,
+                              bool counters = true) {
+  EXPECT_EQ(a.cells, b.cells);
+  EXPECT_EQ(a.area, b.area);
+  EXPECT_EQ(a.est_power, b.est_power);
+  EXPECT_EQ(a.sim_power, b.sim_power);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.negative_outputs, b.negative_outputs);
+  EXPECT_EQ(a.search_bound_tightness, b.search_bound_tightness);
+  if (!counters) return;  // shared bounds: timing-dependent telemetry
+  EXPECT_EQ(a.search_evaluations, b.search_evaluations);
+  EXPECT_EQ(a.search_nodes_expanded, b.search_nodes_expanded);
+  EXPECT_EQ(a.search_subtrees_pruned, b.search_subtrees_pruned);
+}
+
+TEST(DistFabric, TcpWorkersServeSubmitsBitIdenticallyToLocal) {
+  const BenchSpec spec = dist_spec(41, /*pos=*/8);
+  const Network net = generate_benchmark(spec);
+  FlowOptions local_options = dist_flow_options(spec, false, 0);
+  local_options.dist = {};  // plain single-process reference
+  const FlowReport reference = run_flow(net, local_options);
+
+  std::vector<FlowReport> reports;
+  for (const unsigned workers : {1u, 2u}) {
+    ServerCore core(ServerConfig{});
+    TransportConfig transport;  // ephemeral TCP loopback
+    SocketServer server(core, transport);
+
+    WorkerConfig worker_config;
+    worker_config.port = server.port();
+    worker_config.num_threads = 1;
+    worker_config.idle_poll_ms = 5;
+    std::vector<std::unique_ptr<DistWorker>> fleet;
+    for (unsigned w = 0; w < workers; ++w) {
+      worker_config.name = "w" + std::to_string(w);
+      fleet.push_back(std::make_unique<DistWorker>(worker_config));
+      fleet.back()->start();
+    }
+
+    // The driver only waits (no inline participation) and would take over
+    // after 20 s — long enough that the workers always do the work.
+    const ServerResponse response =
+        core.submit(
+                dist_request(net, dist_flow_options(spec, false, 20'000)))
+            .get();
+    ASSERT_EQ(response.status, ServerStatus::kOk) << response.error_message;
+    // The served (assignment, cost) is the local flow's, bit for bit.  The
+    // distributed B&B counters are deterministic too, but count a different
+    // (shard-local pruning) schedule than the single-process search — they
+    // are compared across worker counts below, not against the local run.
+    expect_reports_identical(response.report, reference, /*counters=*/false);
+    reports.push_back(response.report);
+
+    const ServerCore::Stats stats = core.stats();
+    EXPECT_GE(stats.units_issued, 16u);  // 2^4 frontier subtrees
+    std::uint64_t completed = 0;
+    for (const auto& worker : fleet) {
+      EXPECT_EQ(worker->telemetry().units_failed, 0u);
+      completed += worker->telemetry().units_completed;
+    }
+    EXPECT_GE(completed, 16u);
+
+    for (auto& worker : fleet) worker->stop();
+    server.stop();
+    core.shutdown();
+  }
+  // Deterministic mode: the 2-worker report — work counters included —
+  // equals the 1-worker report exactly.
+  ASSERT_EQ(reports.size(), 2u);
+  expect_reports_identical(reports[0], reports[1]);
+}
+
+TEST(DistFabric, DeadWorkerMidLeaseIsReissuedWithIdenticalReport) {
+  const BenchSpec spec = dist_spec(42, /*pos=*/8);
+  const Network net = generate_benchmark(spec);
+  FlowOptions local_options = dist_flow_options(spec, false, 0);
+  local_options.dist = {};
+  const FlowReport reference = run_flow(net, local_options);
+
+  ServerCore core(ServerConfig{});
+  TransportConfig transport;
+  SocketServer server(core, transport);
+
+  // The driver waits; a ghost worker leases one unit over the real wire and
+  // dies holding it.  The disconnect re-queues the unit, and after the stall
+  // window the driver takes the whole job over inline — the report must not
+  // show a trace of the dead worker.
+  auto future =
+      core.submit(dist_request(net, dist_flow_options(spec, false, 3'000)));
+  {
+    Client ghost = Client::connect_tcp("127.0.0.1", server.port());
+    std::string grant;
+    wait_until([&] {
+      grant = ghost.request(format_lease_command("ghost"));
+      return protocol::find_bool(grant, "work").value_or(false);
+    });
+  }  // connection closes with the lease outstanding
+
+  const ServerResponse response = future.get();
+  ASSERT_EQ(response.status, ServerStatus::kOk) << response.error_message;
+  expect_reports_identical(response.report, reference);
+  EXPECT_GE(core.stats().units_reissued, 1u);
+
+  server.stop();
+  core.shutdown();
+}
+
+TEST(DistFabric, NonDrainShutdownResolvesDistWaitingSubmits) {
+  const BenchSpec spec = dist_spec(43, /*pos=*/8);
+  const Network net = generate_benchmark(spec);
+  FlowOptions local_options = dist_flow_options(spec, false, 0);
+  local_options.dist = {};
+  const FlowReport reference = run_flow(net, local_options);
+
+  ServerCore core(ServerConfig{});
+  // No workers, no participation, and a stall window far beyond the test:
+  // the flow would wait on the fabric forever.  Hold an outstanding lease so
+  // shutdown exercises the cancel path with leased units in flight.
+  auto future = core.submit(
+      dist_request(net, dist_flow_options(spec, false, 600'000)));
+  std::optional<DistCoordinator::Grant> held;
+  wait_until([&] {
+    held = core.coordinator().lease("straggler");
+    return held.has_value();
+  });
+
+  // Non-drain shutdown cancels the job; the flow falls back to the local
+  // search and the submit future still resolves with the exact local report.
+  core.shutdown(/*drain=*/false);
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  const ServerResponse response = future.get();
+  ASSERT_EQ(response.status, ServerStatus::kOk) << response.error_message;
+  expect_reports_identical(response.report, reference);
+  EXPECT_TRUE(core.coordinator().closed());
+}
+
+}  // namespace
+}  // namespace dominosyn::dist

@@ -616,6 +616,38 @@ TEST(Transport, TcpLoopbackRoundTrip) {
   EXPECT_TRUE(client.ping());
   const std::string stats = client.request("stats");
   EXPECT_EQ(protocol::find_bool(stats, "ok"), true);
+  // The distributed-fabric counters ride the stats line from day one.
+  EXPECT_EQ(protocol::find_number(stats, "units_issued"), 0.0);
+  EXPECT_EQ(protocol::find_number(stats, "units_stolen"), 0.0);
+  EXPECT_EQ(protocol::find_number(stats, "units_reissued"), 0.0);
+  EXPECT_EQ(protocol::find_number(stats, "incumbent_broadcasts"), 0.0);
+}
+
+TEST(Transport, OversizedLineAnswersErrorAndKeepsTheConnection) {
+  // The reader is bounded (protocol::kMaxLineLength): a line that never ends
+  // must produce a typed protocol error instead of buffering without limit —
+  // and the connection must stay usable once the line finally terminates,
+  // because the reader discards the oversized remainder instead of parsing
+  // garbage mid-line.
+  ServerCore core(ServerConfig{});
+  TransportConfig transport;
+  SocketServer server(core, transport);
+  Client client = Client::connect_tcp("127.0.0.1", server.port());
+
+  const std::string junk(2 * protocol::kMaxLineLength, 'x');
+  const std::string answer = client.request(junk);
+  EXPECT_EQ(protocol::find_bool(answer, "ok"), false);
+  const auto error = protocol::find_string(answer, "error");
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("line exceeds"), std::string::npos) << *error;
+
+  // Same connection, next command: fully functional.
+  EXPECT_TRUE(client.ping());
+  const std::string stats = client.request("stats");
+  EXPECT_EQ(protocol::find_bool(stats, "ok"), true);
+
+  server.stop();
+  core.shutdown();
 }
 
 }  // namespace

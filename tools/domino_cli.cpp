@@ -9,6 +9,9 @@
 /// Submits one circuit (by corpus name or BLIF file), prints the report
 /// summary with serving telemetry — or the raw JSON line with --raw.
 /// --repeat N re-submits N times, showing the cold→hot cache transition.
+/// --stats pretty-prints the full ServerCore::Stats JSON (including the
+/// distributed-fabric counters); --dist fans the request's search out over
+/// the daemon's connected workers.
 
 #include <fstream>
 #include <iostream>
@@ -26,7 +29,7 @@ void usage(const char* program) {
       << "actions:\n"
       << "  --corpus NAME    submit a generated paper circuit (e.g. frg1)\n"
       << "  --blif FILE      submit a BLIF file inline\n"
-      << "  --stats          print server + cache statistics\n"
+      << "  --stats          print server + cache statistics (pretty JSON)\n"
       << "  --ping           protocol liveness check\n"
       << "options:\n"
       << "  --mode M         allpos|ma|mp|exhaustive (default mp)\n"
@@ -37,8 +40,70 @@ void usage(const char* program) {
       << "  --pi-prob F      uniform PI signal probability\n"
       << "  --clock F        resize-to-clock period\n"
       << "  --deadline-ms N  reject if not started within N ms\n"
+      << "  --dist           distribute the search over connected workers\n"
+      << "  --dist-frontier N  B&B split depth (2^N work units, default 6)\n"
+      << "  --dist-shared    share incumbents live across workers (timing-\n"
+      << "                   dependent counters; results stay deterministic)\n"
       << "  --repeat N       submit N times (watch the cache heat up)\n"
       << "  --raw            print raw JSON response lines\n";
+}
+
+/// Re-indents a single-line JSON document for human eyes: two-space indent,
+/// one key per line, strings (and their escapes) passed through untouched.
+/// Anything non-JSON comes back unchanged in spirit — the characters are all
+/// preserved, only whitespace is added.
+std::string pretty_json(const std::string& flat) {
+  std::string out;
+  out.reserve(flat.size() * 2);
+  int depth = 0;
+  bool in_string = false;
+  const auto newline = [&] {
+    out += '\n';
+    out.append(static_cast<std::size_t>(depth) * 2, ' ');
+  };
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    const char c = flat[i];
+    if (in_string) {
+      out += c;
+      if (c == '\\' && i + 1 < flat.size())
+        out += flat[++i];
+      else if (c == '"')
+        in_string = false;
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        out += c;
+        break;
+      case '{':
+      case '[':
+        out += c;
+        ++depth;
+        newline();
+        break;
+      case '}':
+      case ']':
+        --depth;
+        newline();
+        out += c;
+        break;
+      case ',':
+        out += c;
+        newline();
+        break;
+      case ':':
+        out += ": ";
+        break;
+      case ' ':
+      case '\t':
+        break;  // re-flowed below
+      default:
+        out += c;
+        break;
+    }
+  }
+  return out;
 }
 
 }  // namespace
@@ -50,8 +115,8 @@ int main(int argc, char** argv) {
   if (!flags ||
       !flags->only({"unix", "host", "port", "corpus", "blif", "stats", "ping",
                     "mode", "circuit", "threads", "sim-steps", "sim-warmup",
-                    "pi-prob", "clock", "deadline-ms", "repeat", "raw",
-                    "help"})) {
+                    "pi-prob", "clock", "deadline-ms", "dist", "dist-frontier",
+                    "dist-shared", "repeat", "raw", "help"})) {
     usage(argv[0]);
     return 2;
   }
@@ -81,7 +146,8 @@ int main(int argc, char** argv) {
       return ok ? 0 : 1;
     }
     if (flags->has("stats")) {
-      std::cout << client.request("stats") << "\n";
+      const std::string line = client.request("stats");
+      std::cout << (flags->has("raw") ? line : pretty_json(line)) << "\n";
       return 0;
     }
 
@@ -121,6 +187,12 @@ int main(int argc, char** argv) {
     for (const auto& [flag, key] :
          {std::pair{"pi-prob", "pi_prob"}, {"clock", "clock"}}) {
       if (flags->has(flag)) command += std::string(" ") + key + "=" + flags->get(flag);
+    }
+    if (flags->has("dist")) {
+      command += " dist=1";
+      if (flags->has("dist-frontier"))
+        command += " dist_frontier=" + flags->get("dist-frontier");
+      if (flags->has("dist-shared")) command += " dist_shared=1";
     }
 
     const auto repeat = flags->get_long("repeat", 1, 1, 1 << 20);
