@@ -70,6 +70,7 @@
 #include "dist/worker.hpp"
 #include "flow/batch.hpp"
 #include "network/synth.hpp"
+#include "obs/trace.hpp"
 #include "phase/assignment.hpp"
 #include "phase/eval.hpp"
 #include "phase/eval_batch.hpp"
@@ -891,6 +892,42 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // -- tracing overhead -------------------------------------------------------
+  // The §4.1 sequential commit-path search re-run with spans runtime-enabled
+  // vs runtime-disabled, arms interleaved, best-of-9 wall times compared
+  // (the search is ~1 ms, so a single sample is at the mercy of scheduler
+  // jitter — the interleaved minimum converges on the true floor of each
+  // arm).  Tracing is pure observation: both arms must produce bit-identical
+  // results.  Under DOMINOSYN_NO_TRACING both arms run the same (empty)
+  // span code and the trend gate expects a ~1.0 ratio.
+  double traced_seconds = std::numeric_limits<double>::infinity();
+  double untraced_seconds = std::numeric_limits<double>::infinity();
+  MinPowerResult traced_result, untraced_result;
+  (void)min_power_assignment(evaluator, overlap, sequential);  // warm caches
+  const std::uint64_t spans_before = obs::total_spans();
+  for (int rep = 0; rep < 9; ++rep) {
+    obs::set_tracing_enabled(true);
+    stopwatch.restart();
+    traced_result = min_power_assignment(evaluator, overlap, sequential);
+    traced_seconds = std::min(traced_seconds, stopwatch.seconds());
+    obs::set_tracing_enabled(false);
+    stopwatch.restart();
+    untraced_result = min_power_assignment(evaluator, overlap, sequential);
+    untraced_seconds = std::min(untraced_seconds, stopwatch.seconds());
+  }
+  obs::set_tracing_enabled(true);
+  const std::uint64_t tracing_events = obs::total_spans() - spans_before;
+  if (traced_result.final_power != untraced_result.final_power ||
+      traced_result.assignment != untraced_result.assignment ||
+      traced_result.final_power != incremental.final_power) {
+    std::cerr << "FATAL: tracing changed the search result\n";
+    return 1;
+  }
+  if (!obs::kTracingCompiledOut && tracing_events == 0) {
+    std::cerr << "FATAL: traced arm recorded no spans\n";
+    return 1;
+  }
+
   const unsigned resolved = ThreadPool::resolve_threads(num_threads);
   std::cout.precision(6);
   std::cout << "{\n"
@@ -1082,6 +1119,18 @@ int main(int argc, char** argv) {
             << dist_worker_seconds[1] / dist_local_seconds << ",\n"
             << "    \"speedup_2w\": "
             << dist_worker_seconds[1] / dist_worker_seconds[2] << "\n"
+            << "  },\n"
+            << "  \"tracing_overhead\": {\n"
+            << "    \"workload\": \"commit_path\",\n"
+            << "    \"compiled_out\": "
+            << (obs::kTracingCompiledOut ? "true" : "false") << ",\n"
+            << "    \"commit_path_traced_seconds\": " << traced_seconds
+            << ",\n"
+            << "    \"commit_path_untraced_seconds\": " << untraced_seconds
+            << ",\n"
+            << "    \"overhead_ratio\": " << traced_seconds / untraced_seconds
+            << ",\n"
+            << "    \"events_recorded\": " << tracing_events << "\n"
             << "  }\n"
             << "}\n";
   return 0;

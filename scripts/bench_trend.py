@@ -13,6 +13,9 @@ Compares the current nightly run's JSON against the previous run's and fails
   * distributed_search.speedup_2w                           (higher better,
     plus an absolute floor on multi-core runners: two workers must beat one
     by --min-dist-speedup)
+  * tracing_overhead.overhead_ratio                         (absolute cap
+    --max-tracing-overhead: spans must stay within budget on the commit
+    path; skipped when the bench reports compiled_out tracing)
 
 Wall-clock metrics on shared CI runners are noisy, so their tolerances are
 deliberately loose (a genuine asymptotic regression blows far past them).
@@ -97,6 +100,10 @@ def main() -> int:
                         help="absolute floor on distributed_search.speedup_2w: "
                              "a calibrated (>= 0.3 s) job on two workers must "
                              "beat one worker by this factor")
+    parser.add_argument("--max-tracing-overhead", type=float, default=1.02,
+                        help="absolute cap on tracing_overhead.overhead_ratio "
+                             "(traced vs untraced commit-path wall time); "
+                             "skipped when tracing is compiled out")
     args = parser.parse_args()
 
     try:
@@ -144,6 +151,29 @@ def main() -> int:
             gate.failures.append(
                 f"distributed_search.speedup_2w below floor: {speedup_2w:g} "
                 f"< {args.min_dist_speedup:g}")
+
+    # Tracing must stay within its absolute overhead budget.  The bench
+    # already interleaves the arms and takes best-of-3, so the ratio is far
+    # less noisy than a raw wall-clock metric; compiled-out builds report a
+    # trivially ~1.0 ratio and are only checked for presence.
+    overhead = lookup(current, "tracing_overhead.overhead_ratio")
+    compiled_out = lookup(current, "tracing_overhead.compiled_out")
+    if overhead is None:
+        gate.failures.append(
+            "tracing_overhead.overhead_ratio: missing from current run")
+    elif compiled_out:
+        gate.lines.append(
+            f"  tracing_overhead.overhead_ratio: {overhead:g} "
+            f"(cap skipped: tracing compiled out)")
+    else:
+        verdict = "FAIL" if overhead > args.max_tracing_overhead else "ok"
+        gate.lines.append(
+            f"  tracing_overhead.overhead_ratio: {overhead:g} "
+            f"(absolute cap {args.max_tracing_overhead:g}) {verdict}")
+        if overhead > args.max_tracing_overhead:
+            gate.failures.append(
+                f"tracing_overhead.overhead_ratio above cap: {overhead:g} "
+                f"> {args.max_tracing_overhead:g}")
 
     # The climb is time-budgeted and its levels step by two outputs: tolerate
     # one level (2 POs) of machine jitter anywhere on the ladder, fail on

@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace dominosyn::dist {
 
 DistCoordinator::OpenedJob DistCoordinator::open_job(
@@ -67,6 +69,12 @@ std::optional<DistCoordinator::Grant> DistCoordinator::lease(
     job.leases.push_back(std::move(lease));
     ++counters_.units_issued;
     ++activity_;
+    {
+      // Instant marker on the request's timeline: when this unit left the
+      // coordinator's queue and to whom.
+      const obs::TraceContext tc(job.units[unit_index].trace_id);
+      const obs::TraceSpan span("dist.lease", obs::SpanCat::kDist);
+    }
     return grant_locked(job, job_id, unit_index);
   }
   return std::nullopt;
@@ -143,6 +151,14 @@ DistCoordinator::CompleteAck DistCoordinator::complete(
     return ack;  // keep-first: a duplicate (stolen/re-issued) completion
   }
   ++activity_;
+  {
+    // Completion marker + ingestion of the worker's shipped spans, so a
+    // remote unit's execution renders inline on the request's timeline.
+    const obs::TraceContext tc(job.units[unit_index].trace_id);
+    const obs::TraceSpan span("dist.complete", obs::SpanCat::kDist);
+    if (!result.spans_wire.empty())
+      obs::record_remote(worker, obs::spans_from_wire(result.spans_wire));
+  }
   if (!result.ok) {
     // Fail fast: a unit that cannot run (fingerprint mismatch, engine throw)
     // fails the whole job so the driver can fall back locally.

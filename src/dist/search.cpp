@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "flow/batch.hpp"
+#include "obs/trace.hpp"
 #include "phase/eval.hpp"
 #include "util/thread_pool.hpp"
 
@@ -146,6 +147,7 @@ SearchResult dist_anneal(const AssignmentEvaluator& evaluator,
     unit.restart_index = restart;
     unit.iterations = iterations;
     unit.batch_lanes = options.batch_lanes;
+    unit.trace_id = obs::current_trace_id();
     unit.circuit = circuit;
   }
 
@@ -155,6 +157,7 @@ SearchResult dist_anneal(const AssignmentEvaluator& evaluator,
                                          dist, options.num_threads);
 
   // Replay the sequential merge: restart order, strict improvement on area.
+  const obs::TraceSpan merge_span("dist.merge", obs::SpanCat::kDist);
   SearchResult best;
   double best_metric = std::numeric_limits<double>::infinity();
   std::size_t evaluations = 0;
@@ -192,6 +195,11 @@ PhaseAssignment assignment_from_string(const std::string& text) {
 
 UnitResult run_work_unit(const AssignmentEvaluator& evaluator,
                          const WorkUnit& unit, IncumbentChannel* channel) {
+  // Adopt the originating request's trace id so the unit's spans (and any
+  // engine spans beneath it) land on its timeline — whether this runs on a
+  // driver thread, an in-process helper, or a remote worker.
+  const obs::TraceContext trace_context(unit.trace_id);
+  const obs::TraceSpan span("dist.unit", obs::SpanCat::kDist);
   UnitResult out;
   out.job_id = unit.job_id;
   out.unit_id = unit.unit_id;
@@ -268,6 +276,7 @@ SearchResult dist_exhaustive_search(const AssignmentEvaluator& evaluator,
     unit.node_budget = options.node_budget;
     unit.batch_lanes = options.batch_lanes;
     unit.shared_bounds = dist.shared_bounds;
+    unit.trace_id = obs::current_trace_id();
     unit.circuit = circuit;
   }
 
@@ -278,6 +287,7 @@ SearchResult dist_exhaustive_search(const AssignmentEvaluator& evaluator,
 
   // Deterministic merge: lexicographic (metric, code) minimum over the seed
   // candidate and every unit, in unit order — the single-process tie-break.
+  const obs::TraceSpan merge_span("dist.merge", obs::SpanCat::kDist);
   double best_metric = seed.seed_metric;
   std::uint64_t best_code = seed.seed_code;
   SearchResult best;

@@ -12,6 +12,7 @@
 #include "flow/batch.hpp"
 #include "flow/flow.hpp"
 #include "network/synth.hpp"
+#include "obs/trace.hpp"
 #include "server/client.hpp"
 #include "sgraph/partition.hpp"
 #include "util/thread_pool.hpp"
@@ -156,6 +157,10 @@ void DistWorker::thread_main(unsigned index) {
 
       const WorkUnit& unit = grant->unit;
       UnitResult result;
+      // Capture the spans this thread records while running the unit
+      // (dist.unit, engine spans beneath it) and ship them with the result,
+      // so the coordinator's trace shows the remote execution inline.
+      const std::uint64_t span_mark = obs::thread_mark();
       try {
         const std::shared_ptr<CachedEvaluator> cached =
             evaluator_for(unit.circuit);
@@ -174,6 +179,9 @@ void DistWorker::thread_main(unsigned index) {
         result.ok = false;
         result.error = error.what();
       }
+      if (unit.trace_id != 0)
+        result.spans_wire =
+            obs::spans_to_wire(obs::thread_events_since(span_mark));
       (void)client->request(format_complete_command(id, result));
       (result.ok ? units_completed_ : units_failed_)
           .fetch_add(1, std::memory_order_relaxed);

@@ -164,6 +164,8 @@ std::string format_complete_command(const std::string& worker,
   out += " walks=" + std::to_string(result.batch_walks);
   out += " evals=" + std::to_string(result.evaluations);
   out += " tripped=" + std::string(result.budget_tripped ? "1" : "0");
+  if (!result.spans_wire.empty())
+    out += " spans=" + percent_encode(result.spans_wire);
   if (!result.error.empty()) out += " error=" + percent_encode(result.error);
   return out;
 }
@@ -216,6 +218,8 @@ UnitResult parse_complete_tokens(const std::vector<std::string>& tokens) {
       result.evaluations = parse_u64_text(key, value);
     } else if (key == "tripped") {
       result.budget_tripped = value != "0";
+    } else if (key == "spans") {
+      result.spans_wire = percent_decode(value);
     } else if (key == "error") {
       result.error = percent_decode(value);
     } else {
@@ -245,6 +249,8 @@ std::string format_work_grant(const WorkUnit& unit, double incumbent) {
   field_u64(out, "restart", unit.restart_index);
   field_u64(out, "iters", unit.iterations);
   field_bool(out, "shared", unit.shared_bounds);
+  // Optional: absent for untraced requests, ignored by older workers.
+  if (unit.trace_id != 0) field_u64(out, "trace", unit.trace_id);
   const CircuitSpec& circuit = unit.circuit;
   field_metric(out, "pi_prob", circuit.pi_prob);
   field_bool(out, "load_aware", circuit.load_aware);
@@ -315,6 +321,7 @@ std::optional<ParsedGrant> parse_work_grant(const std::string& json) {
   unit.restart_index = static_cast<std::uint32_t>(require_u64(json, "restart"));
   unit.iterations = require_u64(json, "iters");
   unit.shared_bounds = protocol::find_bool(json, "shared").value_or(false);
+  unit.trace_id = protocol::find_uint64(json, "trace").value_or(0);
 
   CircuitSpec& circuit = unit.circuit;
   circuit.pi_prob = json_metric(json, "pi_prob");

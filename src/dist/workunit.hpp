@@ -62,6 +62,11 @@ struct WorkUnit {
   /// Attach a live incumbent channel while running (counters become
   /// timing-dependent; the result does not).
   bool shared_bounds = false;
+  /// Originating request's trace id (docs/observability.md); 0 = untraced.
+  /// Rides the grant as the optional "trace" key so a remote worker's unit
+  /// spans land on the same cross-process timeline.  Pure observation: never
+  /// part of the unit's result function.
+  std::uint64_t trace_id = 0;
   CircuitSpec circuit;
 };
 
@@ -83,6 +88,10 @@ struct UnitResult {
   std::uint64_t batch_walks = 0;
   std::uint64_t evaluations = 0;  ///< annealing candidate measurements
   bool budget_tripped = false;
+  /// Trace spans the unit produced on the worker, in obs::spans_to_wire
+  /// encoding (optional `spans=` key on complete_work); the coordinator
+  /// ingests them with obs::record_remote.  Empty when tracing is off.
+  std::string spans_wire;
 };
 
 // -- worker -> coordinator command lines --------------------------------------

@@ -5,6 +5,7 @@
 
 #include "dist/search.hpp"
 #include "network/synth.hpp"
+#include "obs/trace.hpp"
 #include "util/stopwatch.hpp"
 
 namespace dominosyn {
@@ -136,6 +137,7 @@ void FlowSession::invalidate_measures() {
 
 const Network& FlowSession::synthesized() {
   if (!synth_) {
+    const obs::TraceSpan span("flow.synth", obs::SpanCat::kFlow);
     Network net = compact_copy(*input_);
     try {
       check_phase_ready(net);
@@ -152,6 +154,7 @@ const Network& FlowSession::synthesized() {
 const SeqProbResult& FlowSession::probabilities() {
   if (!probs_) {
     const Network& net = synthesized();
+    const obs::TraceSpan span("flow.probs", obs::SpanCat::kFlow);
     const std::vector<double> pi_probs(net.num_pis(), options_.pi_prob);
     probs_.emplace(
         sequential_signal_probabilities(net, pi_probs, options_.seqprob));
@@ -162,8 +165,10 @@ const SeqProbResult& FlowSession::probabilities() {
 
 const AssignmentEvaluator& FlowSession::evaluator() {
   if (!evaluator_) {
-    evaluator_.emplace(synthesized(), probabilities().node_probs,
-                       options_.model);
+    const Network& net = synthesized();
+    const std::vector<double>& probs = probabilities().node_probs;
+    const obs::TraceSpan span("flow.evaluator", obs::SpanCat::kFlow);
+    evaluator_.emplace(net, probs, options_.model);
     ++stats_.context_builds;
   }
   return *evaluator_;
@@ -178,6 +183,7 @@ const FlowSession::AssignStage& FlowSession::assign(PhaseMode mode) {
   auto& slot = assign_[mode_index(mode)];
   if (slot) return *slot;
 
+  const obs::TraceSpan span("flow.assign", obs::SpanCat::kFlow);
   const Network& net = synthesized();
   const AssignmentEvaluator& eval = evaluator();
   MinAreaOptions minarea = options_.minarea;
@@ -313,6 +319,7 @@ const FlowSession::MapStage& FlowSession::map(PhaseMode mode) {
   const AssignStage& assigned = assign(mode);
   const Network& net = synthesized();
 
+  const obs::TraceSpan span("flow.map", obs::SpanCat::kFlow);
   MapStage stage;
   stage.mode = mode;
   const DominoSynthesisResult domino = synthesize_domino(net, assigned.assignment);
@@ -344,6 +351,7 @@ const FlowSession::MeasureStage& FlowSession::measure(PhaseMode mode) {
 
   const MapStage& mapped = map(mode);
 
+  const obs::TraceSpan span("flow.measure", obs::SpanCat::kFlow);
   MeasureStage stage;
   stage.mode = mode;
   SimPowerOptions sim = options_.sim;

@@ -10,6 +10,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 #if defined(__x86_64__) && !defined(DOMINOSYN_NO_SIMD) && \
     (defined(__GNUC__) || defined(__clang__))
 #define DOMINOSYN_EVAL_BATCH_AVX2 1
@@ -466,6 +468,7 @@ void EvalBatch::evaluate() {
   if (base_ == nullptr) throw std::runtime_error("EvalBatch::evaluate: not bound");
   if (num_lanes_ == 0)
     throw std::runtime_error("EvalBatch::evaluate: no lanes");
+  const obs::TraceSpan span("batch.walk", obs::SpanCat::kBatch);
   const EvalState& base = *base_;
   const std::size_t W = num_lanes_;
   const std::size_t num_outs = outputs_.size();

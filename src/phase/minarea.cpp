@@ -29,6 +29,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "obs/trace.hpp"
 #include "phase/eval.hpp"
 #include "phase/eval_batch.hpp"
 #include "phase/search.hpp"
@@ -869,7 +870,10 @@ BnbSubtreeResult run_bnb_subtree(const AssignmentEvaluator& evaluator,
 
   BnbWorker worker(base, plan, by_power, options.frontier_depth, lanes, ctx,
                    shared);
-  worker.run(options.task);
+  {
+    const obs::TraceSpan span("search.bnb_subtree", obs::SpanCat::kSearch);
+    worker.run(options.task);
+  }
 
   BnbSubtreeResult result;
   result.metric = worker.best().metric;

@@ -36,6 +36,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "phase/eval.hpp"
 #include "phase/eval_batch.hpp"
 #include "phase/search.hpp"
@@ -211,6 +212,9 @@ MinPowerResult min_power_assignment(const AssignmentEvaluator& evaluator,
   // flipped outputs' averages and re-score the surviving pairs touching them.
   const auto after_commit = [&](std::size_t i, bool flip_i, std::size_t j,
                                 bool flip_j) {
+    // One span per accepted commit, covering the incremental re-score —
+    // pure observation, so trajectories stay bit-identical with tracing on.
+    const obs::TraceSpan span("search.commit", obs::SpanCat::kSearch);
     ++commit_id;
     // A_i changed only at the flipped outputs (a commit always flips at
     // least one: a no-flip trial cannot improve).  Refresh those entries

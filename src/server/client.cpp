@@ -118,6 +118,32 @@ std::string Client::request(const std::string& command,
   return *std::move(line);
 }
 
+std::string Client::request_multiline(const std::string& command,
+                                      const std::string& terminator) {
+  std::string payload = command;
+  payload += '\n';
+  std::string_view remaining = payload;
+  while (!remaining.empty()) {
+    const ssize_t sent =
+        ::send(fd_, remaining.data(), remaining.size(), MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    remaining.remove_prefix(static_cast<std::size_t>(sent));
+  }
+  std::string out;
+  for (;;) {
+    auto line = read_line();
+    if (!line)
+      throw std::runtime_error("connection closed before '" + terminator +
+                               "' terminator");
+    if (*line == terminator) return out;
+    out += *line;
+    out += '\n';
+  }
+}
+
 Client::SubmitSummary Client::submit(const std::string& command,
                                      const std::string& body) {
   SubmitSummary summary;

@@ -35,6 +35,14 @@ class Client {
   [[nodiscard]] std::string request(const std::string& command,
                                     const std::string& body = "");
 
+  /// Sends one command line and reads response lines up to and including a
+  /// line equal to `terminator` (the terminator itself is not returned).
+  /// For multi-line responses like the `metrics` verb's Prometheus text,
+  /// whose terminator is `# EOF`.  Throws std::runtime_error when the
+  /// connection drops before the terminator.
+  [[nodiscard]] std::string request_multiline(const std::string& command,
+                                              const std::string& terminator);
+
   /// Parsed essentials of a submit response.
   struct SubmitSummary {
     bool ok = false;

@@ -2,9 +2,11 @@
 
 #include "server/core.hpp"
 
+#include <cstdio>
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "util/stopwatch.hpp"
 
 namespace dominosyn {
@@ -44,7 +46,63 @@ std::string_view to_string(ServerStatus status) noexcept {
   return "unknown";
 }
 
-ServerCore::ServerCore(ServerConfig config) : config_(config) {
+ServerCore::Instruments::Instruments(obs::MetricsRegistry& registry)
+    : submitted(registry.counter("dominosyn_requests_submitted_total",
+                                 "Requests ever submitted")),
+      accepted(registry.counter("dominosyn_requests_accepted_total",
+                                "Requests past admission control")),
+      completed(registry.counter("dominosyn_requests_completed_total",
+                                 "Requests served with status ok")),
+      rejected_queue_full(
+          registry.counter("dominosyn_requests_rejected_queue_full_total",
+                           "Rejections: admission queue at capacity")),
+      rejected_deadline(
+          registry.counter("dominosyn_requests_rejected_deadline_total",
+                           "Rejections: deadline expired while queued")),
+      rejected_shutdown(
+          registry.counter("dominosyn_requests_rejected_shutdown_total",
+                           "Rejections: submitted after or cancelled by "
+                           "shutdown")),
+      errors(registry.counter("dominosyn_requests_error_total",
+                              "Requests whose flow threw")),
+      search_commits(registry.counter("dominosyn_search_commits_total",
+                                      "Min-power commits across ok responses")),
+      commit_rescore_pairs(
+          registry.counter("dominosyn_commit_rescore_pairs_total",
+                           "Pairs rescored by the incremental commit path")),
+      avg_update_nodes(
+          registry.counter("dominosyn_avg_update_nodes_total",
+                           "Summed per-report average update-node counts")),
+      exhaustive_searches(
+          registry.counter("dominosyn_exhaustive_searches_total",
+                           "Responses answered by the pruned exact search")),
+      search_nodes_expanded(
+          registry.counter("dominosyn_search_nodes_expanded_total",
+                           "Branch-and-bound nodes expanded")),
+      search_subtrees_pruned(
+          registry.counter("dominosyn_search_subtrees_pruned_total",
+                           "Branch-and-bound subtrees pruned")),
+      search_batched_trials(
+          registry.counter("dominosyn_search_batched_trials_total",
+                           "Trials served from shared batch walks")),
+      search_batch_walks(registry.counter("dominosyn_search_batch_walks_total",
+                                          "Shared batch walks executed")),
+      bound_tightness_sum(
+          registry.double_sum("dominosyn_bound_tightness_sum",
+                              "Summed bound-tightness ratios (divide by "
+                              "exhaustive searches for the fleet average)")),
+      queued_now(registry.gauge("dominosyn_requests_queued",
+                                "Admitted, not yet started")),
+      running_now(registry.gauge("dominosyn_requests_running",
+                                 "Currently executing")),
+      queue_us(registry.histogram("dominosyn_request_queue_us",
+                                  "Admission-to-start latency, microseconds")),
+      service_us(registry.histogram(
+          "dominosyn_request_service_us",
+          "Start-to-response latency, microseconds")) {}
+
+ServerCore::ServerCore(ServerConfig config)
+    : config_(config), inst_(metrics_) {
   if (config_.cache != nullptr) {
     cache_ = config_.cache;
   } else {
@@ -69,6 +127,7 @@ std::future<ServerResponse> ServerCore::submit(ServerRequest request) {
   auto pending = std::make_shared<Pending>();
   pending->request = std::move(request);
   pending->enqueued = std::chrono::steady_clock::now();
+  pending->trace_id = obs::mint_trace_id();
   std::future<ServerResponse> future = pending->promise.get_future();
   const std::string key = pending->request.circuit.empty()
                               ? pending->request.network->name()
@@ -76,23 +135,24 @@ std::future<ServerResponse> ServerCore::submit(ServerRequest request) {
 
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.submitted;
+    inst_.submitted.add();
     if (shutting_down_) {
-      ++stats_.rejected_shutdown;
+      inst_.rejected_shutdown.add();
       pending->promise.set_value(rejection(
           ServerStatus::kRejectedShutdown, "server is shutting down"));
       return future;
     }
     if (queued_ >= config_.queue_capacity) {
-      ++stats_.rejected_queue_full;
+      inst_.rejected_queue_full.add();
       pending->promise.set_value(rejection(
           ServerStatus::kRejectedQueueFull,
           "admission queue at capacity (" +
               std::to_string(config_.queue_capacity) + ")"));
       return future;
     }
-    ++stats_.accepted;
+    inst_.accepted.add();
     ++queued_;
+    inst_.queued_now.set(static_cast<std::int64_t>(queued_));
     if (active_.contains(key)) {
       // The key is busy: park the request in its FIFO lane instead of
       // letting it occupy (and block) a worker.
@@ -116,6 +176,8 @@ void ServerCore::process(const std::string& key,
     const std::lock_guard<std::mutex> lock(mutex_);
     --queued_;
     ++running_;
+    inst_.queued_now.set(static_cast<std::int64_t>(queued_));
+    inst_.running_now.set(static_cast<std::int64_t>(running_));
   }
 
   ServerResponse response = execute(*pending);
@@ -123,22 +185,28 @@ void ServerCore::process(const std::string& key,
     const std::lock_guard<std::mutex> lock(mutex_);
     switch (response.status) {
       case ServerStatus::kOk:
-        ++stats_.completed;
-        stats_.search_commits += response.report.search_commits;
-        stats_.commit_rescore_pairs += response.report.commit_rescore_pairs;
-        stats_.avg_update_nodes += response.report.avg_update_nodes;
-        stats_.search_nodes_expanded += response.report.search_nodes_expanded;
-        stats_.search_subtrees_pruned += response.report.search_subtrees_pruned;
-        stats_.search_batched_trials += response.report.search_batched_trials;
-        stats_.search_batch_walks += response.report.search_batch_walks;
+        inst_.completed.add();
+        inst_.search_commits.add(response.report.search_commits);
+        inst_.commit_rescore_pairs.add(response.report.commit_rescore_pairs);
+        inst_.avg_update_nodes.add(response.report.avg_update_nodes);
+        inst_.search_nodes_expanded.add(response.report.search_nodes_expanded);
+        inst_.search_subtrees_pruned.add(
+            response.report.search_subtrees_pruned);
+        inst_.search_batched_trials.add(response.report.search_batched_trials);
+        inst_.search_batch_walks.add(response.report.search_batch_walks);
         if (response.report.search_nodes_expanded > 0) {
-          ++stats_.exhaustive_searches;
-          stats_.bound_tightness_sum += response.report.search_bound_tightness;
+          inst_.exhaustive_searches.add();
+          inst_.bound_tightness_sum.add(
+              response.report.search_bound_tightness);
         }
         break;
-      case ServerStatus::kRejectedDeadline: ++stats_.rejected_deadline; break;
-      case ServerStatus::kRejectedShutdown: ++stats_.rejected_shutdown; break;
-      case ServerStatus::kError: ++stats_.errors; break;
+      case ServerStatus::kRejectedDeadline:
+        inst_.rejected_deadline.add();
+        break;
+      case ServerStatus::kRejectedShutdown:
+        inst_.rejected_shutdown.add();
+        break;
+      case ServerStatus::kError: inst_.errors.add(); break;
       default: break;
     }
   }
@@ -147,6 +215,7 @@ void ServerCore::process(const std::string& key,
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     --running_;
+    inst_.running_now.set(static_cast<std::int64_t>(running_));
     const auto lane = waiting_.find(key);
     if (lane != waiting_.end() && !lane->second.empty()) {
       std::shared_ptr<Pending> next = std::move(lane->second.front());
@@ -164,6 +233,12 @@ ServerResponse ServerCore::execute(Pending& pending) {
   const auto start = std::chrono::steady_clock::now();
   const double queue_seconds =
       std::chrono::duration<double>(start - pending.enqueued).count();
+  inst_.queue_us.record(static_cast<std::uint64_t>(queue_seconds * 1e6));
+
+  // Every span below this point (flow stages, search commits, batch walks,
+  // shipped work units) carries the request's trace id.
+  const obs::TraceContext trace_context(pending.trace_id);
+  const obs::TraceSpan request_span("server.request", obs::SpanCat::kServer);
 
   {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -218,6 +293,22 @@ ServerResponse ServerCore::execute(Pending& pending) {
     response.error = std::current_exception();
   }
   response.telemetry.service_seconds = stopwatch.seconds();
+  inst_.service_us.record(
+      static_cast<std::uint64_t>(response.telemetry.service_seconds * 1e6));
+  if (config_.slow_request_seconds > 0.0 &&
+      response.telemetry.service_seconds > config_.slow_request_seconds) {
+    const std::string& key = pending.request.circuit.empty()
+                                 ? pending.request.network->name()
+                                 : pending.request.circuit;
+    std::fprintf(stderr,
+                 "dominosyn: slow request trace=%llu circuit=%s "
+                 "queue=%.3fms service=%.3fms status=%.*s\n",
+                 static_cast<unsigned long long>(pending.trace_id),
+                 key.c_str(), queue_seconds * 1e3,
+                 response.telemetry.service_seconds * 1e3,
+                 static_cast<int>(to_string(response.status).size()),
+                 to_string(response.status).data());
+  }
   return response;
 }
 
@@ -247,16 +338,84 @@ void ServerCore::shutdown(bool drain) {
 
 ServerCore::Stats ServerCore::stats() const {
   const dist::DistCoordinator::Counters fabric = coordinator_.counters();
-  const std::lock_guard<std::mutex> lock(mutex_);
-  Stats snapshot = stats_;
-  snapshot.queued_now = queued_;
-  snapshot.running_now = running_;
+  Stats snapshot;
+  {
+    // One coherent snapshot: every admission/outcome counter mutates under
+    // mutex_, so holding it here rules out torn cross-field reads — a
+    // snapshot can never show completed > accepted or accepted > submitted.
+    const std::lock_guard<std::mutex> lock(mutex_);
+    snapshot.submitted = static_cast<std::size_t>(inst_.submitted.value());
+    snapshot.accepted = static_cast<std::size_t>(inst_.accepted.value());
+    snapshot.completed = static_cast<std::size_t>(inst_.completed.value());
+    snapshot.rejected_queue_full =
+        static_cast<std::size_t>(inst_.rejected_queue_full.value());
+    snapshot.rejected_deadline =
+        static_cast<std::size_t>(inst_.rejected_deadline.value());
+    snapshot.rejected_shutdown =
+        static_cast<std::size_t>(inst_.rejected_shutdown.value());
+    snapshot.errors = static_cast<std::size_t>(inst_.errors.value());
+    snapshot.search_commits =
+        static_cast<std::size_t>(inst_.search_commits.value());
+    snapshot.commit_rescore_pairs =
+        static_cast<std::size_t>(inst_.commit_rescore_pairs.value());
+    snapshot.avg_update_nodes =
+        static_cast<std::size_t>(inst_.avg_update_nodes.value());
+    snapshot.exhaustive_searches =
+        static_cast<std::size_t>(inst_.exhaustive_searches.value());
+    snapshot.search_nodes_expanded =
+        static_cast<std::size_t>(inst_.search_nodes_expanded.value());
+    snapshot.search_subtrees_pruned =
+        static_cast<std::size_t>(inst_.search_subtrees_pruned.value());
+    snapshot.search_batched_trials =
+        static_cast<std::size_t>(inst_.search_batched_trials.value());
+    snapshot.search_batch_walks =
+        static_cast<std::size_t>(inst_.search_batch_walks.value());
+    snapshot.bound_tightness_sum = inst_.bound_tightness_sum.value();
+    snapshot.queued_now = queued_;
+    snapshot.running_now = running_;
+  }
+  // Latency histograms record outside mutex_ (the hot path is lock-free);
+  // their snapshots are internally consistent by construction.
+  snapshot.queue_us = inst_.queue_us.snapshot();
+  snapshot.service_us = inst_.service_us.snapshot();
   snapshot.units_issued = static_cast<std::size_t>(fabric.units_issued);
   snapshot.units_stolen = static_cast<std::size_t>(fabric.units_stolen);
   snapshot.units_reissued = static_cast<std::size_t>(fabric.units_reissued);
   snapshot.incumbent_broadcasts =
       static_cast<std::size_t>(fabric.incumbent_broadcasts);
   return snapshot;
+}
+
+std::string ServerCore::prometheus_text() const {
+  std::string out = metrics_.prometheus();
+  const dist::DistCoordinator::Counters fabric = coordinator_.counters();
+  const auto fabric_counter = [&out](const char* name, std::uint64_t value) {
+    out += "# TYPE ";
+    out += name;
+    out += " counter\n";
+    out += name;
+    out += ' ';
+    out += std::to_string(value);
+    out += '\n';
+  };
+  fabric_counter("dominosyn_fabric_units_issued_total", fabric.units_issued);
+  fabric_counter("dominosyn_fabric_units_stolen_total", fabric.units_stolen);
+  fabric_counter("dominosyn_fabric_units_reissued_total",
+                 fabric.units_reissued);
+  fabric_counter("dominosyn_fabric_incumbent_broadcasts_total",
+                 fabric.incumbent_broadcasts);
+  const obs::SpanCounts spans = obs::span_counts();
+  out += "# HELP dominosyn_spans_total Completed trace spans per layer "
+         "(local + ingested remote)\n";
+  out += "# TYPE dominosyn_spans_total counter\n";
+  for (std::size_t i = 0; i < obs::kNumSpanCats; ++i) {
+    out += "dominosyn_spans_total{layer=\"";
+    out += std::string(obs::span_cat_name(static_cast<obs::SpanCat>(i)));
+    out += "\"} ";
+    out += std::to_string(spans[i]);
+    out += '\n';
+  }
+  return out;
 }
 
 }  // namespace dominosyn

@@ -48,6 +48,7 @@
 
 #include "dist/coordinator.hpp"
 #include "flow/batch.hpp"
+#include "obs/metrics.hpp"
 #include "util/thread_pool.hpp"
 
 namespace dominosyn {
@@ -108,6 +109,9 @@ struct ServerConfig {
   SessionCache* cache = nullptr;
   /// Capacity of the core-owned cache when `cache` is nullptr.
   std::size_t cache_capacity = 8;
+  /// Log requests whose service time exceeds this to stderr (trace id,
+  /// circuit, timings); 0 disables.  dominod exposes it as --slow-ms.
+  double slow_request_seconds = 0.0;
 };
 
 class ServerCore {
@@ -151,6 +155,10 @@ class ServerCore {
     std::size_t units_stolen = 0;
     std::size_t units_reissued = 0;
     std::size_t incumbent_broadcasts = 0;
+    /// Request latency distributions (microseconds): admission→start and
+    /// start→response.  Mergeable log2 snapshots; quantile() gives p50/p95/p99.
+    obs::HistogramSnapshot queue_us;
+    obs::HistogramSnapshot service_us;
   };
 
   explicit ServerCore(ServerConfig config = {});
@@ -171,6 +179,13 @@ class ServerCore {
   void shutdown(bool drain = true);
 
   [[nodiscard]] Stats stats() const;
+  /// The core's metric collection (counters/gauges/histograms behind the
+  /// Stats facade).  Prometheus exposition via prometheus_text().
+  [[nodiscard]] obs::MetricsRegistry& registry() noexcept { return metrics_; }
+  /// Prometheus text exposition of every registered metric, the
+  /// distributed-fabric counters, and the per-layer span counts (the
+  /// `metrics` protocol verb serves this).
+  [[nodiscard]] std::string prometheus_text() const;
   [[nodiscard]] SessionCache& cache() noexcept { return *cache_; }
   /// The core's distributed-search coordinator; the transport serves its
   /// lease_work / steal / complete_work / push_incumbent verbs against it.
@@ -187,6 +202,34 @@ class ServerCore {
     ServerRequest request;
     std::promise<ServerResponse> promise;
     std::chrono::steady_clock::time_point enqueued;
+    std::uint64_t trace_id = 0;  ///< minted at submit, spans the request
+  };
+
+  /// Registry-backed instruments behind the Stats facade.  References into
+  /// metrics_, resolved once at construction — the hot paths never look a
+  /// metric up by name.
+  struct Instruments {
+    explicit Instruments(obs::MetricsRegistry& registry);
+    obs::Counter& submitted;
+    obs::Counter& accepted;
+    obs::Counter& completed;
+    obs::Counter& rejected_queue_full;
+    obs::Counter& rejected_deadline;
+    obs::Counter& rejected_shutdown;
+    obs::Counter& errors;
+    obs::Counter& search_commits;
+    obs::Counter& commit_rescore_pairs;
+    obs::Counter& avg_update_nodes;
+    obs::Counter& exhaustive_searches;
+    obs::Counter& search_nodes_expanded;
+    obs::Counter& search_subtrees_pruned;
+    obs::Counter& search_batched_trials;
+    obs::Counter& search_batch_walks;
+    obs::DoubleSum& bound_tightness_sum;
+    obs::Gauge& queued_now;
+    obs::Gauge& running_now;
+    obs::Histogram& queue_us;
+    obs::Histogram& service_us;
   };
 
   void schedule_locked(const std::string& key, std::shared_ptr<Pending> pending);
@@ -197,6 +240,8 @@ class ServerCore {
   std::unique_ptr<SessionCache> owned_cache_;
   SessionCache* cache_ = nullptr;
   dist::DistCoordinator coordinator_;
+  obs::MetricsRegistry metrics_;
+  Instruments inst_;
 
   mutable std::mutex mutex_;
   std::condition_variable idle_cv_;
@@ -208,7 +253,6 @@ class ServerCore {
   std::size_t running_ = 0;  ///< currently executing
   bool shutting_down_ = false;
   bool cancel_queued_ = false;
-  Stats stats_;
 
   std::mutex shutdown_mutex_;
   bool workers_joined_ = false;

@@ -15,6 +15,7 @@
 
 #include "benchgen/benchgen.hpp"
 #include "blif/blif.hpp"
+#include "obs/trace.hpp"
 #include "util/cli.hpp"
 
 namespace dominosyn::protocol {
@@ -129,6 +130,8 @@ Command parse_submit_header(const std::vector<std::string>& tokens,
           static_cast<std::size_t>(require_long(key, value, 0, 62));
     } else if (key == "dist_shared") {
       request.options.dist.shared_bounds = require_long(key, value, 0, 1) != 0;
+    } else if (key == "dist_participate") {
+      request.options.dist.participate = require_long(key, value, 0, 1) != 0;
     } else if (key == "deadline_ms") {
       request.deadline = std::chrono::steady_clock::now() +
                          std::chrono::milliseconds(
@@ -364,17 +367,20 @@ std::optional<Command> read_command(const LineSource& next_line) {
     if (verb == "lease_work" || verb == "steal" || verb == "complete_work" ||
         verb == "push_incumbent")
       return parse_dist_verb(tokens);
-    if (verb == "stats" || verb == "ping" || verb == "quit") {
+    if (verb == "stats" || verb == "metrics" || verb == "trace" ||
+        verb == "ping" || verb == "quit") {
       if (tokens.size() != 1)
         throw ProtocolError("'" + verb + "' takes no arguments");
       Command command;
-      command.kind = verb == "stats"  ? CommandKind::kStats
-                     : verb == "ping" ? CommandKind::kPing
-                                      : CommandKind::kQuit;
+      command.kind = verb == "stats"     ? CommandKind::kStats
+                     : verb == "metrics" ? CommandKind::kMetrics
+                     : verb == "trace"   ? CommandKind::kTrace
+                     : verb == "ping"    ? CommandKind::kPing
+                                         : CommandKind::kQuit;
       return command;
     }
     throw ProtocolError("unknown command '" + verb +
-                        "' (submit|stats|ping|quit)");
+                        "' (submit|stats|metrics|trace|ping|quit)");
   }
 }
 
@@ -456,6 +462,39 @@ std::string format_stats(const ServerCore::Stats& stats,
   append_field(out, "incumbent_broadcasts", stats.incumbent_broadcasts,
                /*comma=*/false);
   out += "},";
+  // Latency histograms as sparse [bucket_index, count] pairs plus the
+  // quantiles the CLI prints — bucket i covers [2^(i-1), 2^i) microseconds
+  // (bucket 0 is exactly 0); see obs/metrics.hpp.
+  out += "\"hist\":{";
+  const auto append_histogram = [&out](std::string_view name,
+                                       const obs::HistogramSnapshot& hist,
+                                       bool comma) {
+    out += '"';
+    out += name;
+    out += "\":{";
+    append_field(out, "count", static_cast<std::size_t>(hist.count));
+    append_field(out, "sum", hist.sum);
+    append_field(out, "p50", static_cast<std::size_t>(hist.quantile(0.50)));
+    append_field(out, "p95", static_cast<std::size_t>(hist.quantile(0.95)));
+    append_field(out, "p99", static_cast<std::size_t>(hist.quantile(0.99)));
+    out += "\"buckets\":[";
+    bool first = true;
+    for (std::size_t i = 0; i < hist.buckets.size(); ++i) {
+      if (hist.buckets[i] == 0) continue;
+      if (!first) out += ',';
+      first = false;
+      out += '[';
+      out += std::to_string(i);
+      out += ',';
+      out += std::to_string(hist.buckets[i]);
+      out += ']';
+    }
+    out += "]}";
+    if (comma) out += ',';
+  };
+  append_histogram("queue_us", stats.queue_us, /*comma=*/true);
+  append_histogram("service_us", stats.service_us, /*comma=*/false);
+  out += "},";
   out += "\"cache\":{";
   append_field(out, "size", cache.size());
   append_field(out, "capacity", cache.capacity());
@@ -468,6 +507,15 @@ std::string format_stats(const ServerCore::Stats& stats,
 }
 
 std::string format_pong() { return R"({"ok":true,"pong":true})"; }
+
+std::string format_trace() {
+  // chrome_trace_json yields `{"traceEvents":[...]}` on one line; splice the
+  // protocol's ok field in after the opening brace.
+  std::string dump = obs::chrome_trace_json();
+  std::string out = "{\"ok\":true,";
+  out.append(dump, 1, std::string::npos);
+  return out;
+}
 
 std::string format_error(std::string_view message) {
   std::string out = "{";

@@ -11,12 +11,15 @@
 ///   submit blif=inline [circuit=<key>] [...]      # BLIF body follows, up
 ///                                                 # to and including `.end`
 ///   stats
+///   metrics
+///   trace
 ///   ping
 ///   quit
 ///
 /// Submit options: mode=allpos|ma|mp|exhaustive, threads=N, pi_prob=F,
 /// sim_steps=N, sim_warmup=N, sim_seed=N, clock=F, exh_limit=N,
-/// load_aware=0|1, deadline_ms=N, dist=0|1, dist_frontier=N, dist_shared=0|1.
+/// load_aware=0|1, deadline_ms=N, dist=0|1, dist_frontier=N, dist_shared=0|1,
+/// dist_participate=0|1.
 ///
 /// Distributed-fabric verbs (worker -> coordinator, docs/distributed.md):
 ///
@@ -32,6 +35,13 @@
 /// carry the full FlowReport plus serving telemetry (cache hit, stage
 /// rebuilds, queue/service seconds).  Doubles are emitted shortest-round-trip
 /// (std::to_chars), so a client parsing them back gets bit-identical values.
+///
+/// Two exceptions to the one-JSON-line rule (docs/observability.md):
+///   * `metrics` answers with Prometheus text exposition — multiple lines,
+///     terminated by a line that is exactly `# EOF`;
+///   * `trace` answers with one JSON line `{"ok":true,"traceEvents":[...]}`
+///     holding the ring-buffered span collector as Chrome trace_event
+///     objects, size-capped to stay under kMaxLineLength.
 
 #pragma once
 
@@ -76,6 +86,8 @@ using LineSource = std::function<std::optional<std::string>()>;
 enum class CommandKind : std::uint8_t {
   kSubmit,
   kStats,
+  kMetrics,  ///< Prometheus text exposition, multi-line, `# EOF` terminated
+  kTrace,    ///< Chrome trace_event JSON dump of the span collector
   kPing,
   kQuit,
   kLeaseWork,      ///< worker requests a unit
@@ -110,6 +122,9 @@ struct Command {
                                        const SessionCache& cache);
 [[nodiscard]] std::string format_pong();
 [[nodiscard]] std::string format_error(std::string_view message);
+/// `{"ok":true,"traceEvents":[...]}` from the span collector (the `trace`
+/// verb's response).  Already size-capped by obs::chrome_trace_json.
+[[nodiscard]] std::string format_trace();
 
 /// Appends `text` as a quoted JSON string with escaping.
 void append_json_string(std::string& out, std::string_view text);

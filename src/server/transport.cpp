@@ -192,6 +192,16 @@ void SocketServer::serve_connection(int fd) {
         if (!send_line(fd, protocol::format_stats(core_.stats(), core_.cache())))
           goto done;
         break;
+      case protocol::CommandKind::kMetrics:
+        // Prometheus text exposition is inherently multi-line; the client
+        // reads until the `# EOF` terminator line (docs/observability.md).
+        if (!send_all(fd, core_.prometheus_text()) ||
+            !send_line(fd, "# EOF"))
+          goto done;
+        break;
+      case protocol::CommandKind::kTrace:
+        if (!send_line(fd, protocol::format_trace())) goto done;
+        break;
       case protocol::CommandKind::kSubmit: {
         // Blocking per connection: admission and parallelism live in the
         // core, so a connection is a natural client-side FIFO.

@@ -18,11 +18,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -35,6 +38,7 @@
 #include "flow/batch.hpp"
 #include "flow/flow.hpp"
 #include "network/synth.hpp"
+#include "obs/trace.hpp"
 #include "phase/assignment.hpp"
 #include "phase/search.hpp"
 #include "server/client.hpp"
@@ -273,6 +277,59 @@ TEST(DistWire, MetricAndTextEncodingsRoundTrip) {
   EXPECT_EQ(incumbent, 77.125);
   EXPECT_TRUE(std::isinf(parse_incumbent(
       format_incumbent_ack(std::numeric_limits<double>::infinity()))));
+}
+
+TEST(DistWire, TraceIdAndSpansRideTheFabricVerbs) {
+  // The grant carries the submit's trace id so a worker's spans join the
+  // coordinator's timeline; 0 means "no trace" and stays off the wire.
+  WorkUnit unit;
+  unit.job_id = 3;
+  unit.unit_id = 14;
+  unit.circuit.corpus = "frg1";
+  unit.trace_id = (1ULL << 53) + 9;  // ids are exact uint64, not doubles
+  auto grant = parse_work_grant(format_work_grant(unit, 1.0));
+  ASSERT_TRUE(grant.has_value());
+  EXPECT_EQ(grant->unit.trace_id, unit.trace_id);
+
+  unit.trace_id = 0;
+  const std::string untraced = format_work_grant(unit, 1.0);
+  EXPECT_EQ(untraced.find("trace"), std::string::npos);
+  grant = parse_work_grant(untraced);
+  ASSERT_TRUE(grant.has_value());
+  EXPECT_EQ(grant->unit.trace_id, 0u);
+
+  // complete_work ships the unit's spans as one percent-encoded token; the
+  // codec round-trips through the whitespace-split command line.
+  obs::TraceEvent event{};
+  std::snprintf(event.name, sizeof(event.name), "dist.unit");
+  event.trace_id = (1ULL << 53) + 9;
+  event.start_us = 1'700'000'000'000'000ull;
+  event.dur_us = 4321;
+  event.tid = 2;
+  event.cat = static_cast<std::uint8_t>(obs::SpanCat::kDist);
+  UnitResult result;
+  result.job_id = 3;
+  result.unit_id = 14;
+  result.ok = true;
+  result.metric = 5.0;
+  result.spans_wire = obs::spans_to_wire({event});
+
+  const UnitResult parsed = parse_complete_tokens(
+      split_tokens(format_complete_command("w#0", result)));
+  EXPECT_EQ(parsed.spans_wire, result.spans_wire);
+  const std::vector<obs::TraceEvent> back =
+      obs::spans_from_wire(parsed.spans_wire);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_STREQ(back[0].name, "dist.unit");
+  EXPECT_EQ(back[0].trace_id, event.trace_id);
+  EXPECT_EQ(back[0].start_us, event.start_us);
+  EXPECT_EQ(back[0].dur_us, event.dur_us);
+
+  // No spans -> no key, and parsing leaves the field empty.
+  result.spans_wire.clear();
+  const std::string bare = format_complete_command("w#0", result);
+  EXPECT_EQ(bare.find("spans="), std::string::npos);
+  EXPECT_TRUE(parse_complete_tokens(split_tokens(bare)).spans_wire.empty());
 }
 
 // -- coordinator bookkeeping --------------------------------------------------
@@ -676,6 +733,63 @@ TEST(DistFabric, TcpWorkersServeSubmitsBitIdenticallyToLocal) {
   // equals the 1-worker report exactly.
   ASSERT_EQ(reports.size(), 2u);
   expect_reports_identical(reports[0], reports[1]);
+}
+
+TEST(DistFabric, WorkerSpansMergeIntoOneCrossProcessTrace) {
+  if (obs::kTracingCompiledOut) GTEST_SKIP() << "tracing compiled out";
+  const BenchSpec spec = dist_spec(44, /*pos=*/8);
+  const Network net = generate_benchmark(spec);
+
+  // Only the buffered events matter here, so start from an empty collector;
+  // the one submit below then owns every trace id in the dump.
+  obs::clear_events();
+
+  ServerCore core(ServerConfig{});
+  TransportConfig transport;
+  SocketServer server(core, transport);
+  WorkerConfig worker_config;
+  worker_config.port = server.port();
+  worker_config.num_threads = 1;
+  worker_config.idle_poll_ms = 5;
+  worker_config.name = "tracer";
+  DistWorker worker(worker_config);
+  worker.start();
+
+  // The driver waits (no inline participation): every unit runs on the
+  // remote worker, whose spans ship back on complete_work.
+  const ServerResponse response =
+      core.submit(dist_request(net, dist_flow_options(spec, false, 20'000)))
+          .get();
+  ASSERT_EQ(response.status, ServerStatus::kOk) << response.error_message;
+
+  const std::string json = obs::chrome_trace_json();
+  // The worker's ingested events form their own named process timeline next
+  // to the local one, and the fabric spans frame them.
+  // Worker wire ids are "<name>#<thread>"; thread 0 is the only one here.
+  EXPECT_NE(json.find("\"name\":\"tracer#0\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"dist.unit\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"dist.lease\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"dist.merge\""), std::string::npos);
+
+  // Every span in the dump — local fabric bookkeeping and remote unit
+  // executions alike — carries the one trace id minted for this submit.
+  std::set<std::string> ids;
+  const std::string key = "\"trace_id\":";
+  for (std::size_t at = json.find(key); at != std::string::npos;
+       at = json.find(key, at + key.size())) {
+    const std::size_t begin = at + key.size();
+    std::size_t end = begin;
+    while (end < json.size() && std::isdigit(static_cast<unsigned char>(
+                                    json[end])) != 0)
+      ++end;
+    ids.insert(json.substr(begin, end - begin));
+  }
+  EXPECT_EQ(ids.size(), 1u) << json.substr(0, 400);
+  EXPECT_NE(*ids.begin(), "0");
+
+  worker.stop();
+  server.stop();
+  core.shutdown();
 }
 
 TEST(DistFabric, DeadWorkerMidLeaseIsReissuedWithIdenticalReport) {

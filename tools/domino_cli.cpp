@@ -5,14 +5,21 @@
 ///   domino_cli --unix /tmp/dominod.sock --corpus frg1 --mode mp
 ///   domino_cli --host 127.0.0.1 --port 7117 --blif circuit.blif --raw
 ///   domino_cli --unix /tmp/dominod.sock --stats
+///   domino_cli --unix /tmp/dominod.sock --metrics
+///   domino_cli --unix /tmp/dominod.sock --trace-dump trace.json
 ///
 /// Submits one circuit (by corpus name or BLIF file), prints the report
 /// summary with serving telemetry — or the raw JSON line with --raw.
 /// --repeat N re-submits N times, showing the cold→hot cache transition.
 /// --stats pretty-prints the full ServerCore::Stats JSON (including the
-/// distributed-fabric counters); --dist fans the request's search out over
-/// the daemon's connected workers.
+/// distributed-fabric counters) and summarizes the latency histograms as
+/// one-line p50/p95/p99 digests; --metrics prints the daemon's Prometheus
+/// text; --trace-dump writes the span collector as Chrome trace_event JSON
+/// loadable in perfetto (docs/observability.md); --dist fans the request's
+/// search out over the daemon's connected workers.
 
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -29,7 +36,11 @@ void usage(const char* program) {
       << "actions:\n"
       << "  --corpus NAME    submit a generated paper circuit (e.g. frg1)\n"
       << "  --blif FILE      submit a BLIF file inline\n"
-      << "  --stats          print server + cache statistics (pretty JSON)\n"
+      << "  --stats          print server + cache statistics (pretty JSON\n"
+      << "                   plus one-line latency-histogram digests)\n"
+      << "  --metrics        print the daemon's Prometheus metrics text\n"
+      << "  --trace-dump F   write the daemon's trace buffer to F as Chrome\n"
+      << "                   trace_event JSON (open in ui.perfetto.dev)\n"
       << "  --ping           protocol liveness check\n"
       << "options:\n"
       << "  --mode M         allpos|ma|mp|exhaustive (default mp)\n"
@@ -40,10 +51,14 @@ void usage(const char* program) {
       << "  --pi-prob F      uniform PI signal probability\n"
       << "  --clock F        resize-to-clock period\n"
       << "  --deadline-ms N  reject if not started within N ms\n"
+      << "  --exh-limit N    exhaustive-search PO cap (exhaustive mode\n"
+      << "                   default 24)\n"
       << "  --dist           distribute the search over connected workers\n"
       << "  --dist-frontier N  B&B split depth (2^N work units, default 6)\n"
       << "  --dist-shared    share incumbents live across workers (timing-\n"
       << "                   dependent counters; results stay deterministic)\n"
+      << "  --dist-remote-only  don't run units on the daemon's own threads;\n"
+      << "                   leave them all to connected remote workers\n"
       << "  --repeat N       submit N times (watch the cache heat up)\n"
       << "  --raw            print raw JSON response lines\n";
 }
@@ -106,6 +121,47 @@ std::string pretty_json(const std::string& flat) {
   return out;
 }
 
+/// Human scale for a microsecond quantity.
+std::string format_us(double us) {
+  char buffer[32];
+  if (us >= 1e6)
+    std::snprintf(buffer, sizeof(buffer), "%.2fs", us / 1e6);
+  else if (us >= 1e3)
+    std::snprintf(buffer, sizeof(buffer), "%.2fms", us / 1e3);
+  else
+    std::snprintf(buffer, sizeof(buffer), "%.0fus", us);
+  return buffer;
+}
+
+/// One-line digest of one latency histogram from the stats response's
+/// "hist" section, e.g. `service_us: count=12 p50=8.19ms p95=16.8ms ...`.
+/// Quantiles are log2-bucket lower bounds (see docs/observability.md).
+void print_histogram_digest(const std::string& json, const std::string& name) {
+  const std::string needle = '"' + name + "\":{";
+  const std::size_t at = json.find(needle);
+  if (at == std::string::npos) return;
+  // The histogram object nests only the buckets array, so the first '}'
+  // after the opening brace closes it.
+  const std::size_t end = json.find('}', at);
+  const std::string section =
+      json.substr(at, end == std::string::npos ? end : end - at);
+  const auto field = [&section](const char* key) -> double {
+    const std::string prefix = '"' + std::string(key) + "\":";
+    const std::size_t pos = section.find(prefix);
+    if (pos == std::string::npos) return 0.0;
+    return std::strtod(section.c_str() + pos + prefix.size(), nullptr);
+  };
+  const double count = field("count");
+  std::cout << name << ": count=" << static_cast<std::uint64_t>(count);
+  if (count > 0) {
+    std::cout << " p50=" << format_us(field("p50"))
+              << " p95=" << format_us(field("p95"))
+              << " p99=" << format_us(field("p99"))
+              << " mean=" << format_us(field("sum") / count);
+  }
+  std::cout << "\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -113,10 +169,12 @@ int main(int argc, char** argv) {
 
   const auto flags = cli::FlagSet::parse(argc, argv);
   if (!flags ||
-      !flags->only({"unix", "host", "port", "corpus", "blif", "stats", "ping",
-                    "mode", "circuit", "threads", "sim-steps", "sim-warmup",
-                    "pi-prob", "clock", "deadline-ms", "dist", "dist-frontier",
-                    "dist-shared", "repeat", "raw", "help"})) {
+      !flags->only({"unix", "host", "port", "corpus", "blif", "stats",
+                    "metrics", "trace-dump", "ping", "mode", "circuit",
+                    "threads", "sim-steps", "sim-warmup", "pi-prob", "clock",
+                    "deadline-ms", "exh-limit", "dist", "dist-frontier",
+                    "dist-shared", "dist-remote-only", "repeat", "raw",
+                    "help"})) {
     usage(argv[0]);
     return 2;
   }
@@ -147,7 +205,34 @@ int main(int argc, char** argv) {
     }
     if (flags->has("stats")) {
       const std::string line = client.request("stats");
-      std::cout << (flags->has("raw") ? line : pretty_json(line)) << "\n";
+      if (flags->has("raw")) {
+        std::cout << line << "\n";
+        return 0;
+      }
+      std::cout << pretty_json(line) << "\n";
+      print_histogram_digest(line, "queue_us");
+      print_histogram_digest(line, "service_us");
+      return 0;
+    }
+    if (flags->has("metrics")) {
+      std::cout << client.request_multiline("metrics", "# EOF");
+      return 0;
+    }
+    if (flags->has("trace-dump")) {
+      const std::string path = flags->get("trace-dump");
+      if (path.empty()) {
+        std::cerr << argv[0] << ": --trace-dump needs a file path\n";
+        return 2;
+      }
+      const std::string line = client.request("trace");
+      std::ofstream out(path);
+      if (!out) {
+        std::cerr << argv[0] << ": cannot write " << path << "\n";
+        return 1;
+      }
+      out << line << "\n";
+      std::cout << "trace written to " << path
+                << " (open in ui.perfetto.dev or chrome://tracing)\n";
       return 0;
     }
 
@@ -155,7 +240,8 @@ int main(int argc, char** argv) {
     const std::string blif_path = flags->get("blif");
     if (corpus.empty() == blif_path.empty()) {
       std::cerr << argv[0]
-                << ": need exactly one of --corpus, --blif, --stats, --ping\n";
+                << ": need exactly one of --corpus, --blif, --stats, "
+                   "--metrics, --trace-dump, --ping\n";
       return 2;
     }
 
@@ -181,7 +267,8 @@ int main(int argc, char** argv) {
     if (flags->has("circuit")) command += " circuit=" + flags->get("circuit");
     for (const auto& [flag, key] :
          {std::pair{"threads", "threads"}, {"sim-steps", "sim_steps"},
-          {"sim-warmup", "sim_warmup"}, {"deadline-ms", "deadline_ms"}}) {
+          {"sim-warmup", "sim_warmup"}, {"deadline-ms", "deadline_ms"},
+          {"exh-limit", "exh_limit"}}) {
       if (flags->has(flag)) command += std::string(" ") + key + "=" + flags->get(flag);
     }
     for (const auto& [flag, key] :
@@ -193,6 +280,7 @@ int main(int argc, char** argv) {
       if (flags->has("dist-frontier"))
         command += " dist_frontier=" + flags->get("dist-frontier");
       if (flags->has("dist-shared")) command += " dist_shared=1";
+      if (flags->has("dist-remote-only")) command += " dist_participate=0";
     }
 
     const auto repeat = flags->get_long("repeat", 1, 1, 1 << 20);

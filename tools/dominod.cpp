@@ -38,6 +38,8 @@ void usage(const char* program) {
       << "  --workers N   flow workers; 0 = one per hardware thread (default 0)\n"
       << "  --queue N     admission queue capacity (default 64)\n"
       << "  --cache N     hot-session LRU capacity (default 8)\n"
+      << "  --slow-ms N   log requests slower than N ms to stderr (0 = off,\n"
+      << "                default 0)\n"
       << "  --worker      run as a distributed-search worker instead\n"
       << "  --threads N   worker: concurrent work units; 0 = one per hardware\n"
       << "                thread (default 0)\n"
@@ -106,7 +108,7 @@ int main(int argc, char** argv) {
   const auto flags = cli::FlagSet::parse(argc, argv);
   if (!flags ||
       !flags->only({"unix", "port", "host", "workers", "queue", "cache",
-                    "worker", "threads", "name", "help"})) {
+                    "slow-ms", "worker", "threads", "name", "help"})) {
     usage(argv[0]);
     return 2;
   }
@@ -123,7 +125,8 @@ int main(int argc, char** argv) {
   const auto workers = flags->get_long("workers", 0, 0, 1024);
   const auto queue = flags->get_long("queue", 64, 1, 1 << 20);
   const auto cache = flags->get_long("cache", 8, 1, 1 << 20);
-  if (!port || !workers || !queue || !cache) {
+  const auto slow_ms = flags->get_long("slow-ms", 0, 0, 86'400'000);
+  if (!port || !workers || !queue || !cache || !slow_ms) {
     usage(argv[0]);
     return 2;
   }
@@ -138,6 +141,7 @@ int main(int argc, char** argv) {
   config.num_workers = static_cast<unsigned>(*workers);
   config.queue_capacity = static_cast<std::size_t>(*queue);
   config.cache_capacity = static_cast<std::size_t>(*cache);
+  config.slow_request_seconds = static_cast<double>(*slow_ms) / 1e3;
 
   // Block the shutdown signals before any thread exists, so every thread
   // inherits the mask and sigwait below is the one consumer.
