@@ -4,8 +4,10 @@
 
 #include <algorithm>
 #include <utility>
+#include <vector>
 
 #include "obs/trace.hpp"
+#include "util/fault.hpp"
 
 namespace dominosyn::dist {
 
@@ -52,9 +54,13 @@ DistCoordinator::Grant DistCoordinator::grant_locked(Job& job,
 
 std::optional<DistCoordinator::Grant> DistCoordinator::lease(
     const std::string& worker, std::uint64_t job_filter) {
+  // Latency-injection site (delay_ms in the spec); deliberately before the
+  // lock so a slowed grant never stalls the other workers' verbs.
+  (void)fault::point("coordinator.lease.delay");
   std::lock_guard<std::mutex> lock(mutex_);
   const Clock::time_point now = Clock::now();
   sweep_locked(now);
+  if (quarantine_refuses_locked(worker)) return std::nullopt;
   for (auto& [job_id, job] : jobs_) {
     if (job_filter != 0 && job_id != job_filter) continue;
     if (job.queue.empty()) continue;
@@ -85,6 +91,7 @@ std::optional<DistCoordinator::Grant> DistCoordinator::steal(
   std::lock_guard<std::mutex> lock(mutex_);
   const Clock::time_point now = Clock::now();
   sweep_locked(now);
+  if (quarantine_refuses_locked(worker)) return std::nullopt;
   // Stealing only kicks in once the regular queue is dry.
   for (const auto& [job_id, job] : jobs_) {
     if (job_filter != 0 && job_id != job_filter) continue;
@@ -146,6 +153,12 @@ DistCoordinator::CompleteAck DistCoordinator::complete(
       lease.valid = false;
     }
   }
+  // Health scoring: any returned result proves the worker alive; a !ok
+  // result is a worker-side failure (the fail-fast below still applies).
+  if (result.ok)
+    note_worker_success_locked(worker);
+  else
+    note_worker_failure_locked(worker);
   if (job.done[unit_index]) {
     ack.incumbent = job.incumbent;
     return ack;  // keep-first: a duplicate (stolen/re-issued) completion
@@ -231,29 +244,42 @@ void DistCoordinator::requeue_if_orphaned_locked(Job& job,
 
 void DistCoordinator::worker_disconnected(const std::string& worker) {
   std::lock_guard<std::mutex> lock(mutex_);
+  bool dropped_work = false;
   for (auto& [job_id, job] : jobs_) {
     (void)job_id;
     for (Lease& lease : job.leases) {
       if (lease.valid && lease.worker == worker) {
         lease.valid = false;
+        dropped_work = true;
         requeue_if_orphaned_locked(job, lease.unit_index);
       }
     }
   }
+  // One failure per disconnect event, however many leases it stranded —
+  // a single crash should not trip the quarantine threshold by itself.
+  if (dropped_work) note_worker_failure_locked(worker);
 }
 
 void DistCoordinator::sweep_locked(Clock::time_point now) {
+  std::vector<std::string> expired_workers;
   for (auto& [job_id, job] : jobs_) {
     (void)job_id;
     for (Lease& lease : job.leases) {
       if (lease.valid && lease.deadline <= now) {
         lease.valid = false;
+        if (std::find(expired_workers.begin(), expired_workers.end(),
+                      lease.worker) == expired_workers.end())
+          expired_workers.push_back(lease.worker);
         requeue_if_orphaned_locked(job, lease.unit_index);
       }
     }
     // Compact fully-dead lease records so long jobs don't accumulate them.
     std::erase_if(job.leases, [](const Lease& lease) { return !lease.valid; });
   }
+  // Letting a lease expire (stall, silent death) is a worker failure; one
+  // per worker per sweep.
+  for (const std::string& worker : expired_workers)
+    note_worker_failure_locked(worker);
 }
 
 void DistCoordinator::sweep() {
@@ -271,6 +297,50 @@ void DistCoordinator::cancel_all() {
     job.promise.set_value(std::move(result));
   }
   jobs_.clear();
+}
+
+bool DistCoordinator::quarantine_refuses_locked(const std::string& worker) {
+  if (quarantine_.threshold == 0) return false;
+  const auto it = health_.find(worker);
+  if (it == health_.end() || !it->second.quarantined) return false;
+  WorkerHealth& health = it->second;
+  ++health.refusals;
+  if (quarantine_.probe_every != 0 &&
+      health.refusals % quarantine_.probe_every == 0) {
+    ++counters_.quarantine_probes;
+    return false;  // re-admit probe: one unit through to re-test the worker
+  }
+  return true;
+}
+
+void DistCoordinator::note_worker_failure_locked(const std::string& worker) {
+  if (quarantine_.threshold == 0) return;
+  WorkerHealth& health = health_[worker];
+  ++health.consecutive_failures;
+  if (!health.quarantined &&
+      health.consecutive_failures >= quarantine_.threshold) {
+    health.quarantined = true;
+    health.refusals = 0;
+    ++counters_.workers_quarantined;
+  }
+}
+
+void DistCoordinator::note_worker_success_locked(const std::string& worker) {
+  const auto it = health_.find(worker);
+  if (it == health_.end()) return;
+  it->second.consecutive_failures = 0;
+  it->second.quarantined = false;  // a completed unit rehabilitates
+}
+
+void DistCoordinator::set_quarantine(QuarantineConfig config) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  quarantine_ = config;
+}
+
+bool DistCoordinator::worker_quarantined(const std::string& worker) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = health_.find(worker);
+  return it != health_.end() && it->second.quarantined;
 }
 
 bool DistCoordinator::closed() const {

@@ -46,6 +46,20 @@ class DistCoordinator {
     std::uint64_t units_stolen = 0;    ///< speculative duplicate leases
     std::uint64_t units_reissued = 0;  ///< re-queues after expiry/disconnect
     std::uint64_t incumbent_broadcasts = 0;  ///< accepted push_incumbent
+    std::uint64_t workers_quarantined = 0;   ///< quarantine trips
+    std::uint64_t quarantine_probes = 0;     ///< re-admit probe grants
+  };
+
+  /// Worker-health circuit breaker (docs/robustness.md): a worker whose
+  /// failures (disconnect with leases held, lease expiry, failed unit) reach
+  /// `threshold` consecutively is quarantined — lease()/steal() refuse it —
+  /// so a crash-looping worker cannot keep adopting units and poisoning
+  /// lease deadlines.  Every `probe_every`-th refused request is granted as
+  /// a re-admit probe; one successful completion rehabilitates the worker.
+  /// Results stay deterministic regardless (keep-first + ordered merge).
+  struct QuarantineConfig {
+    unsigned threshold = 3;   ///< consecutive failures to trip; 0 disables
+    unsigned probe_every = 8; ///< grant every Nth refused request as a probe
   };
 
   struct Grant {
@@ -108,6 +122,12 @@ class DistCoordinator {
   /// ServerCore::shutdown so outstanding submit futures never hang.
   void cancel_all();
 
+  /// Replaces the quarantine policy (existing health records are kept).
+  void set_quarantine(QuarantineConfig config);
+
+  /// True while `worker` is quarantined (tests / introspection).
+  [[nodiscard]] bool worker_quarantined(const std::string& worker) const;
+
   [[nodiscard]] bool closed() const;
   [[nodiscard]] Counters counters() const;
 
@@ -138,10 +158,21 @@ class DistCoordinator {
     std::promise<JobResult> promise;
   };
 
+  struct WorkerHealth {
+    unsigned consecutive_failures = 0;
+    bool quarantined = false;
+    std::uint64_t refusals = 0;  ///< refused requests since quarantine trip
+  };
+
   void sweep_locked(Clock::time_point now);
   void requeue_if_orphaned_locked(Job& job, std::size_t unit_index);
   [[nodiscard]] Grant grant_locked(Job& job, std::uint64_t job_id,
                                    std::size_t unit_index);
+  /// True when the quarantine gate should turn this worker's lease/steal
+  /// request away (false every probe_every-th time: a re-admit probe).
+  [[nodiscard]] bool quarantine_refuses_locked(const std::string& worker);
+  void note_worker_failure_locked(const std::string& worker);
+  void note_worker_success_locked(const std::string& worker);
 
   mutable std::mutex mutex_;
   std::map<std::uint64_t, Job> jobs_;
@@ -149,6 +180,8 @@ class DistCoordinator {
   bool closed_ = false;
   Counters counters_;
   std::uint64_t activity_ = 0;
+  QuarantineConfig quarantine_;
+  std::map<std::string, WorkerHealth> health_;
 };
 
 }  // namespace dominosyn::dist

@@ -2,7 +2,9 @@
 
 #include "dist/worker.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <functional>
 #include <stdexcept>
 #include <utility>
 
@@ -15,6 +17,8 @@
 #include "obs/trace.hpp"
 #include "server/client.hpp"
 #include "sgraph/partition.hpp"
+#include "util/fault.hpp"
+#include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
 namespace dominosyn::dist {
@@ -134,6 +138,10 @@ std::shared_ptr<DistWorker::CachedEvaluator> DistWorker::evaluator_for(
 void DistWorker::thread_main(unsigned index) {
   const std::string id = config_.name + "#" + std::to_string(index);
   std::uint32_t backoff_ms = config_.reconnect_ms;
+  std::uint64_t jitter_seed = std::hash<std::string>{}(id);
+  Rng jitter(splitmix64(jitter_seed));
+  const ClientTimeouts timeouts{config_.connect_timeout_ms,
+                                config_.io_timeout_ms};
   std::unique_ptr<Client> client;
 
   while (!stop_.load(std::memory_order_relaxed)) {
@@ -141,8 +149,8 @@ void DistWorker::thread_main(unsigned index) {
       if (!client) {
         client = std::make_unique<Client>(
             config_.unix_path.empty()
-                ? Client::connect_tcp(config_.host, config_.port)
-                : Client::connect_unix(config_.unix_path));
+                ? Client::connect_tcp(config_.host, config_.port, timeouts)
+                : Client::connect_unix(config_.unix_path, timeouts));
         backoff_ms = config_.reconnect_ms;
       }
 
@@ -156,6 +164,13 @@ void DistWorker::thread_main(unsigned index) {
       }
 
       const WorkUnit& unit = grant->unit;
+      // Chaos sites (docs/robustness.md): a crash here abandons the leased
+      // unit mid-flight — the connection-level catch below reconnects and the
+      // coordinator re-issues it on disconnect/expiry.  A stall holds the
+      // lease past its deadline instead, exercising expiry + steal paths.
+      if (fault::point("worker.unit.crash"))
+        throw std::runtime_error("injected fault: worker.unit.crash");
+      (void)fault::point("worker.unit.stall");
       UnitResult result;
       // Capture the spans this thread records while running the unit
       // (dist.unit, engine spans beneath it) and ship them with the result,
@@ -196,7 +211,16 @@ void DistWorker::thread_main(unsigned index) {
         std::this_thread::sleep_for(std::chrono::milliseconds(10));
         waited += 10;
       }
-      backoff_ms = std::min<std::uint32_t>(backoff_ms * 2, 5'000);
+      // Decorrelated jitter: next sleep uniform in [base, min(cap, 3*prev)],
+      // from a per-thread deterministic stream, so restarted fleets spread
+      // their reconnect attempts instead of hammering in lockstep.
+      const std::uint32_t cap =
+          std::max(config_.reconnect_ms, config_.reconnect_cap_ms);
+      const std::uint32_t hi = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+          cap, static_cast<std::uint64_t>(backoff_ms) * 3));
+      backoff_ms = config_.reconnect_ms +
+                   static_cast<std::uint32_t>(jitter.below(
+                       std::uint64_t{hi} - config_.reconnect_ms + 1));
     }
   }
 }

@@ -40,7 +40,15 @@ struct WorkerConfig {
   /// Worker name; thread k identifies as "<name>#k" on the wire.
   std::string name = "worker";
   std::uint32_t idle_poll_ms = 50;     ///< sleep between empty lease+steal rounds
-  std::uint32_t reconnect_ms = 200;    ///< initial reconnect backoff (doubles to 5s)
+  std::uint32_t reconnect_ms = 200;    ///< base reconnect backoff
+  /// Reconnect backoff ceiling; sleeps follow decorrelated jitter — uniform
+  /// in [reconnect_ms, min(reconnect_cap_ms, 3 * previous)] — so a fleet of
+  /// workers losing the same coordinator does not reconnect in lockstep.
+  std::uint32_t reconnect_cap_ms = 5'000;
+  std::uint32_t connect_timeout_ms = 5'000;  ///< TCP connect deadline (0 = none)
+  /// Per-send/recv deadline toward the coordinator (0 = none).  Generous by
+  /// default: it only needs to catch a hung coordinator, not slow units.
+  std::uint32_t io_timeout_ms = 30'000;
 };
 
 class DistWorker {

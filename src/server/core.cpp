@@ -2,11 +2,13 @@
 
 #include "server/core.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <stdexcept>
 #include <utility>
 
 #include "obs/trace.hpp"
+#include "util/fault.hpp"
 #include "util/stopwatch.hpp"
 
 namespace dominosyn {
@@ -87,6 +89,14 @@ ServerCore::Instruments::Instruments(obs::MetricsRegistry& registry)
                            "Trials served from shared batch walks")),
       search_batch_walks(registry.counter("dominosyn_search_batch_walks_total",
                                           "Shared batch walks executed")),
+      retried_submits(
+          registry.counter("dominosyn_requests_retried_total",
+                           "Submits that arrived with a nonzero retry= "
+                           "attempt (client re-submissions)")),
+      degraded_responses(
+          registry.counter("dominosyn_responses_degraded_total",
+                           "Responses served under overload brownout "
+                           "(auto-exhaustive disabled)")),
       bound_tightness_sum(
           registry.double_sum("dominosyn_bound_tightness_sum",
                               "Summed bound-tightness ratios (divide by "
@@ -110,6 +120,9 @@ ServerCore::ServerCore(ServerConfig config)
     cache_ = owned_cache_.get();
   }
   if (config_.queue_capacity == 0) config_.queue_capacity = 1;
+  brownout_high_water_ = config_.brownout_high_water != 0
+                             ? config_.brownout_high_water
+                             : std::max<std::size_t>(1, config_.queue_capacity / 2);
   const unsigned total = ThreadPool::resolve_threads(config_.num_workers);
   workers_.reserve(total);
   for (unsigned i = 0; i < total; ++i)
@@ -136,6 +149,7 @@ std::future<ServerResponse> ServerCore::submit(ServerRequest request) {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     inst_.submitted.add();
+    if (pending->request.retry_attempt > 0) inst_.retried_submits.add();
     if (shutting_down_) {
       inst_.rejected_shutdown.add();
       pending->promise.set_value(rejection(
@@ -240,6 +254,7 @@ ServerResponse ServerCore::execute(Pending& pending) {
   const obs::TraceContext trace_context(pending.trace_id);
   const obs::TraceSpan request_span("server.request", obs::SpanCat::kServer);
 
+  bool brownout_active = false;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     if (cancel_queued_) {
@@ -248,6 +263,7 @@ ServerResponse ServerCore::execute(Pending& pending) {
       response.telemetry.queue_seconds = queue_seconds;
       return response;
     }
+    brownout_active = config_.brownout && queued_ >= brownout_high_water_;
   }
   if (pending.request.deadline && start > *pending.request.deadline) {
     ServerResponse response = rejection(ServerStatus::kRejectedDeadline,
@@ -264,6 +280,15 @@ ServerResponse ServerCore::execute(Pending& pending) {
                                  ? pending.request.network->name()
                                  : pending.request.circuit;
     FlowOptions& options = pending.request.options;
+    if (brownout_active && options.mode == PhaseMode::kMinPower &&
+        options.exhaustive_pos_limit > 0) {
+      // Brownout: answer from the §4.1 heuristic alone.  Zeroing the limit
+      // turns off the small-circuit auto-exhaustive upgrade (session.cpp);
+      // explicit kExhaustivePower requests keep their contract.
+      options.exhaustive_pos_limit = 0;
+      response.telemetry.degraded = true;
+      inst_.degraded_responses.add();
+    }
     if (options.dist.enabled) {
       // Wire the request to this core's coordinator and make sure workers
       // can reconstruct the circuit; otherwise the request runs locally.
@@ -371,6 +396,10 @@ ServerCore::Stats ServerCore::stats() const {
     snapshot.search_batch_walks =
         static_cast<std::size_t>(inst_.search_batch_walks.value());
     snapshot.bound_tightness_sum = inst_.bound_tightness_sum.value();
+    snapshot.retried_submits =
+        static_cast<std::size_t>(inst_.retried_submits.value());
+    snapshot.degraded_responses =
+        static_cast<std::size_t>(inst_.degraded_responses.value());
     snapshot.queued_now = queued_;
     snapshot.running_now = running_;
   }
@@ -383,6 +412,12 @@ ServerCore::Stats ServerCore::stats() const {
   snapshot.units_reissued = static_cast<std::size_t>(fabric.units_reissued);
   snapshot.incumbent_broadcasts =
       static_cast<std::size_t>(fabric.incumbent_broadcasts);
+  snapshot.workers_quarantined =
+      static_cast<std::size_t>(fabric.workers_quarantined);
+  snapshot.quarantine_probes =
+      static_cast<std::size_t>(fabric.quarantine_probes);
+  snapshot.faults_injected =
+      static_cast<std::size_t>(fault::total_injected());
   return snapshot;
 }
 
@@ -404,6 +439,20 @@ std::string ServerCore::prometheus_text() const {
                  fabric.units_reissued);
   fabric_counter("dominosyn_fabric_incumbent_broadcasts_total",
                  fabric.incumbent_broadcasts);
+  fabric_counter("dominosyn_fabric_workers_quarantined_total",
+                 fabric.workers_quarantined);
+  fabric_counter("dominosyn_fabric_quarantine_probes_total",
+                 fabric.quarantine_probes);
+  out += "# HELP dominosyn_faults_injected_total Faults injected per site "
+         "(docs/robustness.md; empty unless a fault spec is armed)\n";
+  out += "# TYPE dominosyn_faults_injected_total counter\n";
+  for (const auto& [site, tallies] : fault::counters()) {
+    out += "dominosyn_faults_injected_total{site=\"";
+    out += site;
+    out += "\"} ";
+    out += std::to_string(tallies.injected);
+    out += '\n';
+  }
   const obs::SpanCounts spans = obs::span_counts();
   out += "# HELP dominosyn_spans_total Completed trace spans per layer "
          "(local + ingested remote)\n";

@@ -68,6 +68,13 @@ struct ServerRequest {
   /// may leave both empty and fill options.dist.circuit themselves.
   std::string corpus;
   std::string blif_text;
+  /// Client-assigned idempotency fingerprint (`rid=` on the wire).  Serving
+  /// is deterministic, so a re-submitted fingerprint returns the same bytes;
+  /// the id exists for log/trace correlation across retries.
+  std::string request_id;
+  /// Which retry this submission is (0 = first attempt, `retry=` on the
+  /// wire).  Nonzero attempts are counted as retried submits in Stats.
+  unsigned retry_attempt = 0;
 };
 
 enum class ServerStatus : std::uint8_t {
@@ -88,6 +95,9 @@ struct ServerTelemetry {
   FlowSession::Stats rebuilt;
   double queue_seconds = 0.0;    ///< admission to start of service
   double service_seconds = 0.0;  ///< lease + stage work + report composition
+  /// Served under overload brownout: min-power auto-exhaustive was disabled
+  /// and the §4.1 heuristic answered instead (docs/robustness.md).
+  bool degraded = false;
 };
 
 struct ServerResponse {
@@ -112,6 +122,15 @@ struct ServerConfig {
   /// Log requests whose service time exceeds this to stderr (trace id,
   /// circuit, timings); 0 disables.  dominod exposes it as --slow-ms.
   double slow_request_seconds = 0.0;
+  /// Overload brownout (docs/robustness.md): when the admission queue holds
+  /// `brownout_high_water`+ requests at service start, min-power requests
+  /// are answered by the §4.1 heuristic alone (auto-exhaustive disabled) and
+  /// flagged `degraded=1` — trading a few percent of power optimality for
+  /// latency instead of escalating to kRejectedQueueFull.  Explicit
+  /// exhaustive-mode requests are never degraded.
+  bool brownout = false;
+  /// Queue depth that trips the brownout; 0 = queue_capacity / 2.
+  std::size_t brownout_high_water = 0;
 };
 
 class ServerCore {
@@ -155,6 +174,16 @@ class ServerCore {
     std::size_t units_stolen = 0;
     std::size_t units_reissued = 0;
     std::size_t incumbent_broadcasts = 0;
+    /// Robustness counters (docs/robustness.md): submits that arrived with a
+    /// nonzero `retry=` attempt, responses served under brownout, worker
+    /// quarantine events + re-admit probes, and faults this process injected
+    /// (0 unless a fault spec is armed; compiled out under
+    /// DOMINOSYN_NO_FAULTS).
+    std::size_t retried_submits = 0;
+    std::size_t degraded_responses = 0;
+    std::size_t workers_quarantined = 0;
+    std::size_t quarantine_probes = 0;
+    std::size_t faults_injected = 0;
     /// Request latency distributions (microseconds): admission→start and
     /// start→response.  Mergeable log2 snapshots; quantile() gives p50/p95/p99.
     obs::HistogramSnapshot queue_us;
@@ -225,6 +254,8 @@ class ServerCore {
     obs::Counter& search_subtrees_pruned;
     obs::Counter& search_batched_trials;
     obs::Counter& search_batch_walks;
+    obs::Counter& retried_submits;
+    obs::Counter& degraded_responses;
     obs::DoubleSum& bound_tightness_sum;
     obs::Gauge& queued_now;
     obs::Gauge& running_now;
@@ -237,6 +268,7 @@ class ServerCore {
   [[nodiscard]] ServerResponse execute(Pending& pending);
 
   ServerConfig config_;
+  std::size_t brownout_high_water_ = 0;  ///< resolved from config at start
   std::unique_ptr<SessionCache> owned_cache_;
   SessionCache* cache_ = nullptr;
   dist::DistCoordinator coordinator_;

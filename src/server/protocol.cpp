@@ -17,6 +17,7 @@
 #include "blif/blif.hpp"
 #include "obs/trace.hpp"
 #include "util/cli.hpp"
+#include "util/fault.hpp"
 
 namespace dominosyn::protocol {
 
@@ -132,6 +133,11 @@ Command parse_submit_header(const std::vector<std::string>& tokens,
       request.options.dist.shared_bounds = require_long(key, value, 0, 1) != 0;
     } else if (key == "dist_participate") {
       request.options.dist.participate = require_long(key, value, 0, 1) != 0;
+    } else if (key == "rid") {
+      request.request_id = value;
+    } else if (key == "retry") {
+      request.retry_attempt =
+          static_cast<unsigned>(require_long(key, value, 0, 1 << 20));
     } else if (key == "deadline_ms") {
       request.deadline = std::chrono::steady_clock::now() +
                          std::chrono::milliseconds(
@@ -348,8 +354,8 @@ void append_telemetry(std::string& out, const ServerTelemetry& telemetry) {
                /*comma=*/false);
   out += "},";
   append_field(out, "queue_seconds", telemetry.queue_seconds);
-  append_field(out, "service_seconds", telemetry.service_seconds,
-               /*comma=*/false);
+  append_field(out, "service_seconds", telemetry.service_seconds);
+  append_field(out, "degraded", telemetry.degraded, /*comma=*/false);
   out += '}';
 }
 
@@ -459,7 +465,12 @@ std::string format_stats(const ServerCore::Stats& stats,
   append_field(out, "units_issued", stats.units_issued);
   append_field(out, "units_stolen", stats.units_stolen);
   append_field(out, "units_reissued", stats.units_reissued);
-  append_field(out, "incumbent_broadcasts", stats.incumbent_broadcasts,
+  append_field(out, "incumbent_broadcasts", stats.incumbent_broadcasts);
+  append_field(out, "retried_submits", stats.retried_submits);
+  append_field(out, "degraded_responses", stats.degraded_responses);
+  append_field(out, "workers_quarantined", stats.workers_quarantined);
+  append_field(out, "quarantine_probes", stats.quarantine_probes);
+  append_field(out, "faults_injected", stats.faults_injected,
                /*comma=*/false);
   out += "},";
   // Latency histograms as sparse [bucket_index, count] pairs plus the
@@ -507,6 +518,14 @@ std::string format_stats(const ServerCore::Stats& stats,
 }
 
 std::string format_pong() { return R"({"ok":true,"pong":true})"; }
+
+std::string fault_mangle_line(std::string line) {
+  if (fault::point("protocol.response.truncate"))
+    line.resize(line.size() / 2);
+  if (fault::point("protocol.response.corrupt") && !line.empty())
+    line[line.size() / 2] ^= 0x20;  // keeps the byte printable, breaks JSON
+  return line;
+}
 
 std::string format_trace() {
   // chrome_trace_json yields `{"traceEvents":[...]}` on one line; splice the

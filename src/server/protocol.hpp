@@ -19,7 +19,8 @@
 /// Submit options: mode=allpos|ma|mp|exhaustive, threads=N, pi_prob=F,
 /// sim_steps=N, sim_warmup=N, sim_seed=N, clock=F, exh_limit=N,
 /// load_aware=0|1, deadline_ms=N, dist=0|1, dist_frontier=N, dist_shared=0|1,
-/// dist_participate=0|1.
+/// dist_participate=0|1, rid=<fingerprint> (client idempotency id),
+/// retry=N (which re-submission this is; docs/robustness.md).
 ///
 /// Distributed-fabric verbs (worker -> coordinator, docs/distributed.md):
 ///
@@ -128,6 +129,13 @@ struct Command {
 
 /// Appends `text` as a quoted JSON string with escaping.
 void append_json_string(std::string& out, std::string_view text);
+
+/// Fault-injection shim for outbound response lines (transport send_line
+/// routes every response through it): `protocol.response.truncate` halves
+/// the line, `protocol.response.corrupt` flips a byte mid-line.  Identity
+/// unless those sites are armed; compiled to a pass-through under
+/// DOMINOSYN_NO_FAULTS.
+[[nodiscard]] std::string fault_mangle_line(std::string line);
 
 // -- minimal response scanners ------------------------------------------------
 // The responses are machine-generated flat JSON with unique key names, so a

@@ -14,6 +14,7 @@
 #include <utility>
 
 #include "server/protocol.hpp"
+#include "util/fault.hpp"
 
 namespace dominosyn {
 
@@ -54,7 +55,14 @@ class FdLineReader {
         throw protocol::LineTooLongError();
       }
       char chunk[4096];
-      const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+      // transport.recv.short_read caps each recv at one byte (the chaos
+      // suite proves parsing is chunking-independent); transport.recv.fail
+      // simulates the peer dying mid-command.
+      const std::size_t want =
+          fault::point("transport.recv.short_read") ? 1 : sizeof(chunk);
+      const ssize_t got = fault::point("transport.recv.fail")
+                              ? 0
+                              : ::recv(fd_, chunk, want, 0);
       if (got > 0) {
         buffer_.append(chunk, static_cast<std::size_t>(got));
         continue;
@@ -77,8 +85,16 @@ class FdLineReader {
 };
 
 bool send_all(int fd, std::string_view text) {
+  if (fault::point("transport.send.fail")) {
+    errno = EIO;
+    return false;
+  }
   while (!text.empty()) {
-    const ssize_t sent = ::send(fd, text.data(), text.size(), MSG_NOSIGNAL);
+    // transport.send.short_write trickles one byte per send(): the peer's
+    // reader must reassemble lines from maximally split deliveries.
+    const std::size_t want =
+        fault::point("transport.send.short_write") ? 1 : text.size();
+    const ssize_t sent = ::send(fd, text.data(), want, MSG_NOSIGNAL);
     if (sent < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -89,6 +105,7 @@ bool send_all(int fd, std::string_view text) {
 }
 
 bool send_line(int fd, std::string line) {
+  line = protocol::fault_mangle_line(std::move(line));
   line += '\n';
   return send_all(fd, line);
 }
@@ -225,6 +242,11 @@ void SocketServer::serve_connection(int fd) {
       }
       case protocol::CommandKind::kCompleteWork: {
         worker_id = command->worker;
+        // coordinator.complete.drop loses the completion *and* tears the
+        // connection down: worker_disconnected() at `done:` re-queues the
+        // unit, and the worker's pending request() sees the close and
+        // reconnects — the reissue path the chaos soak exercises.
+        if (fault::point("coordinator.complete.drop")) goto done;
         const dist::DistCoordinator::CompleteAck ack =
             coordinator.complete(command->worker, command->unit_result);
         if (!send_line(fd,

@@ -517,6 +517,66 @@ TEST(DistCoordinatorTest, IncumbentRelayKeepsTheMinimum) {
   EXPECT_EQ(coordinator.push_incumbent("A", 999, 3.0), 3.0);
 }
 
+TEST(DistCoordinatorTest, QuarantineTripsProbesAndRehabilitates) {
+  DistCoordinator coordinator;
+  coordinator.set_quarantine({/*threshold=*/2, /*probe_every=*/3});
+  auto job = coordinator.open_job(trivial_units(4), 60'000);
+
+  // Two consecutive disconnect-with-lease failures trip the breaker.
+  ASSERT_TRUE(coordinator.lease("A").has_value());
+  coordinator.worker_disconnected("A");
+  EXPECT_FALSE(coordinator.worker_quarantined("A"));
+  ASSERT_TRUE(coordinator.lease("A").has_value());
+  coordinator.worker_disconnected("A");
+  EXPECT_TRUE(coordinator.worker_quarantined("A"));
+  EXPECT_EQ(coordinator.counters().workers_quarantined, 1u);
+
+  // Quarantined: lease/steal refuse A while B still gets work.
+  EXPECT_FALSE(coordinator.lease("A").has_value());
+  EXPECT_FALSE(coordinator.lease("A").has_value());
+  ASSERT_TRUE(coordinator.lease("B").has_value());
+
+  // Every probe_every-th refused request is granted as a re-admit probe
+  // (two refusals above, so this third request goes through).
+  const auto probe = coordinator.lease("A");
+  ASSERT_TRUE(probe.has_value());
+  EXPECT_EQ(coordinator.counters().quarantine_probes, 1u);
+  EXPECT_TRUE(coordinator.worker_quarantined("A"));
+
+  // A successful completion rehabilitates the worker entirely.
+  UnitResult result;
+  result.job_id = job.job_id;
+  result.unit_id = probe->unit.unit_id;
+  result.metric = 1.0;
+  EXPECT_TRUE(coordinator.complete("A", result).accepted);
+  EXPECT_FALSE(coordinator.worker_quarantined("A"));
+  EXPECT_TRUE(coordinator.lease("A").has_value());
+}
+
+TEST(DistCoordinatorTest, QuarantineCountsFailedUnitsAndCanBeDisabled) {
+  DistCoordinator coordinator;
+  coordinator.set_quarantine({/*threshold=*/2, /*probe_every=*/8});
+  // ok=false completions count as failures too (fresh job per attempt —
+  // a failed unit fails its whole job).
+  for (int round = 0; round < 2; ++round) {
+    auto job = coordinator.open_job(trivial_units(1), 60'000);
+    const auto grant = coordinator.lease("A");
+    ASSERT_TRUE(grant.has_value());
+    UnitResult bad;
+    bad.job_id = job.job_id;
+    bad.unit_id = grant->unit.unit_id;
+    bad.ok = false;
+    bad.error = "boom";
+    (void)coordinator.complete("A", bad);
+  }
+  EXPECT_TRUE(coordinator.worker_quarantined("A"));
+
+  // threshold=0 disables the gate without dropping health records.
+  coordinator.set_quarantine({/*threshold=*/0, /*probe_every=*/8});
+  (void)coordinator.open_job(trivial_units(1), 60'000);
+  EXPECT_TRUE(coordinator.lease("A").has_value());
+}
+
 // -- determinism of the distributed searches ----------------------------------
 
 TEST(DistSearchTest, ExhaustiveBitIdenticalAcrossEveryTopology) {
@@ -718,12 +778,18 @@ TEST(DistFabric, TcpWorkersServeSubmitsBitIdenticallyToLocal) {
 
     const ServerCore::Stats stats = core.stats();
     EXPECT_GE(stats.units_issued, 16u);  // 2^4 frontier subtrees
-    std::uint64_t completed = 0;
-    for (const auto& worker : fleet) {
+    // The job resolves when the coordinator accepts the last result, a
+    // moment *before* that worker reads its ack and bumps its counter —
+    // wait for the fleet's tallies to settle instead of racing them.
+    const auto fleet_completed = [&fleet] {
+      std::uint64_t completed = 0;
+      for (const auto& worker : fleet)
+        completed += worker->telemetry().units_completed;
+      return completed;
+    };
+    wait_until([&] { return fleet_completed() >= 16u; });
+    for (const auto& worker : fleet)
       EXPECT_EQ(worker->telemetry().units_failed, 0u);
-      completed += worker->telemetry().units_completed;
-    }
-    EXPECT_GE(completed, 16u);
 
     for (auto& worker : fleet) worker->stop();
     server.stop();

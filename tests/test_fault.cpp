@@ -1,0 +1,156 @@
+/// Tests for the deterministic fault-injection registry (util/fault.hpp):
+/// spec parsing, trigger semantics, determinism, counters, latency
+/// injection, and the DOMINOSYN_NO_FAULTS compile-out contract.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/fault.hpp"
+
+namespace dominosyn {
+namespace {
+
+/// Every test starts and ends disarmed, so a DOMINOSYN_FAULT_SPEC exported
+/// by a chaos CI job cannot leak into these assertions (and vice versa).
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (fault::kFaultsCompiledOut) GTEST_SKIP() << "built with DOMINOSYN_NO_FAULTS";
+    fault::clear();
+  }
+  void TearDown() override { fault::clear(); }
+};
+
+std::vector<bool> evaluate(const char* site, int times) {
+  std::vector<bool> fired;
+  fired.reserve(static_cast<std::size_t>(times));
+  for (int i = 0; i < times; ++i) fired.push_back(fault::point(site));
+  return fired;
+}
+
+TEST_F(FaultTest, InertByDefault) {
+  EXPECT_FALSE(fault::active());
+  EXPECT_FALSE(fault::point("some.site"));
+  EXPECT_EQ(fault::total_injected(), 0u);
+}
+
+TEST_F(FaultTest, AlwaysFires) {
+  fault::configure("a.b=always");
+  EXPECT_TRUE(fault::active());
+  EXPECT_EQ(evaluate("a.b", 3), (std::vector<bool>{true, true, true}));
+  EXPECT_FALSE(fault::point("a.other"));  // unarmed sites stay inert
+}
+
+TEST_F(FaultTest, NthFiresExactlyOnce) {
+  fault::configure("a.b=nth:3");
+  EXPECT_EQ(evaluate("a.b", 5),
+            (std::vector<bool>{false, false, true, false, false}));
+  EXPECT_EQ(fault::injected("a.b"), 1u);
+}
+
+TEST_F(FaultTest, EveryFiresPeriodically) {
+  fault::configure("a.b=every:2");
+  EXPECT_EQ(evaluate("a.b", 5),
+            (std::vector<bool>{false, true, false, true, false}));
+}
+
+TEST_F(FaultTest, FirstFiresPrefix) {
+  fault::configure("a.b=first:2");
+  EXPECT_EQ(evaluate("a.b", 4), (std::vector<bool>{true, true, false, false}));
+}
+
+TEST_F(FaultTest, ProbIsDeterministicPerSeed) {
+  fault::configure("a.b=prob:0.5,seed:42");
+  const std::vector<bool> run1 = evaluate("a.b", 64);
+  fault::configure("a.b=prob:0.5,seed:42");
+  const std::vector<bool> run2 = evaluate("a.b", 64);
+  EXPECT_EQ(run1, run2);
+  int fired = 0;
+  for (const bool b : run1) fired += b ? 1 : 0;
+  EXPECT_GT(fired, 0);
+  EXPECT_LT(fired, 64);
+}
+
+TEST_F(FaultTest, OffMasksEarlierClause) {
+  fault::configure("a.b=always;a.b=off");
+  EXPECT_FALSE(fault::point("a.b"));
+}
+
+TEST_F(FaultTest, DelayAloneArmsAsAlways) {
+  fault::configure("a.b=delay_ms:20");
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(fault::point("a.b"));
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_GE(elapsed.count(), 15);
+}
+
+TEST_F(FaultTest, CountersTrackEvaluationsAndInjections) {
+  fault::configure("a.b=every:2;c.d=always");
+  (void)evaluate("a.b", 4);
+  (void)fault::point("c.d");
+  const auto counters = fault::counters();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0].first, "a.b");
+  EXPECT_EQ(counters[0].second.evaluated, 4u);
+  EXPECT_EQ(counters[0].second.injected, 2u);
+  EXPECT_EQ(counters[1].first, "c.d");
+  EXPECT_EQ(counters[1].second.injected, 1u);
+  EXPECT_EQ(fault::total_injected(), 3u);
+}
+
+TEST_F(FaultTest, ClearDisarms) {
+  fault::configure("a.b=always");
+  ASSERT_TRUE(fault::point("a.b"));
+  fault::clear();
+  EXPECT_FALSE(fault::active());
+  EXPECT_FALSE(fault::point("a.b"));
+  EXPECT_EQ(fault::total_injected(), 0u);
+  EXPECT_EQ(fault::spec(), "");
+}
+
+TEST_F(FaultTest, ConfigureReplacesWholesale) {
+  fault::configure("a.b=always");
+  fault::configure("c.d=always");
+  EXPECT_FALSE(fault::point("a.b"));
+  EXPECT_TRUE(fault::point("c.d"));
+  EXPECT_EQ(fault::spec(), "c.d=always");
+}
+
+TEST_F(FaultTest, MalformedSpecsThrow) {
+  EXPECT_THROW(fault::configure("nosite"), std::invalid_argument);
+  EXPECT_THROW(fault::configure("a.b=bogus"), std::invalid_argument);
+  EXPECT_THROW(fault::configure("a.b=nth:"), std::invalid_argument);
+  EXPECT_THROW(fault::configure("a.b=nth:zero"), std::invalid_argument);
+  EXPECT_THROW(fault::configure("a.b=every:0"), std::invalid_argument);
+  EXPECT_THROW(fault::configure("a.b=prob:2.0"), std::invalid_argument);
+  EXPECT_THROW(fault::configure("a.b=seed:1"), std::invalid_argument)
+      << "seed without a trigger is an empty policy";
+  EXPECT_THROW(fault::configure("=always"), std::invalid_argument);
+  // A failed configure must not leave a half-armed registry.
+  fault::configure("a.b=always");
+  EXPECT_THROW(fault::configure("broken"), std::invalid_argument);
+  EXPECT_TRUE(fault::point("a.b"));
+}
+
+TEST_F(FaultTest, SpecToleratesWhitespace) {
+  fault::configure(" a.b = every:2 ; c.d = always ");
+  EXPECT_TRUE(fault::point("c.d"));
+  EXPECT_FALSE(fault::point("a.b"));
+  EXPECT_TRUE(fault::point("a.b"));
+}
+
+TEST(FaultCompiledOut, PointIsConstexprFalse) {
+  if (!fault::kFaultsCompiledOut) GTEST_SKIP() << "faults compiled in";
+  static_assert(!fault::kFaultsCompiledOut || !fault::point("x"),
+                "compiled-out point() must be constexpr false");
+  EXPECT_FALSE(fault::point("anything"));
+  EXPECT_FALSE(fault::active());
+}
+
+}  // namespace
+}  // namespace dominosyn

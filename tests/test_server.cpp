@@ -26,6 +26,7 @@
 #include "server/core.hpp"
 #include "server/protocol.hpp"
 #include "server/transport.hpp"
+#include "util/fault.hpp"
 
 namespace dominosyn {
 namespace {
@@ -764,6 +765,99 @@ TEST(Transport, OversizedLineAnswersErrorAndKeepsTheConnection) {
   EXPECT_EQ(protocol::find_bool(stats, "ok"), true);
 
   server.stop();
+  core.shutdown();
+}
+
+TEST(Transport, ByteAtATimeDeliveryParsesIdentically) {
+  // Command parsing and kMaxLineLength enforcement must be independent of
+  // how the bytes arrive: the short-read/short-write fault sites force every
+  // recv/send on both ends down to one byte, maximally splitting command
+  // lines, the inline BLIF body, and the response line.
+  if (fault::kFaultsCompiledOut) GTEST_SKIP() << "faults compiled out";
+  const std::string blif_text =
+      ".model chunk_tiny\n"
+      ".inputs a b c\n"
+      ".outputs f g\n"
+      ".names a b f\n11 1\n"
+      ".names b c g\n00 1\n"
+      ".end\n";
+  ServerCore core(ServerConfig{});
+  TransportConfig transport;
+  SocketServer server(core, transport);
+  const std::string command = "submit blif=inline mode=ma sim_steps=128";
+
+  fault::clear();
+  Client clean = Client::connect_tcp("127.0.0.1", server.port());
+  const Client::SubmitSummary whole = clean.submit(command, blif_text);
+  ASSERT_TRUE(whole.ok) << whole.raw;
+
+  fault::configure(
+      "transport.recv.short_read=always;"
+      "client.send.short_write=always;"
+      "client.recv.short_read=always");
+  Client chunked = Client::connect_tcp("127.0.0.1", server.port());
+  const Client::SubmitSummary split = chunked.submit(command, blif_text);
+  const std::uint64_t server_reads =
+      fault::injected("transport.recv.short_read");
+  fault::clear();
+
+  ASSERT_TRUE(split.ok) << split.raw;
+  // Identical parse and identical served report (timing telemetry and the
+  // cache_hit flag legitimately differ between the two responses).
+  EXPECT_EQ(split.circuit, whole.circuit);
+  EXPECT_EQ(split.mode, whole.mode);
+  EXPECT_EQ(split.cells, whole.cells);
+  EXPECT_EQ(split.sim_power, whole.sim_power);
+  EXPECT_EQ(split.est_power, whole.est_power);
+  // The split delivery really happened: one server recv per delivered byte,
+  // so at least command + body bytes worth of short reads.
+  EXPECT_GE(server_reads, command.size() + blif_text.size());
+  EXPECT_TRUE(chunked.ping());
+
+  server.stop();
+  core.shutdown();
+}
+
+TEST(ServerCore, BrownoutDegradesQueuedMinPowerToHeuristic) {
+  // Overload brownout: while the queue sits at/above the high-water mark,
+  // kMinPower requests lose the small-circuit auto-exhaustive upgrade (the
+  // §4.1 heuristic answers, flagged degraded=1) — explicit kExhaustivePower
+  // requests keep their contract regardless.
+  const Network net = generate_benchmark(server_spec(93, /*pos=*/4));
+  ServerConfig config;
+  config.num_workers = 1;
+  config.brownout = true;
+  config.brownout_high_water = 1;
+  ServerCore core(config);
+
+  // Park the key so submits pile up behind the first request deterministically.
+  SessionCache::Lease hold = core.cache().lease(net.name(), net, fast_options());
+  auto exhaustive =
+      core.submit(make_request(net, fast_options(PhaseMode::kExhaustivePower)));
+  wait_until([&] { return core.stats().running_now == 1; });
+  auto pressured = core.submit(make_request(net, fast_options()));
+  auto last = core.submit(make_request(net, fast_options()));
+  hold.release();
+
+  // Explicit exhaustive under queue pressure: never degraded.
+  const ServerResponse first = exhaustive.get();
+  ASSERT_EQ(first.status, ServerStatus::kOk) << first.error_message;
+  EXPECT_FALSE(first.telemetry.degraded);
+  EXPECT_GT(first.report.search_nodes_expanded, 0u);
+
+  // Executed with one request still queued behind it: degraded to the
+  // heuristic (no branch-and-bound nodes), flagged in the telemetry.
+  const ServerResponse degraded = pressured.get();
+  ASSERT_EQ(degraded.status, ServerStatus::kOk) << degraded.error_message;
+  EXPECT_TRUE(degraded.telemetry.degraded);
+  EXPECT_EQ(degraded.report.search_nodes_expanded, 0u);
+
+  // Queue drained: full service again (pos=4 re-enables auto-exhaustive).
+  const ServerResponse healthy = last.get();
+  ASSERT_EQ(healthy.status, ServerStatus::kOk) << healthy.error_message;
+  EXPECT_FALSE(healthy.telemetry.degraded);
+
+  EXPECT_EQ(core.stats().degraded_responses, 1u);
   core.shutdown();
 }
 

@@ -60,6 +60,10 @@ void usage(const char* program) {
       << "  --dist-remote-only  don't run units on the daemon's own threads;\n"
       << "                   leave them all to connected remote workers\n"
       << "  --repeat N       submit N times (watch the cache heat up)\n"
+      << "  --retries N      re-try failed/torn/timed-out submits up to N\n"
+      << "                   times on a fresh connection (default 0)\n"
+      << "  --timeout-ms N   connect + per-io deadline toward the daemon\n"
+      << "                   (default 0 = block forever)\n"
       << "  --raw            print raw JSON response lines\n";
 }
 
@@ -173,8 +177,8 @@ int main(int argc, char** argv) {
                     "metrics", "trace-dump", "ping", "mode", "circuit",
                     "threads", "sim-steps", "sim-warmup", "pi-prob", "clock",
                     "deadline-ms", "exh-limit", "dist", "dist-frontier",
-                    "dist-shared", "dist-remote-only", "repeat", "raw",
-                    "help"})) {
+                    "dist-shared", "dist-remote-only", "repeat", "retries",
+                    "timeout-ms", "raw", "help"})) {
     usage(argv[0]);
     return 2;
   }
@@ -185,18 +189,26 @@ int main(int argc, char** argv) {
 
   const std::string unix_path = flags->get("unix");
   const auto port = flags->get_long("port", 0, 1, 65535);
-  if (!port) return 2;
+  const auto retries = flags->get_long("retries", 0, 0, 100);
+  const auto timeout_ms = flags->get_long("timeout-ms", 0, 0, 86'400'000);
+  if (!port || !retries || !timeout_ms) return 2;
   if (unix_path.empty() && !flags->has("port")) {
     std::cerr << argv[0] << ": need --unix PATH or --host/--port\n";
     return 2;
   }
 
   try {
+    ClientTimeouts timeouts;
+    timeouts.connect_ms = static_cast<std::uint32_t>(*timeout_ms);
+    timeouts.io_ms = static_cast<std::uint32_t>(*timeout_ms);
     Client client =
         unix_path.empty()
             ? Client::connect_tcp(flags->get("host", "127.0.0.1"),
-                                  static_cast<std::uint16_t>(*port))
-            : Client::connect_unix(unix_path);
+                                  static_cast<std::uint16_t>(*port), timeouts)
+            : Client::connect_unix(unix_path, timeouts);
+    RetryPolicy retry;
+    retry.max_attempts = static_cast<unsigned>(*retries) + 1;
+    client.set_retry_policy(retry);
 
     if (flags->has("ping")) {
       const bool ok = client.ping();
@@ -302,8 +314,13 @@ int main(int argc, char** argv) {
                 << " est_power=" << summary.est_power
                 << (summary.cache_hit ? " (cache hit," : " (cache miss,")
                 << " queue " << summary.queue_seconds * 1e3 << " ms, service "
-                << summary.service_seconds * 1e3 << " ms)\n";
+                << summary.service_seconds * 1e3 << " ms)"
+                << (summary.degraded ? " [degraded]" : "") << "\n";
     }
+    if (client.telemetry().retries > 0)
+      std::cerr << argv[0] << ": " << client.telemetry().retries
+                << " retries, " << client.telemetry().reconnects
+                << " reconnects\n";
   } catch (const std::exception& e) {
     std::cerr << argv[0] << ": " << e.what() << "\n";
     return 1;

@@ -23,6 +23,7 @@
 #include "server/core.hpp"
 #include "server/transport.hpp"
 #include "util/cli.hpp"
+#include "util/fault.hpp"
 
 namespace {
 
@@ -40,6 +41,11 @@ void usage(const char* program) {
       << "  --cache N     hot-session LRU capacity (default 8)\n"
       << "  --slow-ms N   log requests slower than N ms to stderr (0 = off,\n"
       << "                default 0)\n"
+      << "  --brownout N  degrade auto-exhaustive submits to the heuristic\n"
+      << "                when N+ requests are queued (0 = off, default 0)\n"
+      << "  --fault-spec S  arm deterministic fault injection (both modes;\n"
+      << "                docs/robustness.md), e.g.\n"
+      << "                'transport.send.short_write=every:3'\n"
       << "  --worker      run as a distributed-search worker instead\n"
       << "  --threads N   worker: concurrent work units; 0 = one per hardware\n"
       << "                thread (default 0)\n"
@@ -100,6 +106,33 @@ int run_worker(const dominosyn::cli::FlagSet& flags, const char* program) {
   return 0;
 }
 
+/// Applies --fault-spec (overriding DOMINOSYN_FAULT_SPEC, which the fault
+/// registry already read at static-init).  Returns false on a bad spec.
+bool apply_fault_spec(const dominosyn::cli::FlagSet& flags,
+                      const char* program) {
+  if (!flags.has("fault-spec")) {
+    if (dominosyn::fault::active())
+      std::cout << program << ": fault injection armed from environment: "
+                << dominosyn::fault::spec() << std::endl;
+    return true;
+  }
+  if (dominosyn::fault::kFaultsCompiledOut) {
+    std::cerr << program
+              << ": --fault-spec ignored (built with DOMINOSYN_NO_FAULTS)\n";
+    return true;
+  }
+  try {
+    dominosyn::fault::configure(flags.get("fault-spec"));
+  } catch (const std::exception& e) {
+    std::cerr << program << ": bad --fault-spec: " << e.what() << "\n";
+    return false;
+  }
+  std::cout << program
+            << ": fault injection armed: " << dominosyn::fault::spec()
+            << std::endl;
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -108,7 +141,8 @@ int main(int argc, char** argv) {
   const auto flags = cli::FlagSet::parse(argc, argv);
   if (!flags ||
       !flags->only({"unix", "port", "host", "workers", "queue", "cache",
-                    "slow-ms", "worker", "threads", "name", "help"})) {
+                    "slow-ms", "brownout", "fault-spec", "worker", "threads",
+                    "name", "help"})) {
     usage(argv[0]);
     return 2;
   }
@@ -116,6 +150,7 @@ int main(int argc, char** argv) {
     usage(argv[0]);
     return 0;
   }
+  if (!apply_fault_spec(*flags, argv[0])) return 2;
   if (flags->has("worker")) return run_worker(*flags, argv[0]);
 
   TransportConfig transport;
@@ -126,7 +161,8 @@ int main(int argc, char** argv) {
   const auto queue = flags->get_long("queue", 64, 1, 1 << 20);
   const auto cache = flags->get_long("cache", 8, 1, 1 << 20);
   const auto slow_ms = flags->get_long("slow-ms", 0, 0, 86'400'000);
-  if (!port || !workers || !queue || !cache || !slow_ms) {
+  const auto brownout = flags->get_long("brownout", 0, 0, 1 << 20);
+  if (!port || !workers || !queue || !cache || !slow_ms || !brownout) {
     usage(argv[0]);
     return 2;
   }
@@ -142,6 +178,8 @@ int main(int argc, char** argv) {
   config.queue_capacity = static_cast<std::size_t>(*queue);
   config.cache_capacity = static_cast<std::size_t>(*cache);
   config.slow_request_seconds = static_cast<double>(*slow_ms) / 1e3;
+  config.brownout = *brownout > 0;
+  config.brownout_high_water = static_cast<std::size_t>(*brownout);
 
   // Block the shutdown signals before any thread exists, so every thread
   // inherits the mask and sigwait below is the one consumer.
@@ -179,7 +217,12 @@ int main(int argc, char** argv) {
       std::cout << "dominod: fabric issued " << stats.units_issued
                 << " work units (" << stats.units_stolen << " stolen, "
                 << stats.units_reissued << " re-issued, "
-                << stats.incumbent_broadcasts << " incumbent broadcasts)"
+                << stats.incumbent_broadcasts << " incumbent broadcasts, "
+                << stats.workers_quarantined << " quarantines)" << std::endl;
+    if (stats.faults_injected > 0)
+      std::cout << "dominod: injected " << stats.faults_injected
+                << " faults (" << stats.retried_submits << " retried submits, "
+                << stats.degraded_responses << " degraded responses)"
                 << std::endl;
   } catch (const std::exception& e) {
     std::cerr << "dominod: " << e.what() << "\n";
