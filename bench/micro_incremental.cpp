@@ -36,6 +36,11 @@
 /// speedup is reported.  speedup_2w is the scaling headline bench_trend.py
 /// gates.
 ///
+/// The journal_replay section measures the durability layer's boot path
+/// (docs/robustness.md): a synthetic checkpoint log of crashed distributed
+/// jobs replayed through CheckpointLog construction — records_per_second is
+/// what bench_trend.py gates.
+///
 /// Usage (positional, CI-compatible):
 ///   micro_incremental [num_threads] [gate_target] [num_pos]
 ///                     [sweep_steps] [bb_budget_seconds]
@@ -53,8 +58,12 @@
 ///   --lanes      batched-evaluator lane width: 0 = auto (default), 1 =
 ///                scalar engines, up to kMaxEvalBatchLanes
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <limits>
 #include <numeric>
@@ -66,6 +75,7 @@
 
 #include "bdd/netbdd.hpp"
 #include "benchgen/benchgen.hpp"
+#include "dist/checkpoint.hpp"
 #include "dist/search.hpp"
 #include "dist/worker.hpp"
 #include "flow/batch.hpp"
@@ -79,6 +89,7 @@
 #include "server/transport.hpp"
 #include "sgraph/partition.hpp"
 #include "util/cli.hpp"
+#include "util/journal.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
@@ -928,6 +939,79 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // -- journal replay ---------------------------------------------------------
+  // Boot cost of the durability layer (docs/robustness.md): a synthetic
+  // checkpoint log of in-flight distributed jobs — the state a crashed
+  // daemon leaves behind — replayed through the full CheckpointLog
+  // construction path (scan, CRC checks, codec decode, compaction),
+  // best-of-3.  A restarted daemon pays exactly this before it can serve.
+  constexpr std::size_t kJournalJobs = 48;
+  constexpr std::size_t kJournalUnitsPerJob = 32;
+  char journal_template[] = "/tmp/dominosyn_bench_journal_XXXXXX";
+  if (::mkdtemp(journal_template) == nullptr) {
+    std::cerr << "FATAL: cannot create journal scratch dir\n";
+    return 1;
+  }
+  const std::string journal_dir = journal_template;
+  {
+    dist::checkpoint::CheckpointLog::Options seed_options;
+    // Keep every record in the journal (no mid-seed compaction) so the
+    // timed replay reads the worst-case append-only history.
+    seed_options.compact_after_records =
+        std::numeric_limits<std::uint64_t>::max();
+    seed_options.keep_finished = kJournalJobs;
+    dist::checkpoint::CheckpointLog log(journal_dir, seed_options);
+    for (std::size_t j = 1; j <= kJournalJobs; ++j) {
+      std::vector<dist::WorkUnit> units(kJournalUnitsPerJob);
+      for (std::size_t u = 0; u < units.size(); ++u) {
+        dist::WorkUnit& unit = units[u];
+        unit.job_id = j;
+        unit.unit_id = u;
+        unit.kind = dist::UnitKind::kBnbSubtree;
+        unit.by_power = true;
+        unit.task = (j << 10) | u;
+        unit.frontier_depth = 5;
+        unit.bound_snapshot = 100.0 + static_cast<double>(j);
+        unit.node_budget = 1 << 16;
+        unit.batch_lanes = 8;
+        unit.circuit.corpus = "x1";
+        unit.circuit.fingerprint = 0x1234 + j;
+      }
+      log.record_open(j, "bench-rid-" + std::to_string(j), 30'000, units);
+      for (std::size_t u = 0; u < units.size(); ++u) {
+        dist::UnitResult result;
+        result.job_id = j;
+        result.unit_id = u;
+        result.metric = 90.0 + static_cast<double>(u);
+        result.code = u;
+        result.leaves = u;
+        result.nodes_expanded = u * 3;
+        log.record_complete(result);
+      }
+      if (j % 4 == 0) log.record_finish(j, /*failed=*/false);
+    }
+    log.sync();
+  }
+  const std::uint64_t journal_bytes =
+      journal::scan_file(journal_dir + "/journal.djl").valid_bytes;
+  double replay_seconds = std::numeric_limits<double>::infinity();
+  dist::checkpoint::ReplayStats replay_stats;
+  for (int rep = 0; rep < 3; ++rep) {
+    stopwatch.restart();
+    dist::checkpoint::CheckpointLog log(journal_dir);
+    replay_seconds = std::min(replay_seconds, stopwatch.seconds());
+    replay_stats = log.replay_stats();
+    if (replay_stats.completed_units !=
+            kJournalJobs * kJournalUnitsPerJob ||
+        replay_stats.torn_tail) {
+      std::cerr << "FATAL: journal replay lost records\n";
+      return 1;
+    }
+  }
+  std::remove((journal_dir + "/journal.djl").c_str());
+  std::remove((journal_dir + "/snapshot.djl").c_str());
+  ::rmdir(journal_dir.c_str());
+
   const unsigned resolved = ThreadPool::resolve_threads(num_threads);
   std::cout.precision(6);
   std::cout << "{\n"
@@ -1131,6 +1215,16 @@ int main(int argc, char** argv) {
             << "    \"overhead_ratio\": " << traced_seconds / untraced_seconds
             << ",\n"
             << "    \"events_recorded\": " << tracing_events << "\n"
+            << "  },\n"
+            << "  \"journal_replay\": {\n"
+            << "    \"jobs\": " << kJournalJobs << ",\n"
+            << "    \"units_per_job\": " << kJournalUnitsPerJob << ",\n"
+            << "    \"records\": " << replay_stats.records << ",\n"
+            << "    \"journal_bytes\": " << journal_bytes << ",\n"
+            << "    \"replay_seconds\": " << replay_seconds << ",\n"
+            << "    \"records_per_second\": "
+            << static_cast<double>(replay_stats.records) / replay_seconds
+            << "\n"
             << "  }\n"
             << "}\n";
   return 0;

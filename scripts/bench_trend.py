@@ -16,6 +16,8 @@ Compares the current nightly run's JSON against the previous run's and fails
   * tracing_overhead.overhead_ratio                         (absolute cap
     --max-tracing-overhead: spans must stay within budget on the commit
     path; skipped when the bench reports compiled_out tracing)
+  * journal_replay.records_per_second                       (higher better —
+    the crash-recovery boot path must not creep)
 
 Wall-clock metrics on shared CI runners are noisy, so their tolerances are
 deliberately loose (a genuine asymptotic regression blows far past them).
@@ -123,7 +125,8 @@ def main() -> int:
                    "commit_path.commits_per_second",
                    "server_throughput.hot.requests_per_second",
                    "batched_eval.speedup_per_candidate",
-                   "distributed_search.speedup_2w"):
+                   "distributed_search.speedup_2w",
+                   "journal_replay.records_per_second"):
         gate.check(metric, lookup(previous, metric), lookup(current, metric),
                    args.max_time_regression, higher_better=True)
 

@@ -9,16 +9,48 @@
 
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 
 #include "network/network.hpp"
 
 namespace dominosyn::blif {
 
+/// Malformed BLIF input.  Carries the 1-based physical line number of the
+/// offending construct (0 = no single line to blame); what() reads
+/// `blif:<line>: <message>`.  Derives from std::runtime_error, so callers
+/// that only care about "parse failed" keep working unchanged.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::size_t line, const std::string& message)
+      : std::runtime_error("blif:" + std::to_string(line) + ": " + message),
+        line_(line) {}
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+// -- input limits (docs/robustness.md) ----------------------------------------
+// BLIF reaches the daemon from untrusted submit bodies (`blif=inline`), so
+// the reader bounds every dimension an attacker could grow and rejects the
+// excess with ParseError instead of attempting the allocation.  All limits
+// are far above anything in the MCNC suite.
+
+/// One logical line (after '\' continuation joining), in bytes.
+inline constexpr std::size_t kMaxLineLength = std::size_t{1} << 20;
+/// Inputs of one `.names` block — the literals of every cube in its cover.
+inline constexpr std::size_t kMaxLiteralsPerCube = std::size_t{1} << 12;
+/// Cubes of one `.names` cover.
+inline constexpr std::size_t kMaxCubesPerCover = std::size_t{1} << 16;
+/// Declared signals of one model (.inputs + .latch + .names blocks).
+inline constexpr std::size_t kMaxNodes = std::size_t{1} << 20;
+
 /// Parses a BLIF model from a stream.  `.names` blocks are elaborated through
 /// `synthesize_sop`, so the result is a plain AND/OR/NOT(/XOR-free) network.
-/// Throws std::runtime_error with a line number on malformed input.
+/// Throws ParseError with a line number on malformed or over-limit input.
 [[nodiscard]] Network read(std::istream& in);
 
 /// Parses a BLIF model from a string (convenience for tests and examples).

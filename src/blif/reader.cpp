@@ -40,7 +40,7 @@ struct ParsedModel {
 };
 
 [[noreturn]] void fail(std::size_t line, const std::string& message) {
-  throw std::runtime_error("blif:" + std::to_string(line) + ": " + message);
+  throw ParseError(line, message);
 }
 
 std::vector<std::string> tokenize(const std::string& text) {
@@ -79,9 +79,15 @@ class LineReader {
         physical.pop_back();
         logical += physical;
         logical += ' ';
+        if (logical.size() > kMaxLineLength)
+          fail(line_number, "logical line exceeds " +
+                                std::to_string(kMaxLineLength) + " bytes");
         continue;
       }
       logical += physical;
+      if (logical.size() > kMaxLineLength)
+        fail(line_number, "logical line exceeds " +
+                              std::to_string(kMaxLineLength) + " bytes");
       return true;
     }
     return have_any;
@@ -98,6 +104,18 @@ ParsedModel parse(std::istream& in) {
   std::string line;
   std::size_t line_no = 0;
   NamesBlock* open_names = nullptr;
+  bool have_model = false;
+
+  // One declaration budget across .inputs/.latch/.names — the model's
+  // eventual node count (kMaxNodes).
+  const auto charge_nodes = [&model](std::size_t line_number,
+                                     std::size_t added) {
+    const std::size_t declared = model.inputs.size() + model.latches.size() +
+                                 model.names.size() + added;
+    if (declared > kMaxNodes)
+      fail(line_number, "model exceeds " + std::to_string(kMaxNodes) +
+                            " declared signals");
+  };
 
   while (reader.next(line, line_no)) {
     auto tokens = tokenize(line);
@@ -121,6 +139,9 @@ ParsedModel parse(std::istream& in) {
         continue;
       }
       if (tokens.size() != 2) fail(line_no, "malformed cube line");
+      if (cover.cubes.size() >= kMaxCubesPerCover)
+        fail(line_no, "cover exceeds " + std::to_string(kMaxCubesPerCover) +
+                          " cubes");
       Cube cube;
       try {
         cube = Cube::parse(tokens[0]);
@@ -139,13 +160,22 @@ ParsedModel parse(std::istream& in) {
 
     open_names = nullptr;
     if (head == ".model") {
+      if (have_model)
+        fail(line_no, "duplicate .model directive (one model per file)");
+      have_model = true;
       if (tokens.size() >= 2) model.name = tokens[1];
     } else if (head == ".inputs") {
+      charge_nodes(line_no, tokens.size() - 1);
       model.inputs.insert(model.inputs.end(), tokens.begin() + 1, tokens.end());
     } else if (head == ".outputs") {
       model.outputs.insert(model.outputs.end(), tokens.begin() + 1, tokens.end());
     } else if (head == ".names") {
       if (tokens.size() < 2) fail(line_no, ".names needs at least an output");
+      if (tokens.size() - 2 > kMaxLiteralsPerCube)
+        fail(line_no, ".names exceeds " +
+                          std::to_string(kMaxLiteralsPerCube) +
+                          " inputs (cube literals)");
+      charge_nodes(line_no, 1);
       NamesBlock block;
       block.inputs.assign(tokens.begin() + 1, tokens.end() - 1);
       block.output = tokens.back();
@@ -156,6 +186,7 @@ ParsedModel parse(std::istream& in) {
       open_names = &model.names.back();
     } else if (head == ".latch") {
       if (tokens.size() < 3) fail(line_no, ".latch needs input and output");
+      charge_nodes(line_no, 1);
       LatchDecl latch;
       latch.input = tokens[1];
       latch.output = tokens[2];
@@ -199,11 +230,17 @@ Network elaborate(const ParsedModel& model) {
 
   for (const auto& name : model.inputs) {
     if (signal.count(name) != 0) fail(0, "duplicate input '" + name + "'");
+    if (const auto it = producer.find(name); it != producer.end())
+      fail(it->second->line,
+           "signal '" + name + "' is both an input and a .names output");
     signal[name] = net.add_pi(name);
   }
   for (const auto& latch : model.latches) {
     if (signal.count(latch.output) != 0)
       fail(latch.line, "latch output '" + latch.output + "' already defined");
+    if (producer.count(latch.output) != 0)
+      fail(latch.line,
+           "latch output '" + latch.output + "' is also a .names output");
     signal[latch.output] = net.add_latch(latch.output, latch.init);
   }
 

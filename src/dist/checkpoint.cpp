@@ -1,0 +1,310 @@
+/// \file checkpoint.cpp
+/// Durable job-state log over util/journal (see checkpoint.hpp).
+
+#include "dist/checkpoint.hpp"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+namespace dominosyn::dist::checkpoint {
+
+namespace {
+
+using journal::JournalError;
+
+std::vector<std::string> split_ws(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) tokens.push_back(token);
+  return tokens;
+}
+
+/// `key=value` lookup inside a tokenized record; empty when absent.
+std::string token_value(const std::vector<std::string>& tokens,
+                        std::string_view key) {
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    const std::string& token = tokens[i];
+    if (token.size() > key.size() + 1 &&
+        std::string_view(token).substr(0, key.size()) == key &&
+        token[key.size()] == '=')
+      return token.substr(key.size() + 1);
+    // `rid=` with an empty value still parses (local jobs have no rid).
+    if (token.size() == key.size() + 1 &&
+        std::string_view(token).substr(0, key.size()) == key &&
+        token[key.size()] == '=')
+      return std::string();
+  }
+  return std::string();
+}
+
+std::uint64_t token_u64(const std::vector<std::string>& tokens,
+                        std::string_view key) {
+  const std::string text = token_value(tokens, key);
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return 0;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+}  // namespace
+
+CheckpointLog::CheckpointLog(std::string dir, Options options)
+    : dir_(std::move(dir)), options_(options) {
+  if (::mkdir(dir_.c_str(), 0755) != 0 && errno != EEXIST)
+    throw JournalError("journal dir create failed: " + dir_ + ": " +
+                       std::strerror(errno));
+
+  // Replay: snapshot first (the compacted prefix of history), then the
+  // journal (everything since).  Both scans stop at the last complete
+  // record; corrupt content is a short read, never a crash.
+  const journal::ScanResult snapshot = journal::scan_file(snapshot_path());
+  const journal::ScanResult tail = journal::scan_file(journal_path());
+  for (const std::string& record : snapshot.records) replay_record(record);
+  for (const std::string& record : tail.records) replay_record(record);
+
+  replay_.records = snapshot.records.size() + tail.records.size();
+  replay_.torn_tail = snapshot.torn_tail || tail.torn_tail;
+  replay_.dropped_bytes = snapshot.dropped_bytes + tail.dropped_bytes;
+  for (const auto& [id, job] : state_) {
+    ++replay_.jobs;
+    if (!job.finished) ++replay_.live_jobs;
+    replay_.units += job.units.size();
+    for (const auto& result : job.results)
+      replay_.completed_units += result.has_value() ? 1 : 0;
+  }
+
+  // Boot-time compaction: folds the replayed journal into the snapshot and
+  // starts an empty journal.  This is what makes a torn tail *recoverable*
+  // rather than merely detected — appending behind a torn fragment would put
+  // every new record past the point replay trusts.
+  const std::lock_guard<std::mutex> lock(mutex_);
+  compact_locked();
+}
+
+void CheckpointLog::replay_record(const std::string& payload) {
+  try {
+    const std::size_t space = payload.find(' ');
+    const std::string verb = payload.substr(0, space);
+    if (verb == "open") {
+      const auto tokens = split_ws(payload);
+      const std::uint64_t job_id = token_u64(tokens, "job");
+      if (job_id == 0) return;
+      JobState job;
+      job.rid = percent_decode(token_value(tokens, "rid"));
+      job.lease_timeout_ms =
+          static_cast<std::uint32_t>(token_u64(tokens, "lease_ms"));
+      job.expected_units = static_cast<std::size_t>(token_u64(tokens, "units"));
+      job.units.resize(job.expected_units);
+      job.results.resize(job.expected_units);
+      state_.insert_or_assign(job_id, std::move(job));
+    } else if (verb == "unit") {
+      if (space == std::string::npos) return;
+      const auto grant = parse_work_grant(payload.substr(space + 1));
+      if (!grant) return;
+      const auto it = state_.find(grant->unit.job_id);
+      if (it == state_.end()) return;  // compaction dropped the open
+      JobState& job = it->second;
+      const std::size_t index = static_cast<std::size_t>(grant->unit.unit_id);
+      if (index >= job.units.size()) return;
+      job.units[index] = grant->unit;
+    } else if (verb == "complete_work") {
+      UnitResult result = parse_complete_tokens(split_ws(payload));
+      const auto it = state_.find(result.job_id);
+      if (it == state_.end()) return;
+      JobState& job = it->second;
+      const std::size_t index = static_cast<std::size_t>(result.unit_id);
+      if (index >= job.results.size()) return;
+      if (job.results[index].has_value()) return;  // keep-first
+      job.results[index] = std::move(result);
+    } else if (verb == "incumbent") {
+      const auto tokens = split_ws(payload);
+      const auto it = state_.find(token_u64(tokens, "job"));
+      if (it == state_.end()) return;
+      const double metric = decode_metric(token_value(tokens, "metric"));
+      if (metric < it->second.incumbent) it->second.incumbent = metric;
+    } else if (verb == "finish") {
+      const auto tokens = split_ws(payload);
+      const auto it = state_.find(token_u64(tokens, "job"));
+      if (it == state_.end()) return;
+      it->second.finished = true;
+      it->second.failed = token_value(tokens, "failed") == "1";
+    } else if (verb == "adopt") {
+      // A restarted coordinator re-journaled this job under a new id; the
+      // old entry is redundant history.
+      state_.erase(token_u64(split_ws(payload), "job"));
+    }
+    // Unknown verbs: skip — a newer incarnation may add record types.
+  } catch (const std::exception&) {
+    // A record that frames and CRCs but no longer parses (version drift)
+    // must not kill recovery of everything around it.
+  }
+}
+
+void CheckpointLog::append_locked(const std::string& payload) {
+  writer_.append(payload);
+  ++journal_records_;
+}
+
+void CheckpointLog::record_open(std::uint64_t job_id, const std::string& rid,
+                                std::uint32_t lease_timeout_ms,
+                                const std::vector<WorkUnit>& units) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  JobState job;
+  job.rid = rid;
+  job.lease_timeout_ms = lease_timeout_ms;
+  job.expected_units = units.size();
+  job.units = units;
+  job.results.resize(units.size());
+
+  std::string open = "open job=" + std::to_string(job_id) +
+                     " rid=" + percent_encode(rid) +
+                     " lease_ms=" + std::to_string(lease_timeout_ms) +
+                     " units=" + std::to_string(units.size());
+  append_locked(open);
+  for (const WorkUnit& unit : units)
+    append_locked("unit " + format_work_grant(
+                                unit, std::numeric_limits<double>::infinity()));
+  state_.insert_or_assign(job_id, std::move(job));
+}
+
+void CheckpointLog::record_complete(const UnitResult& result) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = state_.find(result.job_id);
+  if (it == state_.end()) return;  // job not journaled (no rid)
+  const std::size_t index = static_cast<std::size_t>(result.unit_id);
+  if (index >= it->second.results.size() ||
+      it->second.results[index].has_value())
+    return;
+  append_locked(format_complete_command("journal", result));
+  it->second.results[index] = result;
+}
+
+void CheckpointLog::record_incumbent(std::uint64_t job_id, double metric) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = state_.find(job_id);
+  if (it == state_.end()) return;
+  if (!(metric < it->second.incumbent)) return;
+  append_locked("incumbent job=" + std::to_string(job_id) +
+                " metric=" + encode_metric(metric));
+  it->second.incumbent = metric;
+}
+
+void CheckpointLog::record_finish(std::uint64_t job_id, bool failed) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = state_.find(job_id);
+  if (it == state_.end()) return;
+  append_locked("finish job=" + std::to_string(job_id) +
+                " failed=" + std::string(failed ? "1" : "0"));
+  it->second.finished = true;
+  it->second.failed = failed;
+  // The finish record makes the job's result durable before the client sees
+  // it; force it to disk rather than waiting out the fsync batch.
+  writer_.sync();
+  if (journal_records_ >= options_.compact_after_records) compact_locked();
+}
+
+void CheckpointLog::record_adopted(std::uint64_t journal_job_id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (state_.erase(journal_job_id) == 0) return;
+  append_locked("adopt job=" + std::to_string(journal_job_id));
+}
+
+void CheckpointLog::sync() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (writer_.is_open()) writer_.sync();
+}
+
+std::vector<RecoveredJob> CheckpointLog::take_recovered() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<RecoveredJob> out;
+  if (recovered_taken_) return out;
+  recovered_taken_ = true;
+  for (const auto& [id, job] : state_) {
+    if (job.failed) continue;  // fail-fast already answered; nothing to resume
+    RecoveredJob recovered;
+    recovered.journal_job_id = id;
+    recovered.rid = job.rid;
+    recovered.lease_timeout_ms = job.lease_timeout_ms;
+    recovered.units = job.units;
+    recovered.results = job.results;
+    recovered.incumbent = job.incumbent;
+    recovered.finished = job.finished;
+    recovered.failed = job.failed;
+    out.push_back(std::move(recovered));
+  }
+  return out;
+}
+
+std::uint64_t CheckpointLog::max_job_id() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return state_.empty() ? 0 : state_.rbegin()->first;
+}
+
+std::string CheckpointLog::journal_path() const {
+  return dir_ + "/journal.djl";
+}
+
+std::string CheckpointLog::snapshot_path() const {
+  return dir_ + "/snapshot.djl";
+}
+
+std::uint64_t CheckpointLog::journal_records() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return journal_records_;
+}
+
+void CheckpointLog::serialize_job(std::uint64_t job_id, const JobState& job,
+                                  std::string& out) {
+  out += journal::frame_record(
+      "open job=" + std::to_string(job_id) + " rid=" + percent_encode(job.rid) +
+      " lease_ms=" + std::to_string(job.lease_timeout_ms) +
+      " units=" + std::to_string(job.units.size()));
+  for (const WorkUnit& unit : job.units)
+    out += journal::frame_record(
+        "unit " +
+        format_work_grant(unit, std::numeric_limits<double>::infinity()));
+  for (const auto& result : job.results)
+    if (result.has_value())
+      out += journal::frame_record(format_complete_command("journal", *result));
+  if (job.incumbent < std::numeric_limits<double>::infinity())
+    out += journal::frame_record("incumbent job=" + std::to_string(job_id) +
+                                 " metric=" + encode_metric(job.incumbent));
+  if (job.finished)
+    out += journal::frame_record("finish job=" + std::to_string(job_id) +
+                                 " failed=" +
+                                 std::string(job.failed ? "1" : "0"));
+}
+
+void CheckpointLog::compact_locked() {
+  // Drop failed jobs and all but the newest keep_finished finished jobs —
+  // replay cost stays proportional to live state.
+  std::vector<std::uint64_t> finished_ids;
+  for (auto it = state_.begin(); it != state_.end();) {
+    if (it->second.failed) {
+      it = state_.erase(it);
+    } else {
+      if (it->second.finished) finished_ids.push_back(it->first);
+      ++it;
+    }
+  }
+  if (finished_ids.size() > options_.keep_finished) {
+    const std::size_t evict = finished_ids.size() - options_.keep_finished;
+    for (std::size_t i = 0; i < evict; ++i) state_.erase(finished_ids[i]);
+  }
+
+  std::string snapshot;
+  for (const auto& [id, job] : state_) serialize_job(id, job, snapshot);
+  journal::atomic_replace(snapshot_path(), snapshot);
+  writer_.open_truncated(journal_path(),
+                         journal::Writer::Options{options_.fsync_every});
+  journal_records_ = 0;
+}
+
+}  // namespace dominosyn::dist::checkpoint

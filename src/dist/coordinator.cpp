@@ -11,8 +11,39 @@
 
 namespace dominosyn::dist {
 
+namespace {
+
+/// Adoption safety: the identical rid can describe different unit sets (an
+/// exhaustive job and its anneal fallback share one request), so a recovered
+/// job is only adopted when its units are field-for-field the same search.
+/// bound_snapshot compares exactly — both sides round-tripped through the
+/// shortest-round-trip metric codec, so equality is bit-equality.
+bool units_compatible(const std::vector<WorkUnit>& recovered,
+                      const std::vector<WorkUnit>& fresh) {
+  if (recovered.size() != fresh.size()) return false;
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    const WorkUnit& a = recovered[i];
+    const WorkUnit& b = fresh[i];
+    if (a.kind != b.kind || a.by_power != b.by_power || a.task != b.task ||
+        a.frontier_depth != b.frontier_depth ||
+        !(a.bound_snapshot == b.bound_snapshot ||
+          (a.bound_snapshot != a.bound_snapshot &&
+           b.bound_snapshot != b.bound_snapshot)) ||
+        a.node_budget != b.node_budget || a.batch_lanes != b.batch_lanes ||
+        a.anneal_seed != b.anneal_seed ||
+        a.restart_index != b.restart_index ||
+        a.iterations != b.iterations || a.shared_bounds != b.shared_bounds ||
+        a.circuit.fingerprint != b.circuit.fingerprint)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 DistCoordinator::OpenedJob DistCoordinator::open_job(
-    std::vector<WorkUnit> units, std::uint32_t lease_timeout_ms) {
+    std::vector<WorkUnit> units, std::uint32_t lease_timeout_ms,
+    const std::string& rid) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (closed_) {
     std::promise<JobResult> cancelled;
@@ -23,23 +54,130 @@ DistCoordinator::OpenedJob DistCoordinator::open_job(
   }
   const std::uint64_t job_id = next_job_id_++;
   Job& job = jobs_[job_id];
+  job.rid = rid;
   job.lease_timeout_ms = lease_timeout_ms;
   job.units = std::move(units);
   const std::size_t count = job.units.size();
-  job.in_queue.assign(count, 1);
+  job.in_queue.assign(count, 0);
   job.done.assign(count, 0);
   job.results.resize(count);
   for (std::size_t i = 0; i < count; ++i) {
     job.units[i].job_id = job_id;
     job.units[i].unit_id = i;
-    job.queue.push_back(i);
   }
+  // Resume path: pre-mark units whose results survived in the checkpoint
+  // log, then queue only the gaps.  Journaling happens *after* adoption so
+  // the new incarnation's log already contains the adopted completions.
+  adopt_recovered_locked(job_id, job);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (job.done[i]) continue;
+    job.queue.push_back(i);
+    job.in_queue[i] = 1;
+  }
+  journal_open_locked(job_id, job);
   std::future<JobResult> future = job.promise.get_future();
-  if (count == 0) {
-    job.promise.set_value(JobResult{});
+  if (job.completed == count) {
+    // Empty job, or every unit recovered from the journal (the re-attach of
+    // a crash-interrupted-but-finished search): resolve immediately.
+    journal_finish_locked(job_id, /*failed=*/false);
+    JobResult done;
+    done.units = std::move(job.results);
+    job.promise.set_value(std::move(done));
     jobs_.erase(job_id);
   }
   return OpenedJob{job_id, std::move(future)};
+}
+
+bool DistCoordinator::adopt_recovered_locked(std::uint64_t job_id, Job& job) {
+  if (job.rid.empty()) return false;
+  for (auto it = recovered_.begin(); it != recovered_.end(); ++it) {
+    if (it->rid != job.rid) continue;
+    if (!units_compatible(it->units, job.units)) continue;
+    for (std::size_t i = 0; i < job.units.size(); ++i) {
+      if (!it->results[i].has_value()) continue;
+      UnitResult result = *it->results[i];
+      result.job_id = job_id;
+      result.unit_id = i;
+      // Replayed spans belong to the previous incarnation's timeline;
+      // don't re-ingest them into this request's trace.
+      result.spans_wire.clear();
+      job.done[i] = 1;
+      job.results[i] = std::move(result);
+      ++job.completed;
+      job.incumbent = std::min(job.incumbent, job.results[i].metric);
+      ++counters_.units_recovered;
+    }
+    job.incumbent = std::min(job.incumbent, it->incumbent);
+    if (checkpoint_ != nullptr) {
+      try {
+        checkpoint_->record_adopted(it->journal_job_id);
+      } catch (const std::exception&) {
+        // Durability hiccup only; the new open/completes re-journal below.
+      }
+    }
+    recovered_.erase(it);
+    return true;
+  }
+  return false;
+}
+
+void DistCoordinator::journal_open_locked(std::uint64_t job_id,
+                                          const Job& job) {
+  if (checkpoint_ == nullptr || job.rid.empty() || job.units.empty()) return;
+  try {
+    checkpoint_->record_open(job_id, job.rid, job.lease_timeout_ms, job.units);
+    for (std::size_t i = 0; i < job.units.size(); ++i)
+      if (job.done[i]) checkpoint_->record_complete(job.results[i]);
+  } catch (const std::exception&) {
+    // Journal write failed (disk, journal.write_fail): the job still runs,
+    // it just won't survive a crash — faults cost durability, never answers.
+  }
+}
+
+void DistCoordinator::journal_complete_locked(const UnitResult& result) {
+  if (checkpoint_ == nullptr) return;
+  try {
+    checkpoint_->record_complete(result);
+  } catch (const std::exception&) {
+  }
+}
+
+void DistCoordinator::journal_incumbent_locked(std::uint64_t job_id,
+                                               double metric) {
+  if (checkpoint_ == nullptr) return;
+  try {
+    checkpoint_->record_incumbent(job_id, metric);
+  } catch (const std::exception&) {
+  }
+}
+
+void DistCoordinator::journal_finish_locked(std::uint64_t job_id,
+                                            bool failed) {
+  if (checkpoint_ == nullptr) return;
+  try {
+    checkpoint_->record_finish(job_id, failed);
+  } catch (const std::exception&) {
+  }
+}
+
+void DistCoordinator::set_checkpoint(checkpoint::CheckpointLog* log) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  checkpoint_ = log;
+  recovered_.clear();
+  if (log == nullptr) return;
+  for (auto& job : log->take_recovered()) {
+    // Only rid-carrying jobs can ever be re-attached; the rest would sit in
+    // the stash forever.
+    if (!job.rid.empty()) recovered_.push_back(std::move(job));
+  }
+  next_job_id_ = std::max(next_job_id_, log->max_job_id() + 1);
+}
+
+bool DistCoordinator::has_recovered(const std::string& rid) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& job : recovered_)
+    if (job.rid == rid) return true;
+  return false;
 }
 
 DistCoordinator::Grant DistCoordinator::grant_locked(Job& job,
@@ -175,6 +313,7 @@ DistCoordinator::CompleteAck DistCoordinator::complete(
   if (!result.ok) {
     // Fail fast: a unit that cannot run (fingerprint mismatch, engine throw)
     // fails the whole job so the driver can fall back locally.
+    journal_finish_locked(result.job_id, /*failed=*/true);
     JobResult failure;
     failure.error = result.error.empty() ? "work unit failed" : result.error;
     job.promise.set_value(std::move(failure));
@@ -194,12 +333,16 @@ DistCoordinator::CompleteAck DistCoordinator::complete(
   job.results[unit_index] = result;
   ++job.completed;
   job.incumbent = std::min(job.incumbent, result.metric);
+  // Write-ahead: the completion is durable before the ack (and before the
+  // job's future can resolve below) — a crash after this line replays it.
+  journal_complete_locked(result);
   for (Lease& lease : job.leases) {
     if (lease.valid && lease.unit_index == unit_index) lease.valid = false;
   }
   ack.accepted = true;
   ack.incumbent = job.incumbent;
   if (job.completed == job.units.size()) {
+    journal_finish_locked(result.job_id, /*failed=*/false);
     JobResult done;
     done.units = std::move(job.results);
     job.promise.set_value(std::move(done));
@@ -218,6 +361,7 @@ double DistCoordinator::push_incumbent(const std::string& worker,
   if (metric < job.incumbent) {
     job.incumbent = metric;
     ++counters_.incumbent_broadcasts;
+    journal_incumbent_locked(job_id, metric);
   }
   return job.incumbent;
 }

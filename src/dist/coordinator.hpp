@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "dist/checkpoint.hpp"
 #include "dist/workunit.hpp"
 
 namespace dominosyn::dist {
@@ -48,6 +49,7 @@ class DistCoordinator {
     std::uint64_t incumbent_broadcasts = 0;  ///< accepted push_incumbent
     std::uint64_t workers_quarantined = 0;   ///< quarantine trips
     std::uint64_t quarantine_probes = 0;     ///< re-admit probe grants
+    std::uint64_t units_recovered = 0;  ///< completions adopted from the log
   };
 
   /// Worker-health circuit breaker (docs/robustness.md): a worker whose
@@ -81,8 +83,17 @@ class DistCoordinator {
   /// future resolves when every unit completed, a unit failed, or
   /// cancel_all() ran.  After cancel_all() new jobs resolve cancelled
   /// immediately.
+  ///
+  /// `rid` is the originating request's fingerprint.  With a checkpoint log
+  /// installed, a non-empty rid (a) journals the job shape + completions,
+  /// and (b) *adopts* a matching recovered job: durable unit results are
+  /// pre-marked done (counted as `units_recovered`) and only the missing
+  /// units are queued — the resume path after a daemon crash.  The identical
+  /// rid can open several jobs (exhaustive then anneal fallback of one
+  /// request), so adoption additionally requires the unit vectors to match.
   [[nodiscard]] OpenedJob open_job(std::vector<WorkUnit> units,
-                                   std::uint32_t lease_timeout_ms);
+                                   std::uint32_t lease_timeout_ms,
+                                   const std::string& rid = {});
 
   /// Leases the next queued unit (of `job_filter`, or of the lowest-id job
   /// with queued work when 0).  nullopt when nothing is queued — idle workers
@@ -122,6 +133,15 @@ class DistCoordinator {
   /// ServerCore::shutdown so outstanding submit futures never hang.
   void cancel_all();
 
+  /// Installs the durable checkpoint log (borrowed; must outlive the
+  /// coordinator): takes its recovered jobs into the adoption stash and
+  /// bumps next_job_id_ past every journaled id so fresh ids never collide.
+  /// nullptr detaches (tests).
+  void set_checkpoint(checkpoint::CheckpointLog* log);
+
+  /// True while a recovered job with this rid awaits re-attach adoption.
+  [[nodiscard]] bool has_recovered(const std::string& rid) const;
+
   /// Replaces the quarantine policy (existing health records are kept).
   void set_quarantine(QuarantineConfig config);
 
@@ -146,6 +166,7 @@ class DistCoordinator {
   };
 
   struct Job {
+    std::string rid;  ///< originating request fingerprint ("" = unjournaled)
     std::uint32_t lease_timeout_ms = 0;
     std::vector<WorkUnit> units;
     std::deque<std::size_t> queue;
@@ -166,6 +187,16 @@ class DistCoordinator {
 
   void sweep_locked(Clock::time_point now);
   void requeue_if_orphaned_locked(Job& job, std::size_t unit_index);
+  /// Adopts durable results from a recovered job matching (rid, units) into
+  /// `job`; returns true when one was consumed.
+  bool adopt_recovered_locked(std::uint64_t job_id, Job& job);
+  /// Journal hooks — every checkpoint write is wrapped here so a failing
+  /// journal (disk full, journal.write_fail) costs durability, never
+  /// answers.
+  void journal_open_locked(std::uint64_t job_id, const Job& job);
+  void journal_complete_locked(const UnitResult& result);
+  void journal_incumbent_locked(std::uint64_t job_id, double metric);
+  void journal_finish_locked(std::uint64_t job_id, bool failed);
   [[nodiscard]] Grant grant_locked(Job& job, std::uint64_t job_id,
                                    std::size_t unit_index);
   /// True when the quarantine gate should turn this worker's lease/steal
@@ -182,6 +213,11 @@ class DistCoordinator {
   std::uint64_t activity_ = 0;
   QuarantineConfig quarantine_;
   std::map<std::string, WorkerHealth> health_;
+  /// Durable log (borrowed from ServerCore; nullptr = durability off) and
+  /// the replayed jobs awaiting re-attach adoption.  Lock order is always
+  /// coordinator mutex_ -> checkpoint's internal mutex, never reversed.
+  checkpoint::CheckpointLog* checkpoint_ = nullptr;
+  std::vector<checkpoint::RecoveredJob> recovered_;
 };
 
 }  // namespace dominosyn::dist

@@ -70,6 +70,11 @@ struct DistSearchOptions {
   bool participate = true;
   std::uint32_t lease_timeout_ms = 30'000;
   std::uint32_t stall_takeover_ms = 2'000;
+  /// Originating request fingerprint (the protocol's `rid=`).  Passed to
+  /// open_job so a checkpoint-logging coordinator can journal the job and a
+  /// restarted one can adopt its durable results (docs/robustness.md).
+  /// Empty = unjournaled.  Like `coordinator`, never serialized.
+  std::string rid;
   CircuitSpec circuit;
 };
 

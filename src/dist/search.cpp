@@ -152,7 +152,8 @@ SearchResult dist_anneal(const AssignmentEvaluator& evaluator,
   }
 
   DistCoordinator::OpenedJob job =
-      dist.coordinator->open_job(std::move(units), dist.lease_timeout_ms);
+      dist.coordinator->open_job(std::move(units), dist.lease_timeout_ms,
+                                 dist.rid);
   const JobResult outcome = run_and_wait(evaluator, *dist.coordinator, job,
                                          dist, options.num_threads);
 
@@ -281,7 +282,8 @@ SearchResult dist_exhaustive_search(const AssignmentEvaluator& evaluator,
   }
 
   DistCoordinator::OpenedJob job =
-      dist.coordinator->open_job(std::move(units), dist.lease_timeout_ms);
+      dist.coordinator->open_job(std::move(units), dist.lease_timeout_ms,
+                                 dist.rid);
   const JobResult outcome = run_and_wait(evaluator, *dist.coordinator, job,
                                          dist, options.num_threads);
 

@@ -285,10 +285,9 @@ std::string Client::request_multiline(const std::string& command,
   }
 }
 
-Client::SubmitSummary Client::submit_once(const std::string& command,
-                                          const std::string& body) {
+Client::SubmitSummary Client::summarize(std::string raw) {
   SubmitSummary summary;
-  summary.raw = request(command, body);
+  summary.raw = std::move(raw);
   const std::string& json = summary.raw;
   summary.ok = protocol::find_bool(json, "ok").value_or(false);
   summary.status = protocol::find_string(json, "status").value_or("");
@@ -324,6 +323,23 @@ Client::SubmitSummary Client::submit_once(const std::string& command,
   return summary;
 }
 
+Client::SubmitSummary Client::submit_once(const std::string& command,
+                                          const std::string& body) {
+  return summarize(request(command, body));
+}
+
+Client::JobStatus Client::job_status(const std::string& rid) {
+  if (fd_ < 0) reconnect();
+  JobStatus status;
+  std::string raw = request("job_status rid=" + rid);
+  status.state = protocol::find_string(raw, "state").value_or("");
+  if (status.state == "done") {
+    status.summary = summarize(std::move(raw));
+    status.summary.rid = rid;
+  }
+  return status;
+}
+
 Client::SubmitSummary Client::submit(const std::string& command,
                                      const std::string& body) {
   // Decorate every attempt with the same idempotency fingerprint; serving is
@@ -340,6 +356,7 @@ Client::SubmitSummary Client::submit(const std::string& command,
       std::string wire = decorated;
       if (attempt > 0) wire += " retry=" + std::to_string(attempt);
       SubmitSummary summary = submit_once(wire, body);
+      summary.rid = hex64(fingerprint);
       const bool retryable = response_torn(summary.raw) ||
                              summary.status == "rejected_queue_full";
       if (!retryable || attempt + 1 >= attempts) return summary;

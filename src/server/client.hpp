@@ -114,6 +114,9 @@ class Client {
     /// ran scalar, batch_lanes = 1).
     std::size_t search_batched_trials = 0;
     std::size_t search_batch_walks = 0;
+    /// The idempotency fingerprint this submit carried on the wire — the
+    /// handle for `job_status` / `domino_cli --attach` after a disconnect.
+    std::string rid;
     std::string raw;  ///< the full response line
   };
 
@@ -126,6 +129,17 @@ class Client {
   /// is returned/rethrown as-is.
   [[nodiscard]] SubmitSummary submit(const std::string& command,
                                      const std::string& body = "");
+
+  /// A `job_status rid=` answer (docs/robustness.md): the daemon's standing
+  /// for that request fingerprint.  `summary` is populated (from the full
+  /// embedded submit response) only when state == "done".
+  struct JobStatus {
+    std::string state;  ///< "unknown" | "running" | "recovered" | "done"
+    SubmitSummary summary;
+  };
+
+  /// Polls the daemon for a rid's standing.  Throws like request().
+  [[nodiscard]] JobStatus job_status(const std::string& rid);
 
   /// `ping` round trip; false on a dead / non-protocol peer.
   [[nodiscard]] bool ping();
@@ -164,6 +178,9 @@ class Client {
   void reconnect();
   [[nodiscard]] std::optional<std::string> read_line();
   void send_payload(const std::string& payload);
+  /// Field extraction shared by submit responses and "done" job_status
+  /// answers (which embed a full submit response).
+  [[nodiscard]] static SubmitSummary summarize(std::string raw);
   [[nodiscard]] SubmitSummary submit_once(const std::string& command,
                                           const std::string& body);
 

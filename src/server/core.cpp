@@ -93,6 +93,10 @@ ServerCore::Instruments::Instruments(obs::MetricsRegistry& registry)
           registry.counter("dominosyn_requests_retried_total",
                            "Submits that arrived with a nonzero retry= "
                            "attempt (client re-submissions)")),
+      reattached_submits(
+          registry.counter("dominosyn_requests_reattached_total",
+                           "Retried submits answered by attaching to the "
+                           "in-flight/finished job of the same rid")),
       degraded_responses(
           registry.counter("dominosyn_responses_degraded_total",
                            "Responses served under overload brownout "
@@ -118,6 +122,14 @@ ServerCore::ServerCore(ServerConfig config)
   } else {
     owned_cache_ = std::make_unique<SessionCache>(config_.cache_capacity);
     cache_ = owned_cache_.get();
+  }
+  if (!config_.journal_dir.empty()) {
+    // Replay (and arm) the durable checkpoint log before any worker can
+    // open a job: crash-interrupted jobs become adoptable, and fresh job
+    // ids start past every journaled one.
+    checkpoint_ = std::make_unique<dist::checkpoint::CheckpointLog>(
+        config_.journal_dir);
+    coordinator_.set_checkpoint(checkpoint_.get());
   }
   if (config_.queue_capacity == 0) config_.queue_capacity = 1;
   brownout_high_water_ = config_.brownout_high_water != 0
@@ -146,6 +158,23 @@ std::future<ServerResponse> ServerCore::submit(ServerRequest request) {
                               ? pending->request.network->name()
                               : pending->request.circuit;
 
+  // Re-attach before admission: a *retry* of a known rid joins the original
+  // request instead of re-entering the queue.  First attempts never match —
+  // deliberate repeat-submits must keep re-executing.
+  if (pending->request.retry_attempt > 0 &&
+      !pending->request.request_id.empty()) {
+    if (auto reattached = try_reattach(pending->request.request_id)) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      // Counted as a submitted + retried + reattached submit, but never as
+      // accepted: the stats invariant completed <= accepted <= submitted
+      // stays intact (the original submission carries the acceptance).
+      inst_.submitted.add();
+      inst_.retried_submits.add();
+      inst_.reattached_submits.add();
+      return std::move(*reattached);
+    }
+  }
+
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     inst_.submitted.add();
@@ -165,6 +194,18 @@ std::future<ServerResponse> ServerCore::submit(ServerRequest request) {
       return future;
     }
     inst_.accepted.add();
+    if (!pending->request.request_id.empty()) {
+      // Register the rid for re-attach (nested mutex_ -> attach_mutex_, the
+      // one allowed nesting).  First registration wins; concurrent repeats
+      // of the same rid run normally without an attach record.
+      const std::lock_guard<std::mutex> attach_lock(attach_mutex_);
+      auto [it, inserted] =
+          inflight_.try_emplace(pending->request.request_id, nullptr);
+      if (inserted) {
+        it->second = std::make_shared<AttachState>();
+        pending->attach = it->second;
+      }
+    }
     ++queued_;
     inst_.queued_now.set(static_cast<std::int64_t>(queued_));
     if (active_.contains(key)) {
@@ -224,6 +265,11 @@ void ServerCore::process(const std::string& key,
       default: break;
     }
   }
+  if (pending->attach != nullptr) {
+    // Publish to re-attach waiters before resolving the primary future —
+    // once either side observes the response the other must too.
+    resolve_attach(pending, response);
+  }
   pending->promise.set_value(std::move(response));
 
   {
@@ -241,6 +287,77 @@ void ServerCore::process(const std::string& key,
     }
     if (queued_ == 0 && running_ == 0) idle_cv_.notify_all();
   }
+}
+
+std::optional<std::future<ServerResponse>> ServerCore::try_reattach(
+    const std::string& rid) {
+  std::promise<ServerResponse> ready;
+  {
+    const std::lock_guard<std::mutex> lock(attach_mutex_);
+    std::shared_ptr<AttachState> state;
+    if (const auto it = inflight_.find(rid); it != inflight_.end())
+      state = it->second;
+    else if (const auto fit = finished_.find(rid); fit != finished_.end())
+      state = fit->second;
+    if (state == nullptr) return std::nullopt;
+    if (!state->done) {
+      state->waiters.emplace_back();
+      return state->waiters.back().get_future();
+    }
+    ready.set_value(state->response);
+  }
+  return ready.get_future();
+}
+
+void ServerCore::resolve_attach(const std::shared_ptr<Pending>& pending,
+                                const ServerResponse& response) {
+  std::vector<std::promise<ServerResponse>> waiters;
+  {
+    const std::lock_guard<std::mutex> lock(attach_mutex_);
+    AttachState& state = *pending->attach;
+    state.done = true;
+    state.response = response;
+    waiters = std::move(state.waiters);
+    const std::string& rid = pending->request.request_id;
+    if (const auto it = inflight_.find(rid);
+        it != inflight_.end() && it->second == pending->attach)
+      inflight_.erase(it);
+    // Only served answers are worth a re-attach window; rejections and
+    // errors should re-execute on retry.
+    if (response.status == ServerStatus::kOk) {
+      finished_[rid] = pending->attach;
+      finished_order_.push_back(rid);
+      while (finished_order_.size() > kFinishedWindow) {
+        finished_.erase(finished_order_.front());
+        finished_order_.pop_front();
+      }
+    }
+  }
+  // Waiter promises resolve outside the lock: their continuations run on
+  // the waiting clients' threads.
+  for (std::promise<ServerResponse>& waiter : waiters)
+    waiter.set_value(response);
+}
+
+ServerCore::JobStatusResult ServerCore::job_status(
+    const std::string& rid) const {
+  JobStatusResult result;
+  if (rid.empty()) return result;
+  {
+    const std::lock_guard<std::mutex> lock(attach_mutex_);
+    if (inflight_.contains(rid)) {
+      result.state = JobStatusResult::State::kRunning;
+      return result;
+    }
+    if (const auto it = finished_.find(rid); it != finished_.end()) {
+      result.state = JobStatusResult::State::kDone;
+      result.response = it->second->response;
+      return result;
+    }
+  }
+  if (coordinator_.has_recovered(rid))
+    result.state = JobStatusResult::State::kRecovered;
+  return result;
 }
 
 ServerResponse ServerCore::execute(Pending& pending) {
@@ -293,6 +410,9 @@ ServerResponse ServerCore::execute(Pending& pending) {
       // Wire the request to this core's coordinator and make sure workers
       // can reconstruct the circuit; otherwise the request runs locally.
       options.dist.coordinator = &coordinator_;
+      // The request fingerprint keys checkpoint journaling and crash-
+      // recovery adoption (docs/robustness.md).
+      options.dist.rid = pending.request.request_id;
       if (!options.dist.circuit.valid()) {
         options.dist.circuit.corpus = pending.request.corpus;
         options.dist.circuit.blif_text = pending.request.blif_text;
@@ -359,6 +479,14 @@ void ServerCore::shutdown(bool drain) {
   ready_.close();
   for (std::thread& worker : workers_) worker.join();
   workers_joined_ = true;
+  // Flush the checkpoint journal so a clean shutdown loses nothing to the
+  // fsync batch.
+  if (checkpoint_ != nullptr) {
+    try {
+      checkpoint_->sync();
+    } catch (const std::exception&) {
+    }
+  }
 }
 
 ServerCore::Stats ServerCore::stats() const {
@@ -398,6 +526,8 @@ ServerCore::Stats ServerCore::stats() const {
     snapshot.bound_tightness_sum = inst_.bound_tightness_sum.value();
     snapshot.retried_submits =
         static_cast<std::size_t>(inst_.retried_submits.value());
+    snapshot.reattached_submits =
+        static_cast<std::size_t>(inst_.reattached_submits.value());
     snapshot.degraded_responses =
         static_cast<std::size_t>(inst_.degraded_responses.value());
     snapshot.queued_now = queued_;
@@ -412,6 +542,7 @@ ServerCore::Stats ServerCore::stats() const {
   snapshot.units_reissued = static_cast<std::size_t>(fabric.units_reissued);
   snapshot.incumbent_broadcasts =
       static_cast<std::size_t>(fabric.incumbent_broadcasts);
+  snapshot.units_recovered = static_cast<std::size_t>(fabric.units_recovered);
   snapshot.workers_quarantined =
       static_cast<std::size_t>(fabric.workers_quarantined);
   snapshot.quarantine_probes =
@@ -439,6 +570,8 @@ std::string ServerCore::prometheus_text() const {
                  fabric.units_reissued);
   fabric_counter("dominosyn_fabric_incumbent_broadcasts_total",
                  fabric.incumbent_broadcasts);
+  fabric_counter("dominosyn_fabric_units_recovered_total",
+                 fabric.units_recovered);
   fabric_counter("dominosyn_fabric_workers_quarantined_total",
                  fabric.workers_quarantined);
   fabric_counter("dominosyn_fabric_quarantine_probes_total",

@@ -46,6 +46,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "dist/checkpoint.hpp"
 #include "dist/coordinator.hpp"
 #include "flow/batch.hpp"
 #include "obs/metrics.hpp"
@@ -131,6 +132,12 @@ struct ServerConfig {
   bool brownout = false;
   /// Queue depth that trips the brownout; 0 = queue_capacity / 2.
   std::size_t brownout_high_water = 0;
+  /// Durable job state (docs/robustness.md): directory for the write-ahead
+  /// checkpoint journal.  Non-empty arms journaling of every rid-carrying
+  /// distributed job and replays the directory's journal at construction,
+  /// making crash-interrupted jobs adoptable (`dominod --journal-dir`).
+  /// Empty = durability off.
+  std::string journal_dir;
 };
 
 class ServerCore {
@@ -174,12 +181,18 @@ class ServerCore {
     std::size_t units_stolen = 0;
     std::size_t units_reissued = 0;
     std::size_t incumbent_broadcasts = 0;
+    /// Unit completions adopted from the checkpoint journal instead of
+    /// re-executed (the crash-recovery resume path; docs/robustness.md).
+    std::size_t units_recovered = 0;
     /// Robustness counters (docs/robustness.md): submits that arrived with a
     /// nonzero `retry=` attempt, responses served under brownout, worker
     /// quarantine events + re-admit probes, and faults this process injected
     /// (0 unless a fault spec is armed; compiled out under
     /// DOMINOSYN_NO_FAULTS).
     std::size_t retried_submits = 0;
+    /// Retried submits answered by attaching to the in-flight / finished
+    /// job of the same rid instead of re-executing (resume, not redo).
+    std::size_t reattached_submits = 0;
     std::size_t degraded_responses = 0;
     std::size_t workers_quarantined = 0;
     std::size_t quarantine_probes = 0;
@@ -200,7 +213,33 @@ class ServerCore {
   /// Every returned future resolves — rejections resolve immediately with a
   /// non-kOk status rather than throwing.  Throws std::invalid_argument only
   /// on a null network.
+  ///
+  /// Re-attach (docs/robustness.md): a submit carrying a nonzero
+  /// retry_attempt and a request_id that matches an in-flight or recently
+  /// finished request returns *that* request's response instead of
+  /// re-executing — the retry path after a daemon restart resumes rather
+  /// than redoes.  First attempts (retry_attempt == 0) always execute, so
+  /// deliberate repeat-submits (soaks, benchmarks) keep their semantics.
   [[nodiscard]] std::future<ServerResponse> submit(ServerRequest request);
+
+  /// Where a rid currently stands, for the `job_status` protocol verb and
+  /// `domino_cli --attach`.
+  struct JobStatusResult {
+    enum class State : std::uint8_t {
+      kUnknown,    ///< never seen (or evicted from the finished window)
+      kRunning,    ///< in flight right now
+      kRecovered,  ///< journal-recovered, awaiting re-attach adoption
+      kDone,       ///< finished; `response` holds the served result
+    };
+    State state = State::kUnknown;
+    ServerResponse response;  ///< valid when state == kDone
+  };
+  [[nodiscard]] JobStatusResult job_status(const std::string& rid) const;
+
+  /// Startup journal-replay summary; nullptr when durability is off.
+  [[nodiscard]] const dist::checkpoint::ReplayStats* recovery() const {
+    return checkpoint_ == nullptr ? nullptr : &checkpoint_->replay_stats();
+  }
 
   /// Stops admitting, resolves all queued + running requests (running work
   /// always finishes; queued work finishes when `drain`, else resolves
@@ -227,11 +266,23 @@ class ServerCore {
   }
 
  private:
+  /// Re-attach record of one rid: later retries of the same request park a
+  /// waiter promise here instead of re-entering admission.  All fields are
+  /// guarded by attach_mutex_; waiter promises are resolved *outside* it.
+  struct AttachState {
+    bool done = false;
+    ServerResponse response;  ///< valid when done
+    std::vector<std::promise<ServerResponse>> waiters;
+  };
+
   struct Pending {
     ServerRequest request;
     std::promise<ServerResponse> promise;
     std::chrono::steady_clock::time_point enqueued;
     std::uint64_t trace_id = 0;  ///< minted at submit, spans the request
+    /// This request's re-attach record (null when it carries no rid or a
+    /// duplicate rid is already registered — first wins).
+    std::shared_ptr<AttachState> attach;
   };
 
   /// Registry-backed instruments behind the Stats facade.  References into
@@ -255,6 +306,7 @@ class ServerCore {
     obs::Counter& search_batched_trials;
     obs::Counter& search_batch_walks;
     obs::Counter& retried_submits;
+    obs::Counter& reattached_submits;
     obs::Counter& degraded_responses;
     obs::DoubleSum& bound_tightness_sum;
     obs::Gauge& queued_now;
@@ -266,11 +318,22 @@ class ServerCore {
   void schedule_locked(const std::string& key, std::shared_ptr<Pending> pending);
   void process(const std::string& key, const std::shared_ptr<Pending>& pending);
   [[nodiscard]] ServerResponse execute(Pending& pending);
+  /// Attach to the in-flight/finished request of `rid`; nullopt = no match
+  /// (run normally).  Takes only attach_mutex_.
+  [[nodiscard]] std::optional<std::future<ServerResponse>> try_reattach(
+      const std::string& rid);
+  /// Publish a finished request's response to its attach record and resolve
+  /// the parked waiters.
+  void resolve_attach(const std::shared_ptr<Pending>& pending,
+                      const ServerResponse& response);
 
   ServerConfig config_;
   std::size_t brownout_high_water_ = 0;  ///< resolved from config at start
   std::unique_ptr<SessionCache> owned_cache_;
   SessionCache* cache_ = nullptr;
+  /// Declared before coordinator_ so the coordinator (which borrows the
+  /// log via set_checkpoint) is destroyed first.  nullptr = durability off.
+  std::unique_ptr<dist::checkpoint::CheckpointLog> checkpoint_;
   dist::DistCoordinator coordinator_;
   obs::MetricsRegistry metrics_;
   Instruments inst_;
@@ -285,6 +348,16 @@ class ServerCore {
   std::size_t running_ = 0;  ///< currently executing
   bool shutting_down_ = false;
   bool cancel_queued_ = false;
+
+  /// Re-attach registry.  Lock order: mutex_ -> attach_mutex_ when nested
+  /// (registration on acceptance); never the reverse.
+  mutable std::mutex attach_mutex_;
+  std::unordered_map<std::string, std::shared_ptr<AttachState>> inflight_;
+  /// Recently finished kOk responses, bounded FIFO — the re-attach window
+  /// for clients whose daemon restarted between service and response.
+  std::unordered_map<std::string, std::shared_ptr<AttachState>> finished_;
+  std::deque<std::string> finished_order_;
+  static constexpr std::size_t kFinishedWindow = 128;
 
   std::mutex shutdown_mutex_;
   bool workers_joined_ = false;

@@ -373,6 +373,25 @@ std::optional<Command> read_command(const LineSource& next_line) {
     if (verb == "lease_work" || verb == "steal" || verb == "complete_work" ||
         verb == "push_incumbent")
       return parse_dist_verb(tokens);
+    if (verb == "job_status") {
+      Command command;
+      command.kind = CommandKind::kJobStatus;
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        const std::string& token = tokens[i];
+        const std::size_t eq = token.find('=');
+        if (eq == std::string::npos || eq == 0)
+          throw ProtocolError("job_status arguments are key=value, got '" +
+                              token + "'");
+        const std::string key = token.substr(0, eq);
+        if (key == "rid")
+          command.rid = token.substr(eq + 1);
+        else
+          throw ProtocolError("unknown job_status key '" + key + "'");
+      }
+      if (command.rid.empty())
+        throw ProtocolError("job_status needs rid=<fingerprint>");
+      return command;
+    }
     if (verb == "stats" || verb == "metrics" || verb == "trace" ||
         verb == "ping" || verb == "quit") {
       if (tokens.size() != 1)
@@ -386,7 +405,7 @@ std::optional<Command> read_command(const LineSource& next_line) {
       return command;
     }
     throw ProtocolError("unknown command '" + verb +
-                        "' (submit|stats|metrics|trace|ping|quit)");
+                        "' (submit|job_status|stats|metrics|trace|ping|quit)");
   }
 }
 
@@ -465,8 +484,10 @@ std::string format_stats(const ServerCore::Stats& stats,
   append_field(out, "units_issued", stats.units_issued);
   append_field(out, "units_stolen", stats.units_stolen);
   append_field(out, "units_reissued", stats.units_reissued);
+  append_field(out, "units_recovered", stats.units_recovered);
   append_field(out, "incumbent_broadcasts", stats.incumbent_broadcasts);
   append_field(out, "retried_submits", stats.retried_submits);
+  append_field(out, "reattached_submits", stats.reattached_submits);
   append_field(out, "degraded_responses", stats.degraded_responses);
   append_field(out, "workers_quarantined", stats.workers_quarantined);
   append_field(out, "quarantine_probes", stats.quarantine_probes);
@@ -518,6 +539,27 @@ std::string format_stats(const ServerCore::Stats& stats,
 }
 
 std::string format_pong() { return R"({"ok":true,"pong":true})"; }
+
+std::string format_job_status(const ServerCore::JobStatusResult& status) {
+  using State = ServerCore::JobStatusResult::State;
+  if (status.state == State::kDone) {
+    // The finished job's full submit response with the state spliced in
+    // right after the opening brace, so attach clients reuse the submit
+    // parser unchanged.
+    std::string out = format_response(status.response);
+    out.insert(1, "\"state\":\"done\",");
+    return out;
+  }
+  std::string out = "{";
+  append_field(out, "ok", true);
+  const std::string_view name = status.state == State::kRunning ? "running"
+                                : status.state == State::kRecovered
+                                    ? "recovered"
+                                    : "unknown";
+  append_field(out, "state", name, /*comma=*/false);
+  out += '}';
+  return out;
+}
 
 std::string fault_mangle_line(std::string line) {
   if (fault::point("protocol.response.truncate"))

@@ -10,6 +10,7 @@
 ///   submit corpus=<name> [circuit=<key>] [mode=...] [options...]
 ///   submit blif=inline [circuit=<key>] [...]      # BLIF body follows, up
 ///                                                 # to and including `.end`
+///   job_status rid=<fingerprint>                  # poll a rid's standing
 ///   stats
 ///   metrics
 ///   trace
@@ -95,6 +96,7 @@ enum class CommandKind : std::uint8_t {
   kStealWork,      ///< idle worker requests a speculative duplicate lease
   kCompleteWork,   ///< worker reports a finished unit
   kPushIncumbent,  ///< worker broadcasts an incumbent improvement
+  kJobStatus,      ///< client polls a rid's standing (docs/robustness.md)
 };
 
 struct Command {
@@ -107,6 +109,7 @@ struct Command {
   dist::UnitResult unit_result;  ///< kCompleteWork
   std::uint64_t job_id = 0;      ///< kPushIncumbent
   double metric = 0.0;           ///< kPushIncumbent
+  std::string rid;               ///< kJobStatus: request fingerprint to poll
 };
 
 /// Reads one command (skipping blank lines); std::nullopt at end of input.
@@ -122,6 +125,11 @@ struct Command {
 [[nodiscard]] std::string format_stats(const ServerCore::Stats& stats,
                                        const SessionCache& cache);
 [[nodiscard]] std::string format_pong();
+/// `job_status` response: `{"ok":true,"state":"unknown|running|recovered"}`,
+/// or for a finished job the full submit response with `"state":"done"`
+/// spliced in — a client that can parse submit answers can parse this one.
+[[nodiscard]] std::string format_job_status(
+    const ServerCore::JobStatusResult& status);
 [[nodiscard]] std::string format_error(std::string_view message);
 /// `{"ok":true,"traceEvents":[...]}` from the span collector (the `trace`
 /// verb's response).  Already size-capped by obs::chrome_trace_json.

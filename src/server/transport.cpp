@@ -261,6 +261,12 @@ void SocketServer::serve_connection(int fd) {
         if (!send_line(fd, dist::format_incumbent_ack(incumbent))) goto done;
         break;
       }
+      case protocol::CommandKind::kJobStatus: {
+        const ServerCore::JobStatusResult status =
+            core_.job_status(command->rid);
+        if (!send_line(fd, protocol::format_job_status(status))) goto done;
+        break;
+      }
     }
   }
 done:

@@ -91,6 +91,16 @@ void parse_clause(std::string_view clause,
   const std::string_view site = trim(clause.substr(0, eq));
   std::string_view items = clause.substr(eq + 1);
 
+  // A typo'd site name would arm nothing and fail silently — reject any
+  // site outside the compiled-in catalogue (fault.hpp).
+  bool known = false;
+  for (const char* catalogued : kSiteCatalogue)
+    if (site == catalogued) {
+      known = true;
+      break;
+    }
+  if (!known) bad_spec(clause, "unknown fault site (see fault::sites())");
+
   Policy policy;
   policy.rng.reseed(hash_name(site));
   bool off = false;

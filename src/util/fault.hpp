@@ -43,6 +43,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iterator>
 #include <string>
 #include <utility>
 #include <vector>
@@ -55,6 +56,37 @@ struct SiteCounters {
   std::uint64_t evaluated = 0;  ///< times the site was reached while armed
   std::uint64_t injected = 0;   ///< times it fired
 };
+
+/// The catalogue of fault sites compiled into the production code paths,
+/// sorted.  `configure()` rejects spec clauses naming sites outside this
+/// list — a typo'd site must fail loudly, not arm nothing silently.
+/// Lives in the header (not fault.cpp) so `dominod --list-fault-sites`
+/// answers even in the DOMINOSYN_NO_FAULTS build, where the list documents
+/// what *would* be injectable; no library TU references it there, so the
+/// zero-symbol CI check still holds.
+inline constexpr const char* kSiteCatalogue[] = {
+    "client.recv.fail",
+    "client.recv.short_read",
+    "client.send.fail",
+    "client.send.short_write",
+    "coordinator.complete.drop",
+    "coordinator.lease.delay",
+    "journal.torn_tail",
+    "journal.write_fail",
+    "protocol.response.corrupt",
+    "protocol.response.truncate",
+    "transport.recv.fail",
+    "transport.recv.short_read",
+    "transport.send.fail",
+    "transport.send.short_write",
+    "worker.unit.crash",
+    "worker.unit.stall",
+};
+
+/// The catalogue as strings, sorted (the array above is kept sorted).
+[[nodiscard]] inline std::vector<std::string> sites() {
+  return {std::begin(kSiteCatalogue), std::end(kSiteCatalogue)};
+}
 
 #ifndef DOMINOSYN_NO_FAULTS
 

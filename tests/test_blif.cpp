@@ -217,5 +217,102 @@ TEST(BlifFile, MissingFileThrows) {
   EXPECT_THROW((void)blif::read_file("/nonexistent/x.blif"), std::runtime_error);
 }
 
+// -- malformed-input corpus (docs/robustness.md) ------------------------------
+// BLIF reaches the daemon from untrusted submit bodies, so the reader must
+// reject hostile shapes with a typed ParseError (never OOM or UB).
+
+TEST(BlifHardening, ParseErrorIsTypedAndCarriesLine) {
+  try {
+    (void)blif::read_string(".model x\n.inputs a\n.outputs f\n.nonsense\n");
+    FAIL() << "expected blif::ParseError";
+  } catch (const blif::ParseError& e) {
+    EXPECT_EQ(e.line(), 4u);
+    EXPECT_NE(std::string(e.what()).find("blif:4"), std::string::npos);
+  }
+}
+
+TEST(BlifHardening, RejectsDuplicateModelDirective) {
+  const std::string text =
+      ".model one\n.inputs a\n.outputs f\n.names a f\n1 1\n"
+      ".model two\n.end\n";
+  try {
+    (void)blif::read_string(text);
+    FAIL() << "expected blif::ParseError";
+  } catch (const blif::ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate .model"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(BlifHardening, RejectsInputRedefinedByNames) {
+  // 'a' is both a declared input and a .names output — silently shadowing
+  // one of them would change the function, so it must be an error.
+  const std::string text =
+      ".model m\n.inputs a b\n.outputs f\n"
+      ".names b a\n1 1\n.names a b f\n11 1\n.end\n";
+  EXPECT_THROW((void)blif::read_string(text), blif::ParseError);
+}
+
+TEST(BlifHardening, RejectsLatchOutputRedefinedByNames) {
+  const std::string text =
+      ".model m\n.inputs a\n.outputs q\n.latch a q 0\n"
+      ".names a q\n1 1\n.end\n";
+  EXPECT_THROW((void)blif::read_string(text), blif::ParseError);
+}
+
+TEST(BlifHardening, RejectsOverlongLogicalLine) {
+  std::string text = ".model m\n.inputs a\n.outputs f\n.names a f # ";
+  text.append(blif::kMaxLineLength + 16, 'x');
+  text += "\n1 1\n.end\n";
+  // The comment is stripped before the length check, so this form parses...
+  EXPECT_NO_THROW((void)blif::read_string(text));
+  // ...but real payload bytes beyond the limit are rejected — here one
+  // giant signal name.
+  std::string long_line = ".model m\n.inputs a\n.outputs f\n.names ";
+  long_line.append(blif::kMaxLineLength + 16, 'a');
+  long_line += " f\n.end\n";
+  EXPECT_THROW((void)blif::read_string(long_line), blif::ParseError);
+}
+
+TEST(BlifHardening, RejectsTooManyNamesInputs) {
+  std::string text = ".model m\n.inputs a\n.outputs f\n.names";
+  for (std::size_t i = 0; i <= blif::kMaxLiteralsPerCube; ++i)
+    text += " a";
+  text += " f\n.end\n";
+  EXPECT_THROW((void)blif::read_string(text), blif::ParseError);
+}
+
+TEST(BlifHardening, RejectsTooManyCubes) {
+  std::string text = ".model m\n.inputs a b\n.outputs f\n.names a b f\n";
+  for (std::size_t i = 0; i <= blif::kMaxCubesPerCover; ++i) text += "11 1\n";
+  text += ".end\n";
+  EXPECT_THROW((void)blif::read_string(text), blif::ParseError);
+}
+
+TEST(BlifHardening, RejectsNodeBudgetOverflow) {
+  // .inputs lines alone can blow the declared-signal budget; the reader
+  // charges the budget before elaboration allocates anything per-signal.
+  // Chunked so no single line trips the line-length limit first.
+  const std::size_t chunk = std::size_t{1} << 16;
+  std::string text = ".model m\n";
+  text.reserve(blif::kMaxNodes * 3);
+  for (std::size_t declared = 0; declared <= blif::kMaxNodes;
+       declared += chunk) {
+    text += ".inputs";
+    for (std::size_t i = 0; i < chunk; ++i) text += " i";
+    text += '\n';
+  }
+  text += ".outputs f\n.end\n";
+  EXPECT_THROW((void)blif::read_string(text), blif::ParseError);
+}
+
+TEST(BlifHardening, LimitsLeaveRealModelsUntouched) {
+  // The paper corpus must be nowhere near any limit.
+  const Network net = generate_benchmark(paper_spec("frg1"));
+  const Network back = blif::read_string(blif::write_string(net));
+  EXPECT_EQ(net.num_pos(), back.num_pos());
+}
+
 }  // namespace
 }  // namespace dominosyn

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
 #include <string>
@@ -39,35 +40,35 @@ TEST_F(FaultTest, InertByDefault) {
 }
 
 TEST_F(FaultTest, AlwaysFires) {
-  fault::configure("a.b=always");
+  fault::configure("client.send.fail=always");
   EXPECT_TRUE(fault::active());
-  EXPECT_EQ(evaluate("a.b", 3), (std::vector<bool>{true, true, true}));
-  EXPECT_FALSE(fault::point("a.other"));  // unarmed sites stay inert
+  EXPECT_EQ(evaluate("client.send.fail", 3), (std::vector<bool>{true, true, true}));
+  EXPECT_FALSE(fault::point("client.recv.fail"));  // unarmed sites stay inert
 }
 
 TEST_F(FaultTest, NthFiresExactlyOnce) {
-  fault::configure("a.b=nth:3");
-  EXPECT_EQ(evaluate("a.b", 5),
+  fault::configure("client.send.fail=nth:3");
+  EXPECT_EQ(evaluate("client.send.fail", 5),
             (std::vector<bool>{false, false, true, false, false}));
-  EXPECT_EQ(fault::injected("a.b"), 1u);
+  EXPECT_EQ(fault::injected("client.send.fail"), 1u);
 }
 
 TEST_F(FaultTest, EveryFiresPeriodically) {
-  fault::configure("a.b=every:2");
-  EXPECT_EQ(evaluate("a.b", 5),
+  fault::configure("client.send.fail=every:2");
+  EXPECT_EQ(evaluate("client.send.fail", 5),
             (std::vector<bool>{false, true, false, true, false}));
 }
 
 TEST_F(FaultTest, FirstFiresPrefix) {
-  fault::configure("a.b=first:2");
-  EXPECT_EQ(evaluate("a.b", 4), (std::vector<bool>{true, true, false, false}));
+  fault::configure("client.send.fail=first:2");
+  EXPECT_EQ(evaluate("client.send.fail", 4), (std::vector<bool>{true, true, false, false}));
 }
 
 TEST_F(FaultTest, ProbIsDeterministicPerSeed) {
-  fault::configure("a.b=prob:0.5,seed:42");
-  const std::vector<bool> run1 = evaluate("a.b", 64);
-  fault::configure("a.b=prob:0.5,seed:42");
-  const std::vector<bool> run2 = evaluate("a.b", 64);
+  fault::configure("client.send.fail=prob:0.5,seed:42");
+  const std::vector<bool> run1 = evaluate("client.send.fail", 64);
+  fault::configure("client.send.fail=prob:0.5,seed:42");
+  const std::vector<bool> run2 = evaluate("client.send.fail", 64);
   EXPECT_EQ(run1, run2);
   int fired = 0;
   for (const bool b : run1) fired += b ? 1 : 0;
@@ -76,72 +77,97 @@ TEST_F(FaultTest, ProbIsDeterministicPerSeed) {
 }
 
 TEST_F(FaultTest, OffMasksEarlierClause) {
-  fault::configure("a.b=always;a.b=off");
-  EXPECT_FALSE(fault::point("a.b"));
+  fault::configure("client.send.fail=always;client.send.fail=off");
+  EXPECT_FALSE(fault::point("client.send.fail"));
 }
 
 TEST_F(FaultTest, DelayAloneArmsAsAlways) {
-  fault::configure("a.b=delay_ms:20");
+  fault::configure("client.send.fail=delay_ms:20");
   const auto start = std::chrono::steady_clock::now();
-  EXPECT_TRUE(fault::point("a.b"));
+  EXPECT_TRUE(fault::point("client.send.fail"));
   const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
       std::chrono::steady_clock::now() - start);
   EXPECT_GE(elapsed.count(), 15);
 }
 
 TEST_F(FaultTest, CountersTrackEvaluationsAndInjections) {
-  fault::configure("a.b=every:2;c.d=always");
-  (void)evaluate("a.b", 4);
-  (void)fault::point("c.d");
+  fault::configure("client.send.fail=every:2;transport.recv.fail=always");
+  (void)evaluate("client.send.fail", 4);
+  (void)fault::point("transport.recv.fail");
   const auto counters = fault::counters();
   ASSERT_EQ(counters.size(), 2u);
-  EXPECT_EQ(counters[0].first, "a.b");
+  EXPECT_EQ(counters[0].first, "client.send.fail");
   EXPECT_EQ(counters[0].second.evaluated, 4u);
   EXPECT_EQ(counters[0].second.injected, 2u);
-  EXPECT_EQ(counters[1].first, "c.d");
+  EXPECT_EQ(counters[1].first, "transport.recv.fail");
   EXPECT_EQ(counters[1].second.injected, 1u);
   EXPECT_EQ(fault::total_injected(), 3u);
 }
 
 TEST_F(FaultTest, ClearDisarms) {
-  fault::configure("a.b=always");
-  ASSERT_TRUE(fault::point("a.b"));
+  fault::configure("client.send.fail=always");
+  ASSERT_TRUE(fault::point("client.send.fail"));
   fault::clear();
   EXPECT_FALSE(fault::active());
-  EXPECT_FALSE(fault::point("a.b"));
+  EXPECT_FALSE(fault::point("client.send.fail"));
   EXPECT_EQ(fault::total_injected(), 0u);
   EXPECT_EQ(fault::spec(), "");
 }
 
 TEST_F(FaultTest, ConfigureReplacesWholesale) {
-  fault::configure("a.b=always");
-  fault::configure("c.d=always");
-  EXPECT_FALSE(fault::point("a.b"));
-  EXPECT_TRUE(fault::point("c.d"));
-  EXPECT_EQ(fault::spec(), "c.d=always");
+  fault::configure("client.send.fail=always");
+  fault::configure("transport.recv.fail=always");
+  EXPECT_FALSE(fault::point("client.send.fail"));
+  EXPECT_TRUE(fault::point("transport.recv.fail"));
+  EXPECT_EQ(fault::spec(), "transport.recv.fail=always");
 }
 
 TEST_F(FaultTest, MalformedSpecsThrow) {
   EXPECT_THROW(fault::configure("nosite"), std::invalid_argument);
-  EXPECT_THROW(fault::configure("a.b=bogus"), std::invalid_argument);
-  EXPECT_THROW(fault::configure("a.b=nth:"), std::invalid_argument);
-  EXPECT_THROW(fault::configure("a.b=nth:zero"), std::invalid_argument);
-  EXPECT_THROW(fault::configure("a.b=every:0"), std::invalid_argument);
-  EXPECT_THROW(fault::configure("a.b=prob:2.0"), std::invalid_argument);
-  EXPECT_THROW(fault::configure("a.b=seed:1"), std::invalid_argument)
+  EXPECT_THROW(fault::configure("client.send.fail=bogus"), std::invalid_argument);
+  EXPECT_THROW(fault::configure("client.send.fail=nth:"), std::invalid_argument);
+  EXPECT_THROW(fault::configure("client.send.fail=nth:zero"), std::invalid_argument);
+  EXPECT_THROW(fault::configure("client.send.fail=every:0"), std::invalid_argument);
+  EXPECT_THROW(fault::configure("client.send.fail=prob:2.0"), std::invalid_argument);
+  EXPECT_THROW(fault::configure("client.send.fail=seed:1"), std::invalid_argument)
       << "seed without a trigger is an empty policy";
   EXPECT_THROW(fault::configure("=always"), std::invalid_argument);
   // A failed configure must not leave a half-armed registry.
-  fault::configure("a.b=always");
+  fault::configure("client.send.fail=always");
   EXPECT_THROW(fault::configure("broken"), std::invalid_argument);
-  EXPECT_TRUE(fault::point("a.b"));
+  EXPECT_TRUE(fault::point("client.send.fail"));
+}
+
+TEST_F(FaultTest, SitesEnumeratesCatalogueSorted) {
+  const std::vector<std::string> sites = fault::sites();
+  EXPECT_FALSE(sites.empty());
+  EXPECT_TRUE(std::is_sorted(sites.begin(), sites.end()));
+  // The PR 10 durability sites are catalogued.
+  EXPECT_NE(std::find(sites.begin(), sites.end(), "journal.write_fail"),
+            sites.end());
+  EXPECT_NE(std::find(sites.begin(), sites.end(), "journal.torn_tail"),
+            sites.end());
+  // Every catalogued site must be accepted by the spec parser.
+  for (const std::string& site : sites) fault::configure(site + "=nth:1");
+  fault::clear();
+}
+
+TEST_F(FaultTest, UnknownSitesAreRejected) {
+  EXPECT_THROW(fault::configure("transport.recv.shortread=always"),
+               std::invalid_argument)
+      << "a typo'd site must fail loudly, not arm nothing";
+  EXPECT_THROW(fault::configure("no.such.site=nth:1"), std::invalid_argument);
+  // A rejected spec leaves the previous one armed.
+  fault::configure("client.send.fail=always");
+  EXPECT_THROW(fault::configure("typo.site=always"), std::invalid_argument);
+  EXPECT_TRUE(fault::point("client.send.fail"));
 }
 
 TEST_F(FaultTest, SpecToleratesWhitespace) {
-  fault::configure(" a.b = every:2 ; c.d = always ");
-  EXPECT_TRUE(fault::point("c.d"));
-  EXPECT_FALSE(fault::point("a.b"));
-  EXPECT_TRUE(fault::point("a.b"));
+  fault::configure(" client.send.fail = every:2 ; transport.recv.fail = always ");
+  EXPECT_TRUE(fault::point("transport.recv.fail"));
+  EXPECT_FALSE(fault::point("client.send.fail"));
+  EXPECT_TRUE(fault::point("client.send.fail"));
 }
 
 TEST(FaultCompiledOut, PointIsConstexprFalse) {

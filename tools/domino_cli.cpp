@@ -18,11 +18,13 @@
 /// loadable in perfetto (docs/observability.md); --dist fans the request's
 /// search out over the daemon's connected workers.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <thread>
 
 #include "server/client.hpp"
 #include "util/cli.hpp"
@@ -42,6 +44,11 @@ void usage(const char* program) {
       << "  --trace-dump F   write the daemon's trace buffer to F as Chrome\n"
       << "                   trace_event JSON (open in ui.perfetto.dev)\n"
       << "  --ping           protocol liveness check\n"
+      << "  --attach RID     re-attach to a submitted request by its rid\n"
+      << "                   (printed with every summary): polls job_status\n"
+      << "                   until the job finishes, then prints its result\n"
+      << "                   — the recovery path after a client disconnect\n"
+      << "                   or daemon restart (docs/robustness.md)\n"
       << "options:\n"
       << "  --mode M         allpos|ma|mp|exhaustive (default mp)\n"
       << "  --circuit KEY    session-cache key override\n"
@@ -166,6 +173,20 @@ void print_histogram_digest(const std::string& json, const std::string& name) {
   std::cout << "\n";
 }
 
+/// The one-line human summary of a served submit (shared by --corpus/--blif
+/// and --attach).
+void print_summary(const dominosyn::Client::SubmitSummary& summary) {
+  std::cout << summary.circuit << " [" << summary.mode << "] cells="
+            << summary.cells << " sim_power=" << summary.sim_power
+            << " est_power=" << summary.est_power
+            << (summary.cache_hit ? " (cache hit," : " (cache miss,")
+            << " queue " << summary.queue_seconds * 1e3 << " ms, service "
+            << summary.service_seconds * 1e3 << " ms)"
+            << (summary.degraded ? " [degraded]" : "");
+  if (!summary.rid.empty()) std::cout << " rid=" << summary.rid;
+  std::cout << "\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -174,11 +195,11 @@ int main(int argc, char** argv) {
   const auto flags = cli::FlagSet::parse(argc, argv);
   if (!flags ||
       !flags->only({"unix", "host", "port", "corpus", "blif", "stats",
-                    "metrics", "trace-dump", "ping", "mode", "circuit",
-                    "threads", "sim-steps", "sim-warmup", "pi-prob", "clock",
-                    "deadline-ms", "exh-limit", "dist", "dist-frontier",
-                    "dist-shared", "dist-remote-only", "repeat", "retries",
-                    "timeout-ms", "raw", "help"})) {
+                    "metrics", "trace-dump", "ping", "attach", "mode",
+                    "circuit", "threads", "sim-steps", "sim-warmup", "pi-prob",
+                    "clock", "deadline-ms", "exh-limit", "dist",
+                    "dist-frontier", "dist-shared", "dist-remote-only",
+                    "repeat", "retries", "timeout-ms", "raw", "help"})) {
     usage(argv[0]);
     return 2;
   }
@@ -248,12 +269,44 @@ int main(int argc, char** argv) {
       return 0;
     }
 
+    if (flags->has("attach")) {
+      const std::string rid = flags->get("attach");
+      if (rid.empty()) {
+        std::cerr << argv[0] << ": --attach needs a rid\n";
+        return 2;
+      }
+      for (;;) {
+        const Client::JobStatus status = client.job_status(rid);
+        if (status.state == "done") {
+          if (flags->has("raw")) {
+            std::cout << status.summary.raw << "\n";
+          } else if (!status.summary.ok) {
+            std::cerr << "rejected (" << status.summary.status
+                      << "): " << status.summary.error << "\n";
+            return 1;
+          } else {
+            print_summary(status.summary);
+          }
+          return 0;
+        }
+        if (status.state.empty() || status.state == "unknown") {
+          std::cerr << argv[0] << ": rid " << rid
+                    << " unknown to the daemon (finished long ago, or never "
+                       "submitted)\n";
+          return 1;
+        }
+        // running / recovered: a recovered job finishes once someone
+        // re-submits it, so keep polling either way.
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      }
+    }
+
     const std::string corpus = flags->get("corpus");
     const std::string blif_path = flags->get("blif");
     if (corpus.empty() == blif_path.empty()) {
       std::cerr << argv[0]
                 << ": need exactly one of --corpus, --blif, --stats, "
-                   "--metrics, --trace-dump, --ping\n";
+                   "--metrics, --trace-dump, --ping, --attach\n";
       return 2;
     }
 
@@ -309,13 +362,7 @@ int main(int argc, char** argv) {
                   << "\n";
         return 1;
       }
-      std::cout << summary.circuit << " [" << summary.mode << "] cells="
-                << summary.cells << " sim_power=" << summary.sim_power
-                << " est_power=" << summary.est_power
-                << (summary.cache_hit ? " (cache hit," : " (cache miss,")
-                << " queue " << summary.queue_seconds * 1e3 << " ms, service "
-                << summary.service_seconds * 1e3 << " ms)"
-                << (summary.degraded ? " [degraded]" : "") << "\n";
+      print_summary(summary);
     }
     if (client.telemetry().retries > 0)
       std::cerr << argv[0] << ": " << client.telemetry().retries

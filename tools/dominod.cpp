@@ -43,9 +43,14 @@ void usage(const char* program) {
       << "                default 0)\n"
       << "  --brownout N  degrade auto-exhaustive submits to the heuristic\n"
       << "                when N+ requests are queued (0 = off, default 0)\n"
+      << "  --journal-dir D  durable job state: write-ahead journal +\n"
+      << "                snapshots in D; a restart replays the journal and\n"
+      << "                re-attached submits adopt the completed units\n"
+      << "                (docs/robustness.md)\n"
       << "  --fault-spec S  arm deterministic fault injection (both modes;\n"
       << "                docs/robustness.md), e.g.\n"
       << "                'transport.send.short_write=every:3'\n"
+      << "  --list-fault-sites  print the fault-site catalogue and exit\n"
       << "  --worker      run as a distributed-search worker instead\n"
       << "  --threads N   worker: concurrent work units; 0 = one per hardware\n"
       << "                thread (default 0)\n"
@@ -141,13 +146,17 @@ int main(int argc, char** argv) {
   const auto flags = cli::FlagSet::parse(argc, argv);
   if (!flags ||
       !flags->only({"unix", "port", "host", "workers", "queue", "cache",
-                    "slow-ms", "brownout", "fault-spec", "worker", "threads",
-                    "name", "help"})) {
+                    "slow-ms", "brownout", "journal-dir", "fault-spec",
+                    "list-fault-sites", "worker", "threads", "name", "help"})) {
     usage(argv[0]);
     return 2;
   }
   if (flags->has("help")) {
     usage(argv[0]);
+    return 0;
+  }
+  if (flags->has("list-fault-sites")) {
+    for (const std::string& site : fault::sites()) std::cout << site << "\n";
     return 0;
   }
   if (!apply_fault_spec(*flags, argv[0])) return 2;
@@ -180,6 +189,7 @@ int main(int argc, char** argv) {
   config.slow_request_seconds = static_cast<double>(*slow_ms) / 1e3;
   config.brownout = *brownout > 0;
   config.brownout_high_water = static_cast<std::size_t>(*brownout);
+  config.journal_dir = flags->get("journal-dir");
 
   // Block the shutdown signals before any thread exists, so every thread
   // inherits the mask and sigwait below is the one consumer.
@@ -200,6 +210,17 @@ int main(int argc, char** argv) {
     std::cout << " (workers=" << core.num_workers()
               << " queue=" << config.queue_capacity
               << " cache=" << config.cache_capacity << ")" << std::endl;
+    if (const auto* recovery = core.recovery()) {
+      std::cout << "dominod: journal " << config.journal_dir << ": replayed "
+                << recovery->records << " records, " << recovery->live_jobs
+                << " live / " << recovery->jobs << " jobs, "
+                << recovery->completed_units << "/" << recovery->units
+                << " units durable";
+      if (recovery->torn_tail)
+        std::cout << " (torn tail: " << recovery->dropped_bytes
+                  << " bytes dropped)";
+      std::cout << std::endl;
+    }
 
     int signal = 0;
     sigwait(&signals, &signal);
